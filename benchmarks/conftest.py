@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper.  By default the
+experiments run at ``ExperimentScale.quick()`` (scaled-down suites, n = 5, single
+temperature) so that ``pytest benchmarks/ --benchmark-only`` finishes in minutes;
+set the environment variable ``REPRO_SCALE=paper`` to run at the paper's full
+scale (143/156/29 tasks, n = 10, three temperatures — takes hours).
+
+Each benchmark also writes its rendered table/figure into
+``benchmarks/results/*.txt`` so the numbers can be inspected and copied into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _scale_from_env() -> ExperimentScale:
+    if os.environ.get("REPRO_SCALE", "quick").lower() == "paper":
+        return ExperimentScale.paper()
+    scale = ExperimentScale.quick()
+    scale.num_samples = 5
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale used by every benchmark in this session."""
+    return _scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write a rendered report to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,39 @@
+"""Fig. 3 — ablation of the techniques adopted in HaVen.
+
+For each of the three base models (CodeLlama, DeepSeek-Coder, CodeQwen) the five
+settings are evaluated on VerilogEval-Human:
+
+* base                — the pre-trained model;
+* vanilla             — fine-tuned on the vanilla dataset only;
+* vanilla+CoT         — vanilla fine-tune + SI-CoT prompting;
+* vanilla+KL          — fine-tuned on vanilla + KL-dataset;
+* vanilla+CoT+KL      — the full HaVen configuration.
+
+The shape check asserts the paper's finding that each added technique improves
+pass@1 (and that SI-CoT and the KL-dataset are complementary).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_fig3
+from repro.experiments import run_fig3
+
+
+def test_fig3_ablation(benchmark, scale, save_result):
+    series = benchmark.pedantic(run_fig3, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_result("fig3_ablation", render_fig3(series))
+
+    assert len(series) == 3
+    for entry in series:
+        pass1 = entry.pass1
+        # Monotone improvement across the technique stack (small tolerance for
+        # sampling noise at reduced scale).
+        assert pass1["vanilla"] >= pass1["base"] - 2.0
+        assert pass1["vanilla+CoT"] >= pass1["vanilla"] - 2.0
+        assert pass1["vanilla+KL"] >= pass1["vanilla"]
+        assert pass1["vanilla+CoT+KL"] >= pass1["vanilla+KL"] - 2.0
+        # The full configuration clearly beats the base model.
+        assert pass1["vanilla+CoT+KL"] > pass1["base"]
+        # pass@5 is at least pass@1 for every setting.
+        for setting, value in entry.pass5.items():
+            assert value >= pass1[setting] - 1e-6

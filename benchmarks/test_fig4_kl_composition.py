@@ -1,0 +1,44 @@
+"""Fig. 4 — ablation of the KL-dataset composition.
+
+Fine-tunes CodeQwen on {0%, 50%, 100%} portions of the K-dataset crossed with
+{0%, 50%, 100%} portions of the L-dataset (always on top of the vanilla
+dataset + SI-CoT, as in the paper) and reports the pass@1 / pass@5 grids on
+VerilogEval-Human.
+
+Shape checks: pass rates increase along both axes of the grid, and the K-dataset
+axis contributes at least as much as the L-dataset axis (the paper attributes
+this to the K-dataset being larger).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_fig4
+from repro.experiments import run_fig4
+
+PORTIONS = (0, 50, 100)
+
+
+def test_fig4_kl_composition(benchmark, scale, save_result):
+    grid_pass1, grid_pass5 = benchmark.pedantic(
+        run_fig4, kwargs={"scale": scale, "portions": PORTIONS}, rounds=1, iterations=1
+    )
+    save_result("fig4_kl_composition", render_fig4(grid_pass1, grid_pass5, PORTIONS))
+
+    # Monotone along the K axis for every L portion (2-point tolerance for noise).
+    for l_portion in PORTIONS:
+        assert grid_pass1[(100, l_portion)] >= grid_pass1[(0, l_portion)] - 2.0
+    # Monotone along the L axis for every K portion.
+    for k_portion in PORTIONS:
+        assert grid_pass1[(k_portion, 100)] >= grid_pass1[(k_portion, 0)] - 2.0
+
+    # The fully-loaded corner is the best cell (paper: 61.1 / 64.8).
+    assert grid_pass1[(100, 100)] >= max(grid_pass1.values()) - 2.0
+
+    # The K-dataset contributes more than the L-dataset (paper observation).
+    k_gain = grid_pass1[(100, 0)] - grid_pass1[(0, 0)]
+    l_gain = grid_pass1[(0, 100)] - grid_pass1[(0, 0)]
+    assert k_gain >= l_gain - 2.0
+
+    # pass@5 dominates pass@1 cell-wise.
+    for key, value in grid_pass5.items():
+        assert value >= grid_pass1[key] - 1e-6

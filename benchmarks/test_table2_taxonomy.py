@@ -1,0 +1,51 @@
+"""Table II — hallucination taxonomy.
+
+Reproduces the taxonomy table: for every canonical example (prompt + incorrect
+code + error analysis) the hallucination detector must recover the paper's
+sub-type classification.  The benchmark reports classification accuracy and the
+time taken to classify the full example set.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.hallucination_detector import HallucinationDetector
+from repro.core.taxonomy import TABLE_II_EXAMPLES, HallucinationSubtype, type_of
+
+
+def _classify_all() -> list[tuple[str, str, str, bool]]:
+    detector = HallucinationDetector()
+    rows = []
+    for example in TABLE_II_EXAMPLES:
+        functional = (
+            None
+            if example.subtype is HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION
+            else False
+        )
+        report = detector.classify(example.prompt, example.incorrect_code, functional_passed=functional)
+        predicted = report.primary.subtype if report.primary else None
+        rows.append(
+            (
+                type_of(example.subtype).value,
+                example.subtype.value,
+                predicted.value if predicted else "none",
+                predicted is example.subtype,
+            )
+        )
+    return rows
+
+
+def test_table2_taxonomy(benchmark, save_result):
+    rows = benchmark.pedantic(_classify_all, rounds=1, iterations=1)
+    correct = sum(1 for row in rows if row[3])
+
+    table = format_table(
+        ["Type", "Sub-type (paper)", "Detector classification", "Match"],
+        [[r[0], r[1], r[2], "yes" if r[3] else "NO"] for r in rows],
+        title="Table II reproduction: taxonomy classification of the canonical examples",
+    )
+    summary = f"\nClassification accuracy: {correct}/{len(rows)}"
+    save_result("table2_taxonomy", table + summary)
+
+    # Every Table II example must be recovered with its exact sub-type.
+    assert correct == len(rows)

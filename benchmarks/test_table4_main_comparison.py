@@ -1,0 +1,71 @@
+"""Table IV — main comparison against baseline models.
+
+Evaluates the baseline profiles and the three HaVen models (fine-tuned through
+the real dataset → fine-tune → SI-CoT pipeline) on the four benchmarks:
+VerilogEval v1 Machine/Human (functional pass@1/5), RTLLM v1.1 (syntax and
+functional pass@5) and VerilogEval v2 (pass@1/5).
+
+By default a representative subset of the 17 baseline rows is evaluated to keep
+the run time reasonable; set ``REPRO_TABLE4_FULL=1`` to evaluate every row.
+The shape checks assert the paper's headline findings: the HaVen models lead on
+functional correctness, ahead of OriGen, which is ahead of RTLCoder and the
+general-purpose LLMs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.reporting import render_table4
+from repro.experiments import TABLE4_BASELINES, run_table4
+
+#: Representative subset evaluated by default (one model per group tier).
+DEFAULT_BASELINES = [
+    "gpt-3.5",
+    "gpt-4",
+    "codellama-7b",
+    "deepseek-coder-6.7b",
+    "codeqwen-7b",
+    "rtlcoder-deepseek",
+    "betterv-codeqwen",
+    "autovcoder-codeqwen",
+    "origen-deepseek",
+]
+
+
+def test_table4_main_comparison(benchmark, scale, save_result):
+    baseline_keys = (
+        list(TABLE4_BASELINES) if os.environ.get("REPRO_TABLE4_FULL") == "1" else DEFAULT_BASELINES
+    )
+    rows = benchmark.pedantic(
+        run_table4,
+        kwargs={"scale": scale, "baseline_keys": baseline_keys, "include_haven": True},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table4_main_comparison", render_table4(rows))
+
+    by_name = {row.model: row for row in rows}
+    haven_rows = [row for row in rows if row.model.startswith("HaVen")]
+    assert len(haven_rows) == 3
+
+    # Headline shape checks (paper: HaVen leads, OriGen next, then the rest).
+    best_haven_human = max(row.human_pass1 for row in haven_rows)
+    origen_human = by_name["OriGen-DeepSeek-7B-v1.5"].human_pass1
+    rtlcoder_human = by_name["RTLCoder-DeepSeek"].human_pass1
+    base_models_human = max(
+        by_name["CodeLlama-7b-Instruct"].human_pass1,
+        by_name["DeepSeek-Coder-6.7b-Instruct"].human_pass1,
+        by_name["CodeQwen1.5-7B-Chat"].human_pass1,
+    )
+    assert best_haven_human >= origen_human
+    assert origen_human >= rtlcoder_human
+    assert rtlcoder_human >= base_models_human
+
+    # Machine split: HaVen models beat their own base models (Table IV rows).
+    assert max(row.machine_pass1 for row in haven_rows) > base_models_human
+
+    # Syntax pass@5 on RTLLM stays high for every evaluated model (>= 80%).
+    for row in rows:
+        if row.rtllm_syntax_pass5 is not None:
+            assert row.rtllm_syntax_pass5 >= 80.0

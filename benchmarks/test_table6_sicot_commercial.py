@@ -1,0 +1,31 @@
+"""Table VI — effect of SI-CoT prompting on commercial LLMs.
+
+Evaluates GPT-4o mini, GPT-4 and DeepSeek-Coder-V2 on the 44-task symbolic
+subset with and without SI-CoT refinement (interpretations produced by the same
+deterministic SI-CoT stage, mirroring the paper's use of CodeQwen-produced
+SI-CoT instructions for all models).
+
+Note: the paper's Table VI rows appear with the with/without labels swapped
+relative to its own prose; we follow the prose ("SI-CoT directly helps with
+CodeGen LLM even without fine-tuning"), i.e. the with-SI-CoT column is the
+higher one.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table6
+from repro.experiments import run_table6
+
+
+def test_table6_sicot_on_commercial_llms(benchmark, scale, save_result):
+    rows = benchmark.pedantic(run_table6, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_result("table6_sicot_commercial", render_table6(rows))
+
+    assert set(rows) == {"GPT-4o mini", "GPT-4", "DeepSeek-Coder-V2"}
+    for model, (with_cot, without_cot) in rows.items():
+        # SI-CoT helps (or at worst is neutral) for every commercial model.
+        assert with_cot >= without_cot, model
+
+    # DeepSeek-Coder-V2 is the strongest commercial model on symbolic tasks even
+    # without SI-CoT (paper: 34.1% vs 22.7%).
+    assert rows["DeepSeek-Coder-V2"][1] >= rows["GPT-4"][1]

@@ -1,0 +1,4 @@
+"""Setup shim so that editable installs work on offline machines without wheel."""
+from setuptools import setup
+
+setup()

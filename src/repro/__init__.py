@@ -1,0 +1,23 @@
+"""Reproduction of HaVen: Hallucination-Mitigated LLM for Verilog Code Generation.
+
+Top-level packages:
+
+* :mod:`repro.verilog`  — Verilog lexer/parser/AST, syntax checker, topic analyzer
+  and functional simulator (the toolchain substrate).
+* :mod:`repro.logic`    — boolean expressions, Quine–McCluskey minimisation,
+  Karnaugh maps and expression→Verilog synthesis.
+* :mod:`repro.symbolic` — truth-table / waveform / state-diagram modalities and
+  their detection inside prompts.
+* :mod:`repro.core`     — the HaVen contribution: hallucination taxonomy, SI-CoT,
+  exemplar library, K/L dataset generation, behavioural CodeGen LLMs,
+  fine-tuning and the end-to-end pipeline.
+* :mod:`repro.bench`    — VerilogEval v1/v2 and RTLLM style benchmark suites,
+  pass@k evaluation and report rendering.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from . import analysis, bench, core, logic, symbolic, verilog
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "bench", "core", "logic", "symbolic", "verilog", "__version__"]

@@ -1,0 +1,177 @@
+"""Post-evaluation hallucination analysis.
+
+The paper's taxonomy is not only a design tool: it is also the lens through which
+failing generations should be understood.  This module connects the benchmark
+evaluator with the hallucination detector: given a pipeline and a suite, it
+re-generates a sample per task, scores it, classifies every failing sample with
+the Table II taxonomy and aggregates the counts per hallucination type/sub-type
+and per task category.
+
+This is the machinery behind the "error analysis" column of Table II and provides
+the breakdown HDL engineers would use to decide which mitigation (SI-CoT,
+K-dataset, L-dataset) to invest in next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bench.task import BenchmarkSuite, BenchmarkTask
+from .core.hallucination_detector import HallucinationDetector
+from .core.llm.base import GenerationConfig
+from .core.pipeline import HaVenPipeline
+from .core.taxonomy import HallucinationSubtype, HallucinationType, TaxonomySummary, type_of
+from .verilog.simulator.testbench import TestbenchRunner
+from .verilog.syntax_checker import SyntaxChecker
+
+
+@dataclass
+class SampleDiagnosis:
+    """Diagnosis of one generated sample."""
+
+    task_id: str
+    category: str
+    compiled: bool
+    functional_pass: bool
+    subtype: HallucinationSubtype | None = None
+
+    @property
+    def hallucination_type(self) -> HallucinationType | None:
+        return type_of(self.subtype) if self.subtype is not None else None
+
+
+@dataclass
+class HallucinationReport:
+    """Aggregated hallucination statistics for one pipeline on one suite."""
+
+    model_name: str
+    suite_name: str
+    diagnoses: list[SampleDiagnosis] = field(default_factory=list)
+
+    @property
+    def total_samples(self) -> int:
+        return len(self.diagnoses)
+
+    @property
+    def failing_samples(self) -> int:
+        return sum(1 for diagnosis in self.diagnoses if not diagnosis.functional_pass)
+
+    def summary(self) -> TaxonomySummary:
+        """Counts per sub-type over all failing, classified samples."""
+        summary = TaxonomySummary()
+        for diagnosis in self.diagnoses:
+            if diagnosis.subtype is not None:
+                from .core.taxonomy import HallucinationRecord
+
+                summary.add(HallucinationRecord(subtype=diagnosis.subtype))
+        return summary
+
+    def counts_by_type(self) -> dict[HallucinationType, int]:
+        """Failing-sample counts per top-level hallucination type."""
+        summary = self.summary()
+        return {kind: summary.count(kind) for kind in HallucinationType}
+
+    def counts_by_category(self) -> dict[str, tuple[int, int]]:
+        """Per task category: (failing samples, total samples)."""
+        result: dict[str, tuple[int, int]] = {}
+        for diagnosis in self.diagnoses:
+            failing, total = result.get(diagnosis.category, (0, 0))
+            result[diagnosis.category] = (
+                failing + (0 if diagnosis.functional_pass else 1),
+                total + 1,
+            )
+        return result
+
+    def render(self) -> str:
+        """Human-readable report."""
+        from .bench.reporting import format_table
+
+        type_rows = [
+            [kind.value, count] for kind, count in sorted(
+                self.counts_by_type().items(), key=lambda item: item[0].value
+            )
+        ]
+        subtype_rows = [
+            [subtype.value, count]
+            for subtype, count in sorted(
+                self.summary().by_subtype.items(), key=lambda item: item[0].value
+            )
+        ]
+        category_rows = [
+            [category, failing, total]
+            for category, (failing, total) in sorted(self.counts_by_category().items())
+        ]
+        sections = [
+            f"Hallucination analysis: {self.model_name} on {self.suite_name}",
+            f"samples: {self.total_samples}, failing: {self.failing_samples}",
+            format_table(["Hallucination type", "count"], type_rows),
+            format_table(["Sub-type", "count"], subtype_rows) if subtype_rows else "(no classified failures)",
+            format_table(["Task category", "failing", "total"], category_rows),
+        ]
+        return "\n\n".join(sections)
+
+
+class HallucinationAnalyzer:
+    """Generate, score and classify samples across a benchmark suite."""
+
+    def __init__(self, samples_per_task: int = 1, temperature: float = 0.2, seed: int = 0):
+        self.samples_per_task = samples_per_task
+        self.temperature = temperature
+        self.seed = seed
+        self.checker = SyntaxChecker()
+        self.detector = HallucinationDetector()
+
+    def analyze(self, pipeline: HaVenPipeline, suite: BenchmarkSuite) -> HallucinationReport:
+        """Run the pipeline over the suite and classify every failing sample."""
+        report = HallucinationReport(model_name=pipeline.name, suite_name=suite.name)
+        for task in suite:
+            report.diagnoses.extend(self._analyze_task(pipeline, task))
+        return report
+
+    def _analyze_task(self, pipeline: HaVenPipeline, task: BenchmarkTask) -> list[SampleDiagnosis]:
+        generation = pipeline.generate(
+            prompt=task.prompt,
+            interface=task.interface,
+            reference_source=task.reference_source,
+            demands=task.demands,
+            config=GenerationConfig(
+                num_samples=self.samples_per_task, temperature=self.temperature, seed=self.seed
+            ),
+            prompt_style=task.prompt_style,
+            task_id=task.task_id,
+        )
+        runner = TestbenchRunner(clock=task.clock, reset=task.reset)
+        stimulus = task.stimulus(self.seed)
+        diagnoses: list[SampleDiagnosis] = []
+        for sample in generation.samples:
+            compile_result = self.checker.check(sample.code)
+            functional = False
+            if compile_result.ok:
+                functional = runner.run(
+                    sample.code, task.golden(), stimulus, check_outputs=task.check_outputs
+                ).passed
+            diagnosis = SampleDiagnosis(
+                task_id=task.task_id,
+                category=task.category,
+                compiled=compile_result.ok,
+                functional_pass=functional,
+            )
+            if not functional:
+                classification = self.detector.classify(
+                    task.prompt.text, sample.code, functional_passed=False
+                )
+                if classification.primary is not None:
+                    diagnosis.subtype = classification.primary.subtype
+            diagnoses.append(diagnosis)
+        return diagnoses
+
+
+def analyze_hallucinations(
+    pipeline: HaVenPipeline,
+    suite: BenchmarkSuite,
+    samples_per_task: int = 1,
+    seed: int = 0,
+) -> HallucinationReport:
+    """One-call helper for :class:`HallucinationAnalyzer`."""
+    analyzer = HallucinationAnalyzer(samples_per_task=samples_per_task, seed=seed)
+    return analyzer.analyze(pipeline, suite)

@@ -1,0 +1,202 @@
+"""Benchmark evaluation harness: generate → compile → simulate → pass@k.
+
+The evaluator scores a generation pipeline (backend + optional SI-CoT) on a
+benchmark suite the same way the paper does:
+
+* ``n`` samples are drawn per task (default 10) at each configured temperature,
+  and — following RTLCoder and the paper's setup — the best functional result
+  over the temperature sweep is reported;
+* every sample is compiled with the syntax checker (syntax correctness) and, if
+  it compiles, simulated against the task's golden model (functional
+  correctness);
+* per-task (n, c) counts are aggregated with the unbiased pass@k estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.llm.base import GenerationConfig
+from ..core.pipeline import HaVenPipeline
+from ..verilog.syntax_checker import SyntaxChecker
+from ..verilog.simulator.testbench import TestbenchRunner
+from .passk import compute_pass_at_k
+from .task import BenchmarkSuite, BenchmarkTask
+
+
+@dataclass
+class EvaluationConfig:
+    """How a suite evaluation is run."""
+
+    num_samples: int = 10
+    ks: tuple[int, ...] = (1, 5)
+    temperatures: tuple[float, ...] = (0.2, 0.5, 0.8)
+    seed: int = 0
+    stimulus_seed: int = 1234
+    max_tasks: int | None = None
+
+    def single_temperature(self) -> "EvaluationConfig":
+        """A copy that only evaluates the first temperature (for quick runs)."""
+        return EvaluationConfig(
+            num_samples=self.num_samples,
+            ks=self.ks,
+            temperatures=(self.temperatures[0],),
+            seed=self.seed,
+            stimulus_seed=self.stimulus_seed,
+            max_tasks=self.max_tasks,
+        )
+
+
+@dataclass
+class TaskResult:
+    """Per-task scoring outcome (at the best temperature)."""
+
+    task_id: str
+    category: str
+    num_samples: int
+    num_functional_passes: int
+    num_syntax_passes: int
+    temperature: float
+    failure_examples: list[str] = field(default_factory=list)
+
+    @property
+    def passed_at_least_once(self) -> bool:
+        return self.num_functional_passes > 0
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate scoring outcome for one model on one suite."""
+
+    suite_name: str
+    model_name: str
+    task_results: list[TaskResult] = field(default_factory=list)
+    ks: tuple[int, ...] = (1, 5)
+
+    def functional_pass_at_k(self) -> dict[int, float]:
+        counts = [(r.num_samples, r.num_functional_passes) for r in self.task_results]
+        return compute_pass_at_k(counts, self.ks).values
+
+    def syntax_pass_at_k(self) -> dict[int, float]:
+        counts = [(r.num_samples, r.num_syntax_passes) for r in self.task_results]
+        return compute_pass_at_k(counts, self.ks).values
+
+    def functional_percentages(self) -> dict[int, float]:
+        return {k: round(100.0 * v, 1) for k, v in self.functional_pass_at_k().items()}
+
+    def syntax_percentages(self) -> dict[int, float]:
+        return {k: round(100.0 * v, 1) for k, v in self.syntax_pass_at_k().items()}
+
+    def by_category(self) -> dict[str, tuple[int, int]]:
+        """category → (tasks passed at least once, total tasks)."""
+        summary: dict[str, tuple[int, int]] = {}
+        for result in self.task_results:
+            passed, total = summary.get(result.category, (0, 0))
+            summary[result.category] = (passed + (1 if result.passed_at_least_once else 0), total + 1)
+        return summary
+
+    def category_pass_at_1(self) -> dict[str, float]:
+        """Per-category pass@1 (used for the Table V modality breakdown)."""
+        by_category: dict[str, list[tuple[int, int]]] = {}
+        for result in self.task_results:
+            by_category.setdefault(result.category, []).append(
+                (result.num_samples, result.num_functional_passes)
+            )
+        return {
+            category: compute_pass_at_k(counts, (1,)).values[1]
+            for category, counts in by_category.items()
+        }
+
+
+class BenchmarkEvaluator:
+    """Run a pipeline over a suite and score it."""
+
+    def __init__(self, config: EvaluationConfig | None = None):
+        self.config = config or EvaluationConfig()
+        self.checker = SyntaxChecker()
+
+    # ------------------------------------------------------------------ public API
+    def evaluate(self, pipeline: HaVenPipeline, suite: BenchmarkSuite) -> SuiteResult:
+        """Evaluate ``pipeline`` on ``suite`` with the configured sampling plan."""
+        tasks = list(suite)
+        if self.config.max_tasks is not None:
+            tasks = tasks[: self.config.max_tasks]
+        result = SuiteResult(suite_name=suite.name, model_name=pipeline.name, ks=self.config.ks)
+        for task in tasks:
+            result.task_results.append(self._evaluate_task(pipeline, task))
+        return result
+
+    def _evaluate_task(self, pipeline: HaVenPipeline, task: BenchmarkTask) -> TaskResult:
+        best: TaskResult | None = None
+        for temperature in self.config.temperatures:
+            candidate = self._evaluate_task_at_temperature(pipeline, task, temperature)
+            if best is None or candidate.num_functional_passes > best.num_functional_passes:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _evaluate_task_at_temperature(
+        self, pipeline: HaVenPipeline, task: BenchmarkTask, temperature: float
+    ) -> TaskResult:
+        config = GenerationConfig(
+            temperature=temperature,
+            num_samples=self.config.num_samples,
+            seed=self.config.seed,
+        )
+        generation = pipeline.generate(
+            prompt=task.prompt,
+            interface=task.interface,
+            reference_source=task.reference_source,
+            demands=task.demands,
+            config=config,
+            prompt_style=task.prompt_style,
+            task_id=task.task_id,
+        )
+        stimulus = task.stimulus(self.config.stimulus_seed)
+        runner = TestbenchRunner(clock=task.clock, reset=task.reset)
+
+        functional_passes = 0
+        syntax_passes = 0
+        failures: list[str] = []
+        for sample in generation.samples:
+            compile_result = self.checker.check(sample.code)
+            if compile_result.ok:
+                syntax_passes += 1
+            else:
+                if len(failures) < 3:
+                    failures.append("; ".join(compile_result.error_messages[:1]))
+                continue
+            check = runner.run(
+                sample.code,
+                task.golden(),
+                stimulus,
+                check_outputs=task.check_outputs,
+            )
+            if check.passed:
+                functional_passes += 1
+            elif len(failures) < 3:
+                failures.append(check.failure_summary)
+        return TaskResult(
+            task_id=task.task_id,
+            category=task.category,
+            num_samples=len(generation.samples),
+            num_functional_passes=functional_passes,
+            num_syntax_passes=syntax_passes,
+            temperature=temperature,
+            failure_examples=failures,
+        )
+
+
+def evaluate_models(
+    pipelines: Sequence[HaVenPipeline],
+    suites: Sequence[BenchmarkSuite],
+    config: EvaluationConfig | None = None,
+) -> dict[tuple[str, str], SuiteResult]:
+    """Evaluate several pipelines on several suites; keys are (model, suite) names."""
+    evaluator = BenchmarkEvaluator(config)
+    results: dict[tuple[str, str], SuiteResult] = {}
+    for pipeline in pipelines:
+        for suite in suites:
+            results[(pipeline.name, suite.name)] = evaluator.evaluate(pipeline, suite)
+    return results

@@ -1,0 +1,1034 @@
+"""Task-family builders for the benchmark suites.
+
+Each function builds one :class:`~repro.bench.task.BenchmarkTask` of a particular
+hardware family (combinational logic, truth-table/waveform/state-diagram symbolic
+tasks, counters, shift registers, registers, ALUs, multiplexers, decoders, adders,
+comparators, clock dividers, sequence/edge detectors).  The suite generators in
+:mod:`repro.bench.verilogeval`, :mod:`repro.bench.rtllm` and
+:mod:`repro.bench.verilogeval_v2` compose these families with the task-count and
+category mix of the corresponding paper benchmark.
+
+Prompts come in three styles, selected by the ``style`` argument:
+
+* ``"machine"`` — verbose, generic, LLM-generated phrasing (VerilogEval-Machine);
+* ``"human"``  — concise HDL-engineer phrasing, usually with the module interface
+  spelled out (VerilogEval-Human, RTLLM);
+* ``"spec_to_rtl"`` — chat-style Question/Answer phrasing (VerilogEval v2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.llm.base import TaskDemands
+from ..core.prompt import DesignPrompt, ModuleInterface, PortSpec
+from ..logic.expr import BoolExpr, RandomExpressionGenerator
+from ..logic.minimize import literal_cost, minimize_expression
+from ..logic.synth import SynthesisRequest, expression_to_module, truth_table_to_module
+from ..symbolic.detector import SymbolicModality
+from ..symbolic.state_diagram import random_state_diagram
+from ..symbolic.truth_table import TruthTable
+from ..symbolic.waveform import Waveform
+from ..verilog.analyzer import Attribute
+from ..verilog.simulator.testbench import ResetSpec
+from .golden import (
+    ClockDividerGolden,
+    CounterGolden,
+    EdgeDetectorGolden,
+    ExpressionGolden,
+    InvertedInputsGolden,
+    RegisterGolden,
+    SequenceDetectorGolden,
+    ShiftRegisterGolden,
+    TableGolden,
+    VectorFunctionGolden,
+    exhaustive_vectors,
+    random_vectors,
+)
+from .task import BenchmarkTask
+
+_DEFAULT_MODULE = "top_module"
+
+
+def _wrap_style(text: str, style: str, interface: ModuleInterface | None = None) -> str:
+    """Apply the per-suite prompt phrasing conventions."""
+    if style == "machine":
+        return (
+            "You are given the following design requirement. "
+            f"{text} Please write the complete Verilog module implementing this behaviour."
+        )
+    if style == "spec_to_rtl":
+        header = f"\n\n{interface.to_module_header()}" if interface is not None else ""
+        return (
+            "Question: Implement the Verilog module described by the following "
+            f"specification. {text}{header}\n\nAnswer:"
+        )
+    # "human": terse engineer phrasing, interface included when available.
+    header = f"\n\n{interface.to_module_header()}" if interface is not None else ""
+    return f"{text}{header}"
+
+
+# --------------------------------------------------------------------------- combinational
+def make_expression_task(
+    task_id: str,
+    suite: str,
+    seed: int,
+    style: str = "human",
+    num_variables: int = 3,
+    expression: BoolExpr | None = None,
+) -> BenchmarkTask:
+    """A plain combinational-logic task described in natural language."""
+    rng = random.Random(seed)
+    variables = ["a", "b", "c", "d", "e"][:num_variables]
+    if expression is None:
+        generator = RandomExpressionGenerator(seed=seed)
+        expression = generator.generate_nontrivial(variables, max_depth=3)
+    expression = minimize_expression(expression)
+    variables = expression.variables() or variables[:1]
+
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[PortSpec(name, "input") for name in variables] + [PortSpec("out", "output")],
+    )
+    reference = expression_to_module(
+        expression, SynthesisRequest(module_name=_DEFAULT_MODULE, style=rng.choice(["assign", "case"]))
+    )
+    description = (
+        f"Write a combinational module whose output out equals {expression.to_text()} "
+        f"of the inputs {', '.join(variables)}."
+    )
+    cost = literal_cost(expression)
+    demands = TaskDemands(
+        knowledge=0.20,
+        logic=min(0.9, 0.30 + 0.08 * cost),
+        difficulty=min(0.8, 0.20 + 0.05 * cost),
+    )
+    widths = {name: 1 for name in variables}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(description, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda expr=expression: ExpressionGolden(expr),
+        stimulus_factory=lambda seed_, widths=widths: exhaustive_vectors(widths, limit=32),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="combinational",
+    )
+
+
+def make_truth_table_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A symbolic task whose prompt embeds a truth table."""
+    rng = random.Random(seed)
+    num_variables = rng.choice([2, 3, 3])
+    variables = ["a", "b", "c"][:num_variables]
+    size = 1 << num_variables
+    minterms = sorted(rng.sample(range(size), rng.randint(1, size - 1)))
+    table = TruthTable.from_function(variables, "out", function={m: 1 for m in minterms})
+
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[PortSpec(name, "input") for name in variables] + [PortSpec("out", "output")],
+    )
+    rows = {m: 1 for m in minterms}
+    reference = truth_table_to_module(
+        variables, rows, SynthesisRequest(module_name=_DEFAULT_MODULE, style="case")
+    )
+    text = "Implement the truth table below.\n" + table.to_prompt_text()
+    demands = TaskDemands(
+        modality=SymbolicModality.TRUTH_TABLE,
+        knowledge=0.25,
+        logic=0.40,
+        difficulty=0.35,
+    )
+    widths = {name: 1 for name in variables}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda v=tuple(variables), r=dict(rows): TableGolden(v, r),
+        stimulus_factory=lambda seed_, widths=widths: exhaustive_vectors(widths, limit=32),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="truth_table",
+    )
+
+
+def make_waveform_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A symbolic task whose prompt embeds a waveform chart."""
+    rng = random.Random(seed)
+    num_variables = rng.choice([2, 3])
+    variables = ["a", "b", "c"][:num_variables]
+    generator = RandomExpressionGenerator(seed=seed + 17)
+    expression = minimize_expression(generator.generate_nontrivial(variables, max_depth=2))
+    variables = expression.variables()
+    # Sample enough points that the full truth table is observable in the chart.
+    samples = [
+        {name: (index >> position) & 1 for position, name in enumerate(variables)}
+        for index in range(1 << len(variables))
+    ]
+    rng.shuffle(samples)
+    waveform = Waveform.from_expression(expression, output="out", samples=samples)
+
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[PortSpec(name, "input") for name in variables] + [PortSpec("out", "output")],
+    )
+    reference = expression_to_module(
+        expression, SynthesisRequest(module_name=_DEFAULT_MODULE, style="assign")
+    )
+    text = "Implement combinational logic matching the waveforms below.\n" + waveform.to_prompt_text()
+    demands = TaskDemands(
+        modality=SymbolicModality.WAVEFORM,
+        knowledge=0.25,
+        logic=0.45,
+        difficulty=0.40,
+    )
+    widths = {name: 1 for name in variables}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda expr=expression: ExpressionGolden(expr),
+        stimulus_factory=lambda seed_, widths=widths: exhaustive_vectors(widths, limit=32),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="waveform",
+    )
+
+
+def make_state_diagram_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A symbolic FSM task whose prompt embeds a state diagram."""
+    rng = random.Random(seed)
+    num_states = rng.choice([2, 3, 3, 4])
+    diagram = random_state_diagram(num_states=num_states, inputs=("x",), outputs=("out",), seed=seed)
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("clk", "input"),
+            PortSpec("rst", "input"),
+            PortSpec("x", "input"),
+            PortSpec("out", "output"),
+        ],
+    )
+    reference = diagram.to_verilog(module_name=_DEFAULT_MODULE, async_reset=True)
+    text = (
+        "Implement the finite state machine described by the state diagram below. "
+        "Reset (active high) returns the machine to the first state.\n"
+        + diagram.to_prompt_text()
+    )
+    demands = TaskDemands(
+        modality=SymbolicModality.STATE_DIAGRAM,
+        knowledge=0.45,
+        logic=0.40,
+        difficulty=min(0.8, 0.30 + 0.1 * num_states),
+        required_attributes=frozenset({Attribute.ASYNC_RESET}),
+    )
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=diagram.to_golden_model,
+        stimulus_factory=lambda seed_: [
+            {"x": bit, "rst": 0} for bit in _random_bits(seed_ + seed, 12)
+        ],
+        demands=demands,
+        reset=ResetSpec(signal="rst", active_low=False),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="state_diagram",
+    )
+
+
+# --------------------------------------------------------------------------- sequential families
+def make_counter_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A counter task with a randomly chosen width/enable/reset flavour."""
+    rng = random.Random(seed)
+    width = rng.choice([4, 8])
+    has_enable = rng.random() < 0.5
+    async_reset = rng.random() < 0.5
+    sensitivity = "posedge clk or posedge rst" if async_reset else "posedge clk"
+    ports = [PortSpec("clk", "input"), PortSpec("rst", "input")]
+    if has_enable:
+        ports.append(PortSpec("en", "input"))
+    ports.append(PortSpec("count", "output", width))
+    interface = ModuleInterface(name=_DEFAULT_MODULE, ports=ports)
+
+    enable_clause = "else if (en)" if has_enable else "else"
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        "    input clk,\n"
+        "    input rst,\n"
+        + ("    input en,\n" if has_enable else "")
+        + f"    output reg [{width - 1}:0] count\n"
+        ");\n"
+        f"    always @({sensitivity}) begin\n"
+        "        if (rst)\n"
+        f"            count <= {width}'d0;\n"
+        f"        {enable_clause}\n"
+        "            count <= count + 1'b1;\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    reset_word = "asynchronous" if async_reset else "synchronous"
+    enable_text = " The counter increments only when the active-high enable en is asserted." if has_enable else ""
+    text = (
+        f"Design a {width}-bit up counter with a {reset_word} active-high reset rst that clears "
+        f"the count to zero.{enable_text}"
+    )
+    required = {Attribute.ASYNC_RESET if async_reset else Attribute.SYNC_RESET}
+    if has_enable:
+        required.add(Attribute.ACTIVE_HIGH_ENABLE)
+    demands = TaskDemands(
+        knowledge=0.45 + (0.1 if has_enable else 0.0),
+        logic=0.30,
+        difficulty=0.35 + (0.05 if width > 4 else 0.0),
+        required_attributes=frozenset(required),
+    )
+
+    def stimulus(seed_: int, has_enable=has_enable) -> list[dict[str, int]]:
+        local = random.Random(seed_ ^ seed)
+        vectors = []
+        for index in range(14):
+            vector = {"rst": 1 if index == 7 else 0}
+            if has_enable:
+                vector["en"] = local.randint(0, 1)
+            vectors.append(vector)
+        return vectors
+
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda width=width, has_enable=has_enable: CounterGolden(
+            width=width, has_enable=has_enable
+        ),
+        stimulus_factory=stimulus,
+        demands=demands,
+        reset=ResetSpec(signal="rst"),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="counter",
+    )
+
+
+def make_shift_register_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A serial-in shift-register task."""
+    rng = random.Random(seed)
+    width = rng.choice([4, 8])
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("clk", "input"),
+            PortSpec("rst", "input"),
+            PortSpec("din", "input"),
+            PortSpec("q", "output", width),
+        ],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        "    input clk,\n"
+        "    input rst,\n"
+        "    input din,\n"
+        f"    output reg [{width - 1}:0] q\n"
+        ");\n"
+        "    always @(posedge clk) begin\n"
+        "        if (rst)\n"
+        f"            q <= {width}'d0;\n"
+        "        else\n"
+        f"            q <= {{q[{width - 2}:0], din}};\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    text = (
+        f"Design a {width}-bit serial-in parallel-out shift register. On each rising clock edge, "
+        "shift left by one position and insert din at the least significant bit. A synchronous "
+        "active-high reset rst clears the register."
+    )
+    demands = TaskDemands(
+        knowledge=0.50,
+        logic=0.35,
+        difficulty=0.40,
+        required_attributes=frozenset({Attribute.SYNC_RESET}),
+    )
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda width=width: ShiftRegisterGolden(width=width, output="q"),
+        stimulus_factory=lambda seed_: [
+            {"din": bit, "rst": 0} for bit in _random_bits(seed_ + seed, 12)
+        ],
+        demands=demands,
+        reset=ResetSpec(signal="rst"),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="shift_register",
+    )
+
+
+def make_register_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A D-register task exercising reset/enable attribute knowledge."""
+    rng = random.Random(seed)
+    width = rng.choice([1, 4, 8])
+    has_enable = rng.random() < 0.5
+    enable_active_low = has_enable and rng.random() < 0.5
+    async_reset = rng.random() < 0.6
+    active_low_reset = rng.random() < 0.4
+    reset_name = "rst_n" if active_low_reset else "rst"
+
+    ports = [PortSpec("clk", "input"), PortSpec(reset_name, "input")]
+    enable_name = "en_n" if enable_active_low else "en"
+    if has_enable:
+        ports.append(PortSpec(enable_name, "input"))
+    ports += [PortSpec("d", "input", width), PortSpec("q", "output", width)]
+    interface = ModuleInterface(name=_DEFAULT_MODULE, ports=ports)
+
+    reset_edge = "negedge" if active_low_reset else "posedge"
+    sensitivity = f"posedge clk or {reset_edge} {reset_name}" if async_reset else "posedge clk"
+    reset_condition = f"!{reset_name}" if active_low_reset else reset_name
+    enable_condition = f"!{enable_name}" if enable_active_low else enable_name
+    zero = f"{width}'d0" if width > 1 else "1'b0"
+    range_text = f"[{width - 1}:0] " if width > 1 else ""
+    load_clause = f"        else if ({enable_condition})\n" if has_enable else "        else\n"
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        "    input clk,\n"
+        f"    input {reset_name},\n"
+        + (f"    input {enable_name},\n" if has_enable else "")
+        + f"    input {range_text}d,\n"
+        f"    output reg {range_text}q\n"
+        ");\n"
+        f"    always @({sensitivity}) begin\n"
+        f"        if ({reset_condition})\n"
+        f"            q <= {zero};\n"
+        f"{load_clause}"
+        "            q <= d;\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    reset_word = "asynchronous" if async_reset else "synchronous"
+    polarity_word = "active-low" if active_low_reset else "active-high"
+    enable_text = ""
+    if has_enable:
+        enable_polarity = "active-low" if enable_active_low else "active-high"
+        enable_text = f" The register loads d only when the {enable_polarity} enable {enable_name} is asserted."
+    width_text = f"{width}-bit " if width > 1 else ""
+    text = (
+        f"Implement a {width_text}D register with a {reset_word} {polarity_word} reset "
+        f"{reset_name} that clears q.{enable_text}"
+    )
+    required = {Attribute.ASYNC_RESET if async_reset else Attribute.SYNC_RESET}
+    if has_enable:
+        required.add(Attribute.ACTIVE_LOW_ENABLE if enable_active_low else Attribute.ACTIVE_HIGH_ENABLE)
+    demands = TaskDemands(
+        knowledge=0.45 + 0.1 * len(required),
+        logic=0.25,
+        difficulty=0.35,
+        required_attributes=frozenset(required),
+    )
+
+    golden_base = RegisterGolden(
+        width=width,
+        has_enable=has_enable,
+        enable_active_low=enable_active_low,
+        enable_input=enable_name,
+        reset_input=reset_name,
+    )
+    inverted: tuple[str, ...] = (reset_name,) if active_low_reset else ()
+
+    def golden_factory(base=golden_base, inverted=inverted):
+        fresh = RegisterGolden(
+            width=base.width,
+            has_enable=base.has_enable,
+            enable_active_low=base.enable_active_low,
+            enable_input=base.enable_input,
+            reset_input=base.reset_input,
+        )
+        return InvertedInputsGolden(fresh, inverted) if inverted else fresh
+
+    def stimulus(seed_: int, width=width, has_enable=has_enable, enable_name=enable_name,
+                 reset_name=reset_name, inactive=1 if active_low_reset else 0) -> list[dict[str, int]]:
+        local = random.Random(seed_ ^ (seed + 3))
+        vectors = []
+        for _ in range(12):
+            vector = {"d": local.randrange(1 << width), reset_name: inactive}
+            if has_enable:
+                vector[enable_name] = local.randint(0, 1)
+            vectors.append(vector)
+        return vectors
+
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=golden_factory,
+        stimulus_factory=stimulus,
+        demands=demands,
+        reset=ResetSpec(signal=reset_name, active_low=active_low_reset),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="register",
+    )
+
+
+def make_sequence_detector_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A Moore sequence-detector FSM task described in natural language."""
+    rng = random.Random(seed)
+    pattern = tuple(rng.randint(0, 1) for _ in range(rng.choice([3, 3, 4])))
+    pattern_text = "".join(str(bit) for bit in pattern)
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("clk", "input"),
+            PortSpec("rst", "input"),
+            PortSpec("din", "input"),
+            PortSpec("detected", "output"),
+        ],
+    )
+    reference = _sequence_detector_source(pattern)
+    text = (
+        f"Design a Moore finite state machine that detects the overlapping serial bit sequence "
+        f"{pattern_text} on din, asserting detected for one cycle when the sequence has been seen. "
+        "Use a conventional FSM with a state register (asynchronous active-high reset), next-state "
+        "logic and output logic."
+    )
+    demands = TaskDemands(
+        knowledge=0.60,
+        logic=0.50,
+        difficulty=0.45 + 0.05 * (len(pattern) - 3),
+        required_attributes=frozenset({Attribute.ASYNC_RESET}),
+    )
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda pattern=pattern: SequenceDetectorGolden(pattern=pattern),
+        stimulus_factory=lambda seed_: [
+            {"din": bit, "rst": 0} for bit in _random_bits(seed_ + seed, 16)
+        ],
+        demands=demands,
+        reset=ResetSpec(signal="rst"),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="fsm",
+    )
+
+
+def make_edge_detector_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A rising-edge detector task."""
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("clk", "input"),
+            PortSpec("rst", "input"),
+            PortSpec("din", "input"),
+            PortSpec("pulse", "output"),
+        ],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        "    input clk,\n"
+        "    input rst,\n"
+        "    input din,\n"
+        "    output reg pulse\n"
+        ");\n"
+        "    reg previous;\n"
+        "    always @(posedge clk) begin\n"
+        "        if (rst) begin\n"
+        "            previous <= 1'b0;\n"
+        "            pulse <= 1'b0;\n"
+        "        end else begin\n"
+        "            pulse <= din & ~previous;\n"
+        "            previous <= din;\n"
+        "        end\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    text = (
+        "Design a rising-edge detector: pulse goes high for exactly one clock cycle whenever din "
+        "transitions from 0 to 1. Use a synchronous active-high reset."
+    )
+    demands = TaskDemands(
+        knowledge=0.50,
+        logic=0.45,
+        difficulty=0.40,
+        required_attributes=frozenset({Attribute.SYNC_RESET}),
+    )
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=EdgeDetectorGolden,
+        stimulus_factory=lambda seed_: [
+            {"din": bit, "rst": 0} for bit in _random_bits(seed_ + seed, 14)
+        ],
+        demands=demands,
+        reset=ResetSpec(signal="rst"),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="fsm",
+    )
+
+
+def make_clock_divider_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A clock-divider task."""
+    rng = random.Random(seed)
+    divisor = rng.choice([2, 3, 4, 5])
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("clk", "input"),
+            PortSpec("rst", "input"),
+            PortSpec("clk_out", "output"),
+        ],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        "    input clk,\n"
+        "    input rst,\n"
+        "    output reg clk_out\n"
+        ");\n"
+        "    reg [7:0] counter;\n"
+        "    always @(posedge clk) begin\n"
+        "        if (rst) begin\n"
+        "            counter <= 8'd0;\n"
+        "            clk_out <= 1'b0;\n"
+        f"        end else if (counter == 8'd{divisor - 1}) begin\n"
+        "            counter <= 8'd0;\n"
+        "            clk_out <= ~clk_out;\n"
+        "        end else begin\n"
+        "            counter <= counter + 8'd1;\n"
+        "        end\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    text = (
+        f"Design a clock divider producing clk_out by toggling an internal register every "
+        f"{divisor} input clock cycles (so the output period is {2 * divisor} input cycles). Use a "
+        "synchronous active-high reset that clears the counter and drives clk_out low."
+    )
+    demands = TaskDemands(
+        knowledge=0.55,
+        logic=0.40,
+        difficulty=0.50,
+        required_attributes=frozenset({Attribute.SYNC_RESET}),
+    )
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda divisor=divisor: ClockDividerGolden(divisor=divisor),
+        stimulus_factory=lambda seed_, divisor=divisor: [{"rst": 0} for _ in range(4 * divisor + 2)],
+        demands=demands,
+        reset=ResetSpec(signal="rst"),
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="clock_divider",
+    )
+
+
+# --------------------------------------------------------------------------- datapath families
+def make_alu_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A small combinational ALU task."""
+    rng = random.Random(seed)
+    width = rng.choice([4, 8])
+    operation_sets = [
+        ("a + b", "a - b", "a & b", "a | b"),
+        ("a + b", "a & b", "a ^ b", "a | b"),
+        ("a + b", "a - b", "a ^ b", "~a"),
+    ]
+    operations = rng.choice(operation_sets)
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("a", "input", width),
+            PortSpec("b", "input", width),
+            PortSpec("op", "input", 2),
+            PortSpec("result", "output", width),
+        ],
+    )
+    arms = "\n".join(
+        f"            2'b{opcode:02b}: result = {operation};"
+        for opcode, operation in enumerate(operations)
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        f"    input [{width - 1}:0] a,\n"
+        f"    input [{width - 1}:0] b,\n"
+        "    input [1:0] op,\n"
+        f"    output reg [{width - 1}:0] result\n"
+        ");\n"
+        "    always @(*) begin\n"
+        "        case (op)\n"
+        f"{arms}\n"
+        f"            default: result = {width}'d0;\n"
+        "        endcase\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    op_text = "; ".join(
+        f"op={opcode:02b} computes {operation}" for opcode, operation in enumerate(operations)
+    )
+    text = (
+        f"Design a {width}-bit combinational ALU with a 2-bit opcode: {op_text}. "
+        "Cover every opcode and include a default arm."
+    )
+    mask = (1 << width) - 1
+
+    def alu_function(inputs, operations=operations, mask=mask):
+        a, b, op = int(inputs["a"]), int(inputs["b"]), int(inputs["op"])
+        expression = operations[op % len(operations)]
+        value = {
+            "a + b": a + b,
+            "a - b": a - b,
+            "a & b": a & b,
+            "a | b": a | b,
+            "a ^ b": a ^ b,
+            "~a": ~a,
+            "a << 1": a << 1,
+            "a >> 1": a >> 1,
+        }[expression]
+        return {"result": value & mask}
+
+    demands = TaskDemands(knowledge=0.50, logic=0.45, difficulty=0.45)
+    widths = {"a": width, "b": width, "op": 2}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda fn=alu_function: VectorFunctionGolden(fn),
+        stimulus_factory=lambda seed_, widths=widths: random_vectors(widths, 16, seed_ + seed),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="alu",
+    )
+
+
+def make_mux_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A 4-to-1 multiplexer task."""
+    rng = random.Random(seed)
+    width = rng.choice([1, 4, 8])
+    range_text = f"[{width - 1}:0] " if width > 1 else ""
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[PortSpec(f"in{i}", "input", width) for i in range(4)]
+        + [PortSpec("sel", "input", 2), PortSpec("out", "output", width)],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        + "".join(f"    input {range_text}in{i},\n" for i in range(4))
+        + "    input [1:0] sel,\n"
+        f"    output reg {range_text}out\n"
+        ");\n"
+        "    always @(*) begin\n"
+        "        case (sel)\n"
+        "            2'b00: out = in0;\n"
+        "            2'b01: out = in1;\n"
+        "            2'b10: out = in2;\n"
+        "            2'b11: out = in3;\n"
+        f"            default: out = {width}'d0;\n"
+        "        endcase\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    width_text = f"{width}-bit " if width > 1 else ""
+    text = (
+        f"Design a 4-to-1 multiplexer with {width_text}data inputs in0..in3 and a 2-bit select sel. "
+        "The output out equals the selected input."
+    )
+
+    def mux_function(inputs, mask=(1 << width) - 1):
+        sel = int(inputs["sel"]) & 3
+        return {"out": int(inputs[f"in{sel}"]) & mask}
+
+    demands = TaskDemands(knowledge=0.30, logic=0.30, difficulty=0.30)
+    widths = {f"in{i}": width for i in range(4)}
+    widths["sel"] = 2
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda fn=mux_function: VectorFunctionGolden(fn),
+        stimulus_factory=lambda seed_, widths=widths: random_vectors(widths, 16, seed_ + seed),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="mux",
+    )
+
+
+def make_decoder_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A binary decoder task with an enable."""
+    rng = random.Random(seed)
+    bits = rng.choice([2, 3])
+    outputs = 1 << bits
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("en", "input"),
+            PortSpec("sel", "input", bits),
+            PortSpec("out", "output", outputs),
+        ],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        "    input en,\n"
+        f"    input [{bits - 1}:0] sel,\n"
+        f"    output reg [{outputs - 1}:0] out\n"
+        ");\n"
+        "    always @(*) begin\n"
+        "        if (en)\n"
+        f"            out = {outputs}'d1 << sel;\n"
+        "        else\n"
+        f"            out = {outputs}'d0;\n"
+        "    end\n"
+        "endmodule\n"
+    )
+    text = (
+        f"Design a {bits}-to-{outputs} decoder with an active-high enable. When en is high the "
+        "output bit selected by sel is 1 and all others are 0; when en is low every output bit is 0."
+    )
+
+    def decoder_function(inputs, outputs=outputs):
+        if not int(inputs["en"]):
+            return {"out": 0}
+        return {"out": (1 << (int(inputs["sel"]))) & ((1 << outputs) - 1)}
+
+    demands = TaskDemands(
+        knowledge=0.35,
+        logic=0.35,
+        difficulty=0.30,
+        required_attributes=frozenset({Attribute.ACTIVE_HIGH_ENABLE}),
+    )
+    widths = {"en": 1, "sel": bits}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda fn=decoder_function: VectorFunctionGolden(fn),
+        stimulus_factory=lambda seed_, widths=widths: exhaustive_vectors(widths, limit=32),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="decoder",
+    )
+
+
+def make_adder_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """An adder-with-carry task."""
+    rng = random.Random(seed)
+    width = rng.choice([4, 8])
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("a", "input", width),
+            PortSpec("b", "input", width),
+            PortSpec("sum", "output", width),
+            PortSpec("cout", "output"),
+        ],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        f"    input [{width - 1}:0] a,\n"
+        f"    input [{width - 1}:0] b,\n"
+        f"    output [{width - 1}:0] sum,\n"
+        "    output cout\n"
+        ");\n"
+        "    assign {cout, sum} = a + b;\n"
+        "endmodule\n"
+    )
+    text = (
+        f"Design a {width}-bit adder producing a {width}-bit sum and a carry-out cout. "
+        "The design is purely combinational."
+    )
+
+    def adder_function(inputs, width=width):
+        total = int(inputs["a"]) + int(inputs["b"])
+        return {"sum": total & ((1 << width) - 1), "cout": (total >> width) & 1}
+
+    demands = TaskDemands(knowledge=0.25, logic=0.30, difficulty=0.30)
+    widths = {"a": width, "b": width}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda fn=adder_function: VectorFunctionGolden(fn),
+        stimulus_factory=lambda seed_, widths=widths: random_vectors(widths, 16, seed_ + seed),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="adder",
+    )
+
+
+def make_comparator_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """An unsigned comparator task."""
+    rng = random.Random(seed)
+    width = rng.choice([4, 8])
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[
+            PortSpec("a", "input", width),
+            PortSpec("b", "input", width),
+            PortSpec("gt", "output"),
+            PortSpec("eq", "output"),
+            PortSpec("lt", "output"),
+        ],
+    )
+    reference = (
+        f"module {_DEFAULT_MODULE} (\n"
+        f"    input [{width - 1}:0] a,\n"
+        f"    input [{width - 1}:0] b,\n"
+        "    output gt,\n"
+        "    output eq,\n"
+        "    output lt\n"
+        ");\n"
+        "    assign gt = (a > b);\n"
+        "    assign eq = (a == b);\n"
+        "    assign lt = (a < b);\n"
+        "endmodule\n"
+    )
+    text = (
+        f"Design a {width}-bit unsigned comparator with three outputs: gt (a greater than b), "
+        "eq (equal) and lt (less than)."
+    )
+
+    def comparator_function(inputs):
+        a, b = int(inputs["a"]), int(inputs["b"])
+        return {"gt": int(a > b), "eq": int(a == b), "lt": int(a < b)}
+
+    demands = TaskDemands(knowledge=0.25, logic=0.35, difficulty=0.30)
+    widths = {"a": width, "b": width}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda fn=comparator_function: VectorFunctionGolden(fn),
+        stimulus_factory=lambda seed_, widths=widths: random_vectors(widths, 16, seed_ + seed),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="comparator",
+    )
+
+
+def make_instructional_logic_task(task_id: str, suite: str, seed: int, style: str = "human") -> BenchmarkTask:
+    """A task whose prompt lists explicit if/else-if rules to follow literally."""
+    rng = random.Random(seed)
+    num_variables = rng.choice([2, 3])
+    variables = ["a", "b", "c"][:num_variables]
+    size = 1 << num_variables
+    listed = sorted(rng.sample(range(size), rng.randint(2, size)))
+    rows = {index: rng.randint(0, 1) for index in listed}
+
+    rule_lines = []
+    for index in listed:
+        conditions = " && ".join(
+            f"{name} == {(index >> (num_variables - 1 - position)) & 1}"
+            for position, name in enumerate(variables)
+        )
+        rule_lines.append(f"if {conditions}; out = {rows[index]};")
+    text = (
+        "Implement the logic below exactly:\n"
+        + "\n".join(rule_lines)
+        + "\nFor every other input combination, out must be 0."
+    )
+    interface = ModuleInterface(
+        name=_DEFAULT_MODULE,
+        ports=[PortSpec(name, "input") for name in variables] + [PortSpec("out", "output")],
+    )
+    reference = truth_table_to_module(
+        variables,
+        {index: value for index, value in rows.items() if value},
+        SynthesisRequest(module_name=_DEFAULT_MODULE, style="case"),
+    )
+    demands = TaskDemands(knowledge=0.25, logic=0.60, difficulty=0.40)
+    widths = {name: 1 for name in variables}
+    golden_rows = {index: value for index, value in rows.items()}
+    return BenchmarkTask(
+        task_id=task_id,
+        suite=suite,
+        prompt=DesignPrompt(text=_wrap_style(text, style, interface), interface=interface),
+        interface=interface,
+        reference_source=reference,
+        golden_factory=lambda v=tuple(variables), r=dict(golden_rows): TableGolden(v, r),
+        stimulus_factory=lambda seed_, widths=widths: exhaustive_vectors(widths, limit=16),
+        demands=demands,
+        prompt_style="spec_to_rtl" if style == "spec_to_rtl" else "completion",
+        category="instructional_logic",
+    )
+
+
+# --------------------------------------------------------------------------- helpers
+def _random_bits(seed: int, count: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(count)]
+
+
+def _sequence_detector_source(pattern: tuple[int, ...]) -> str:
+    """Emit a conventional three-block FSM detecting ``pattern`` (overlapping)."""
+    length = len(pattern)
+    num_states = length + 1
+    width = max(1, (num_states - 1).bit_length())
+
+    def next_state_for(state: int, bit: int) -> int:
+        # Longest suffix of (prefix + bit) that is also a prefix of the pattern.
+        seen = list(pattern[:state]) + [bit]
+        for candidate in range(min(length, len(seen)), -1, -1):
+            if candidate == 0 or seen[-candidate:] == list(pattern[:candidate]):
+                return candidate
+        return 0
+
+    lines = [
+        f"module {_DEFAULT_MODULE} (",
+        "    input clk,",
+        "    input rst,",
+        "    input din,",
+        "    output reg detected",
+        ");",
+        f"    reg [{width - 1}:0] state, next_state;",
+        "    always @(posedge clk or posedge rst) begin",
+        "        if (rst)",
+        f"            state <= {width}'d0;",
+        "        else",
+        "            state <= next_state;",
+        "    end",
+        "    always @(*) begin",
+        "        case (state)",
+    ]
+    for state in range(num_states):
+        zero_next = next_state_for(state if state < length else length, 0)
+        one_next = next_state_for(state if state < length else length, 1)
+        lines.append(
+            f"            {width}'d{state}: next_state = din ? {width}'d{one_next} : {width}'d{zero_next};"
+        )
+    lines += [
+        f"            default: next_state = {width}'d0;",
+        "        endcase",
+        "    end",
+        "    always @(*) begin",
+        f"        detected = (state == {width}'d{length});",
+        "    end",
+        "endmodule",
+        "",
+    ]
+    return "\n".join(lines)

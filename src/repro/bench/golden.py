@@ -1,0 +1,333 @@
+"""Python golden (reference) models for benchmark tasks.
+
+Every benchmark task carries an executable reference model implementing the
+intended behaviour.  The testbench runner drives the generated Verilog with the
+task's stimulus and compares its outputs against these models cycle by cycle —
+the same role the reference designs/testbenches play in VerilogEval and RTLLM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..logic.expr import BoolExpr
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+# --------------------------------------------------------------------------- combinational
+@dataclass
+class ExpressionGolden:
+    """Golden model for a single-output combinational boolean expression."""
+
+    expression: BoolExpr
+    output: str = "out"
+    is_sequential: bool = False
+
+    def reset(self) -> None:
+        """Stateless."""
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return {self.output: self.expression.evaluate(inputs)}
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.eval(inputs)
+
+
+@dataclass
+class TableGolden:
+    """Golden model for an explicit truth table (missing rows default to 0)."""
+
+    inputs: Sequence[str]
+    rows: Mapping[int, int]
+    output: str = "out"
+    is_sequential: bool = False
+
+    def reset(self) -> None:
+        """Stateless."""
+
+    def eval(self, values: Mapping[str, int]) -> dict[str, int]:
+        index = 0
+        for name in self.inputs:
+            index = (index << 1) | (int(values[name]) & 1)
+        return {self.output: self.rows.get(index, 0)}
+
+    def step(self, values: Mapping[str, int]) -> dict[str, int]:
+        return self.eval(values)
+
+
+@dataclass
+class VectorFunctionGolden:
+    """Golden model wrapping an arbitrary combinational function of the inputs."""
+
+    function: Callable[[Mapping[str, int]], dict[str, int]]
+    is_sequential: bool = False
+
+    def reset(self) -> None:
+        """Stateless."""
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.function(inputs)
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.function(inputs)
+
+
+# --------------------------------------------------------------------------- sequential
+@dataclass
+class CounterGolden:
+    """Up (or up/down) counter with optional enable, synchronous or asynchronous reset."""
+
+    width: int = 4
+    has_enable: bool = False
+    up_down: bool = False
+    modulo: int | None = None
+    output: str = "count"
+    reset_input: str = "rst"
+    enable_input: str = "en"
+    direction_input: str = "up_down"
+    is_sequential: bool = True
+    value: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        if int(inputs.get(self.reset_input, 0)):
+            self.value = 0
+            return {self.output: self.value}
+        enabled = True
+        if self.has_enable:
+            enabled = bool(int(inputs.get(self.enable_input, 0)))
+        if enabled:
+            step = 1
+            if self.up_down and not int(inputs.get(self.direction_input, 1)):
+                step = -1
+            limit = self.modulo if self.modulo is not None else (1 << self.width)
+            self.value = (self.value + step) % limit
+        return {self.output: self.value & _mask(self.width)}
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return {self.output: self.value & _mask(self.width)}
+
+
+@dataclass
+class ShiftRegisterGolden:
+    """Serial-in shift register (left or right shifting)."""
+
+    width: int = 8
+    shift_left: bool = True
+    serial_input: str = "din"
+    reset_input: str = "rst"
+    output: str = "q"
+    is_sequential: bool = True
+    value: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        if int(inputs.get(self.reset_input, 0)):
+            self.value = 0
+            return {self.output: self.value}
+        bit = int(inputs.get(self.serial_input, 0)) & 1
+        if self.shift_left:
+            self.value = ((self.value << 1) | bit) & _mask(self.width)
+        else:
+            self.value = (self.value >> 1) | (bit << (self.width - 1))
+        return {self.output: self.value}
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return {self.output: self.value}
+
+
+@dataclass
+class RegisterGolden:
+    """D register with optional enable (active high or low)."""
+
+    width: int = 8
+    has_enable: bool = False
+    enable_active_low: bool = False
+    data_input: str = "d"
+    enable_input: str = "en"
+    reset_input: str = "rst"
+    output: str = "q"
+    is_sequential: bool = True
+    value: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        if int(inputs.get(self.reset_input, 0)):
+            self.value = 0
+            return {self.output: self.value}
+        load = True
+        if self.has_enable:
+            enable = int(inputs.get(self.enable_input, 0))
+            load = (enable == 0) if self.enable_active_low else (enable == 1)
+        if load:
+            self.value = int(inputs.get(self.data_input, 0)) & _mask(self.width)
+        return {self.output: self.value}
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return {self.output: self.value}
+
+
+@dataclass
+class ClockDividerGolden:
+    """Counter-based clock divider toggling the output every ``divisor`` cycles."""
+
+    divisor: int = 4
+    reset_input: str = "rst"
+    output: str = "clk_out"
+    is_sequential: bool = True
+    counter: int = field(default=0, init=False)
+    out: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self.counter = 0
+        self.out = 0
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        if int(inputs.get(self.reset_input, 0)):
+            self.counter = 0
+            self.out = 0
+            return {self.output: self.out}
+        if self.counter == self.divisor - 1:
+            self.counter = 0
+            self.out ^= 1
+        else:
+            self.counter += 1
+        return {self.output: self.out}
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return {self.output: self.out}
+
+
+@dataclass
+class SequenceDetectorGolden:
+    """Moore sequence detector over a serial input."""
+
+    pattern: tuple[int, ...] = (1, 0, 1)
+    overlapping: bool = True
+    serial_input: str = "din"
+    reset_input: str = "rst"
+    output: str = "detected"
+    is_sequential: bool = True
+    history: list[int] = field(default_factory=list, init=False)
+
+    def reset(self) -> None:
+        self.history = []
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        if int(inputs.get(self.reset_input, 0)):
+            self.history = []
+            return {self.output: 0}
+        self.history.append(int(inputs.get(self.serial_input, 0)) & 1)
+        window = self.history[-len(self.pattern):]
+        detected = 1 if tuple(window) == self.pattern else 0
+        if detected and not self.overlapping:
+            self.history = []
+        return {self.output: detected}
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        window = self.history[-len(self.pattern):]
+        return {self.output: 1 if tuple(window) == self.pattern else 0}
+
+
+@dataclass
+class EdgeDetectorGolden:
+    """Rising-edge detector: output pulses when the input goes 0 → 1."""
+
+    data_input: str = "din"
+    reset_input: str = "rst"
+    output: str = "pulse"
+    is_sequential: bool = True
+    previous: int = field(default=0, init=False)
+    out: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self.previous = 0
+        self.out = 0
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        if int(inputs.get(self.reset_input, 0)):
+            self.previous = 0
+            self.out = 0
+            return {self.output: self.out}
+        current = int(inputs.get(self.data_input, 0)) & 1
+        self.out = 1 if (current == 1 and self.previous == 0) else 0
+        self.previous = current
+        return {self.output: self.out}
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return {self.output: self.out}
+
+
+@dataclass
+class InvertedInputsGolden:
+    """Wrapper inverting selected 1-bit inputs before delegating to another model.
+
+    Used for active-low control signals (e.g. ``rst_n``): the inner model keeps
+    active-high semantics while the DUT-facing stimulus uses the active-low name.
+    """
+
+    inner: object
+    inverted_signals: tuple[str, ...]
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(getattr(self.inner, "is_sequential", False))
+
+    def _transform(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        transformed = dict(inputs)
+        for name in self.inverted_signals:
+            if name in transformed:
+                transformed[name] = 0 if int(transformed[name]) else 1
+        return transformed
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.inner.eval(self._transform(inputs))
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.inner.step(self._transform(inputs))
+
+
+# --------------------------------------------------------------------------- stimulus helpers
+def random_vectors(
+    input_widths: Mapping[str, int], count: int, seed: int
+) -> list[dict[str, int]]:
+    """Generate ``count`` random input vectors over the given input widths."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    vectors: list[dict[str, int]] = []
+    for _ in range(count):
+        vectors.append(
+            {name: rng.randrange(1 << width) for name, width in input_widths.items()}
+        )
+    return vectors
+
+
+def exhaustive_vectors(input_widths: Mapping[str, int], limit: int = 256) -> list[dict[str, int]]:
+    """Enumerate every input combination (bounded by ``limit``)."""
+    import itertools
+
+    names = list(input_widths)
+    sizes = [1 << input_widths[name] for name in names]
+    total = 1
+    for size in sizes:
+        total *= size
+    if total > limit:
+        return random_vectors(input_widths, limit, seed=0)
+    vectors: list[dict[str, int]] = []
+    for values in itertools.product(*[range(size) for size in sizes]):
+        vectors.append(dict(zip(names, values)))
+    return vectors

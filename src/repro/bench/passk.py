@@ -1,0 +1,68 @@
+"""The unbiased pass@k estimator (Chen et al., 2021 — Eq. 1 of the paper).
+
+``pass@k = E[1 - C(n - c, k) / C(n, k)]`` where ``n`` is the number of samples
+drawn per problem and ``c`` the number of samples that pass the functional check.
+The expectation is over problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Iterable, Sequence
+
+
+def pass_at_k(num_samples: int, num_correct: int, k: int) -> float:
+    """Unbiased single-problem pass@k estimate.
+
+    Args:
+        num_samples: total samples drawn for the problem (``n``), must be >= k.
+        num_correct: samples that passed the check (``c``).
+        k: the k of pass@k.
+
+    Returns:
+        The estimate ``1 - C(n - c, k) / C(n, k)``.
+
+    Raises:
+        ValueError: if ``k`` exceeds ``num_samples`` or counts are inconsistent.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if num_samples < k:
+        raise ValueError(f"need at least k={k} samples, got {num_samples}")
+    if not 0 <= num_correct <= num_samples:
+        raise ValueError("num_correct must be between 0 and num_samples")
+    if num_samples - num_correct < k:
+        return 1.0
+    return 1.0 - comb(num_samples - num_correct, k) / comb(num_samples, k)
+
+
+def mean_pass_at_k(results: Iterable[tuple[int, int]], k: int) -> float:
+    """Average pass@k over problems given ``(num_samples, num_correct)`` pairs."""
+    values = [pass_at_k(n, c, k) for n, c in results]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+@dataclass
+class PassAtKResult:
+    """pass@k values for a set of problems at several k."""
+
+    values: dict[int, float]
+    num_problems: int
+
+    def __getitem__(self, k: int) -> float:
+        return self.values[k]
+
+    def as_percentages(self) -> dict[int, float]:
+        """Values scaled to 0-100 with one decimal (the paper's table format)."""
+        return {k: round(100.0 * value, 1) for k, value in self.values.items()}
+
+
+def compute_pass_at_k(
+    per_problem_counts: Sequence[tuple[int, int]], ks: Sequence[int] = (1, 5)
+) -> PassAtKResult:
+    """Compute pass@k for several k values over per-problem (n, c) counts."""
+    values = {k: mean_pass_at_k(per_problem_counts, k) for k in ks}
+    return PassAtKResult(values=values, num_problems=len(per_problem_counts))

@@ -1,0 +1,117 @@
+"""Benchmark task and suite data structures.
+
+A :class:`BenchmarkTask` bundles everything needed to pose one problem to a
+generation pipeline and to score the result:
+
+* the prompt (phrased in the style of the suite it belongs to);
+* the target module interface;
+* a golden Verilog reference implementation (used as the behavioural backend's
+  competence ceiling and validated against the golden model in the test-suite);
+* an executable Python golden model plus a stimulus generator for functional
+  scoring;
+* a :class:`~repro.core.llm.base.TaskDemands` record describing what the task
+  requires from the model (symbolic modality, knowledge, logic, difficulty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..core.llm.base import TaskDemands
+from ..core.prompt import DesignPrompt, ModuleInterface
+from ..verilog.simulator.testbench import GoldenModel, ResetSpec
+
+
+@dataclass
+class BenchmarkTask:
+    """One benchmark problem."""
+
+    task_id: str
+    suite: str
+    prompt: DesignPrompt
+    interface: ModuleInterface
+    reference_source: str
+    golden_factory: Callable[[], GoldenModel]
+    stimulus_factory: Callable[[int], list[dict[str, int]]]
+    demands: TaskDemands = field(default_factory=TaskDemands)
+    clock: str = "clk"
+    reset: ResetSpec | None = None
+    check_outputs: list[str] | None = None
+    prompt_style: str = "completion"
+    category: str = "general"
+
+    def golden(self) -> GoldenModel:
+        """Build a fresh golden model instance."""
+        return self.golden_factory()
+
+    def stimulus(self, seed: int = 0) -> list[dict[str, int]]:
+        """Build the stimulus sequence for one evaluation run."""
+        return self.stimulus_factory(seed)
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether the task's prompt embeds a symbolic modality."""
+        from ..symbolic.detector import SymbolicModality
+
+        return self.demands.modality is not SymbolicModality.NONE
+
+
+@dataclass
+class BenchmarkSuite:
+    """A named collection of benchmark tasks."""
+
+    name: str
+    tasks: list[BenchmarkTask] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[BenchmarkTask]:
+        return iter(self.tasks)
+
+    def add(self, task: BenchmarkTask) -> None:
+        self.tasks.append(task)
+
+    def subset(self, count: int, seed: int = 0) -> "BenchmarkSuite":
+        """Deterministically subsample ``count`` tasks (stratified by category)."""
+        import random as _random
+
+        if count >= len(self.tasks):
+            return self
+        rng = _random.Random(seed)
+        by_category: dict[str, list[BenchmarkTask]] = {}
+        for task in self.tasks:
+            by_category.setdefault(task.category, []).append(task)
+        selected: list[BenchmarkTask] = []
+        # Round-robin over categories so the sampled suite keeps the original mix.
+        categories = sorted(by_category)
+        for tasks in by_category.values():
+            rng.shuffle(tasks)
+        index = 0
+        while len(selected) < count:
+            category = categories[index % len(categories)]
+            bucket = by_category[category]
+            if bucket:
+                selected.append(bucket.pop())
+            index += 1
+            if all(not bucket for bucket in by_category.values()):
+                break
+        selected.sort(key=lambda task: task.task_id)
+        return BenchmarkSuite(
+            name=f"{self.name}-subset{count}",
+            tasks=selected,
+            description=self.description,
+        )
+
+    def by_category(self, category: str) -> list[BenchmarkTask]:
+        """All tasks in the given category."""
+        return [task for task in self.tasks if task.category == category]
+
+    def categories(self) -> dict[str, int]:
+        """Category → task count."""
+        counts: dict[str, int] = {}
+        for task in self.tasks:
+            counts[task.category] = counts.get(task.category, 0) + 1
+        return counts

@@ -1,0 +1,55 @@
+"""HaVen core: taxonomy, SI-CoT, exemplars, datasets, behavioural LLMs, pipeline."""
+
+from . import dataset, llm
+from .exemplars import EXEMPLAR_LIBRARY, Exemplar, ExemplarLibrary
+from .hallucination_detector import (
+    DetectionReport,
+    HallucinationDetector,
+    PromptRequirements,
+    classify_generation,
+)
+from .pipeline import HaVenPipeline, PipelineResult
+from .prompt import DesignPrompt, ModuleInterface, PortSpec, RefinedPrompt
+from .sicot import SICoTConfig, SICoTPipeline, infer_interface, refine_prompt
+from .taxonomy import (
+    SUBTYPE_TO_TYPE,
+    TABLE_II_EXAMPLES,
+    HallucinationRecord,
+    HallucinationSubtype,
+    HallucinationType,
+    TaxonomyExample,
+    TaxonomySummary,
+    subtypes_of,
+    type_of,
+)
+
+__all__ = [
+    "dataset",
+    "llm",
+    "EXEMPLAR_LIBRARY",
+    "Exemplar",
+    "ExemplarLibrary",
+    "DetectionReport",
+    "HallucinationDetector",
+    "PromptRequirements",
+    "classify_generation",
+    "HaVenPipeline",
+    "PipelineResult",
+    "DesignPrompt",
+    "ModuleInterface",
+    "PortSpec",
+    "RefinedPrompt",
+    "SICoTConfig",
+    "SICoTPipeline",
+    "infer_interface",
+    "refine_prompt",
+    "SUBTYPE_TO_TYPE",
+    "TABLE_II_EXAMPLES",
+    "HallucinationRecord",
+    "HallucinationSubtype",
+    "HallucinationType",
+    "TaxonomyExample",
+    "TaxonomySummary",
+    "subtypes_of",
+    "type_of",
+]

@@ -1,0 +1,37 @@
+"""Dataset generation flows: vanilla corpus, K-dataset, L-dataset, KL-dataset."""
+
+from .corpus import CorpusConfig, CorpusGenerator, CorpusSample
+from .evolution import EvolutionResult, InstructionEvolver
+from .kdataset import InstructionRewriter, KDatasetGenerator, KDatasetResult, KDatasetStats
+from .ldataset import (
+    LDatasetConfig,
+    LDatasetGenerator,
+    LDatasetResult,
+    LDatasetStats,
+    generate_kl_dataset,
+)
+from .records import DatasetStats, InstructionCodePair, InstructionDataset, PairOrigin
+from .vanilla import SimulatedDescriptionWriter, VanillaDatasetGenerator
+
+__all__ = [
+    "CorpusConfig",
+    "CorpusGenerator",
+    "CorpusSample",
+    "EvolutionResult",
+    "InstructionEvolver",
+    "InstructionRewriter",
+    "KDatasetGenerator",
+    "KDatasetResult",
+    "KDatasetStats",
+    "LDatasetConfig",
+    "LDatasetGenerator",
+    "LDatasetResult",
+    "LDatasetStats",
+    "generate_kl_dataset",
+    "DatasetStats",
+    "InstructionCodePair",
+    "InstructionDataset",
+    "PairOrigin",
+    "SimulatedDescriptionWriter",
+    "VanillaDatasetGenerator",
+]

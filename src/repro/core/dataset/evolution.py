@@ -1,0 +1,160 @@
+"""Instruction evolution (step 12 of the L-dataset flow).
+
+The paper uses GPT-3.5 to rewrite instructions "while ensuring the semantic core
+is retained", constraining the modifications to "adding or removing no more than
+ten words" to preserve the logical structure while adding linguistic variety.
+
+:class:`InstructionEvolver` reproduces that behaviour deterministically: it
+applies a bounded number of word-level edits (synonym substitution, politeness
+prefixes/suffixes, filler removal) while never touching *protected tokens* —
+signal names, numbers, logical operator words and Verilog keywords — so the
+semantic core provably survives.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+#: Words that may be substituted without changing meaning.
+_SYNONYMS: dict[str, list[str]] = {
+    "implement": ["create", "build", "design", "write"],
+    "create": ["implement", "build", "design"],
+    "design": ["implement", "create", "develop"],
+    "write": ["implement", "produce", "create"],
+    "module": ["module"],
+    "produce": ["generate", "output"],
+    "equals": ["is equal to", "evaluates to"],
+    "output": ["output"],
+    "signal": ["signal"],
+    "below": ["given below", "that follows"],
+    "following": ["given", "specified"],
+    "please": [""],
+}
+
+#: Optional prefixes/suffixes that add words without changing semantics.
+_PREFIXES = [
+    "Please",
+    "As an HDL engineer,",
+    "For this design task,",
+    "In Verilog,",
+]
+_SUFFIXES = [
+    "Keep the implementation synthesizable.",
+    "Follow standard Verilog coding conventions.",
+    "Make sure the module compiles cleanly.",
+]
+
+#: Tokens that must never be altered (operators, polarity words, numerals...).
+_PROTECTED = {
+    "and",
+    "or",
+    "xor",
+    "not",
+    "nand",
+    "nor",
+    "if",
+    "else",
+    "elif",
+    "then",
+    "otherwise",
+    "high",
+    "low",
+    "rising",
+    "falling",
+    "posedge",
+    "negedge",
+    "asynchronous",
+    "synchronous",
+    "reset",
+    "enable",
+    "clock",
+    "plus",
+    "minus",
+}
+
+
+@dataclass
+class EvolutionResult:
+    """An evolved instruction plus bookkeeping about the edit distance."""
+
+    original: str
+    evolved: str
+    words_added: int = 0
+    words_removed: int = 0
+
+    @property
+    def net_word_change(self) -> int:
+        return abs(len(self.evolved.split()) - len(self.original.split()))
+
+
+@dataclass
+class InstructionEvolver:
+    """Deterministic, bounded instruction rewriting."""
+
+    seed: int = 0
+    max_word_change: int = 10
+    rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    def evolve(self, instruction: str) -> EvolutionResult:
+        """Rewrite ``instruction`` with at most ``max_word_change`` words added/removed."""
+        original_words = instruction.split()
+        budget = self.max_word_change
+
+        evolved = self._substitute_synonyms(instruction)
+
+        # Optionally add a prefix and/or suffix while the word budget allows it.
+        if self.rng.random() < 0.6:
+            prefix = self.rng.choice(_PREFIXES)
+            if len(prefix.split()) <= budget:
+                evolved = f"{prefix} {evolved[0].lower()}{evolved[1:]}" if evolved else prefix
+                budget -= len(prefix.split())
+        if self.rng.random() < 0.5 and budget > 0:
+            suffix = self.rng.choice(_SUFFIXES)
+            if len(suffix.split()) <= budget:
+                evolved = f"{evolved.rstrip()} {suffix}"
+                budget -= len(suffix.split())
+
+        evolved = self._enforce_budget(instruction, evolved)
+        evolved_words = evolved.split()
+        return EvolutionResult(
+            original=instruction,
+            evolved=evolved,
+            words_added=max(0, len(evolved_words) - len(original_words)),
+            words_removed=max(0, len(original_words) - len(evolved_words)),
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _substitute_synonyms(self, text: str) -> str:
+        def replace(match: re.Match[str]) -> str:
+            word = match.group(0)
+            lowered = word.lower()
+            if lowered in _PROTECTED or lowered not in _SYNONYMS:
+                return word
+            if self.rng.random() > 0.5:
+                return word
+            choice = self.rng.choice(_SYNONYMS[lowered])
+            if not choice:
+                return ""
+            if word[0].isupper():
+                choice = choice[0].upper() + choice[1:]
+            return choice
+
+        substituted = re.sub(r"[A-Za-z]+", replace, text)
+        return re.sub(r"  +", " ", substituted).strip()
+
+    def _enforce_budget(self, original: str, evolved: str) -> str:
+        """Trim trailing additions if the word-count delta exceeds the budget."""
+        original_count = len(original.split())
+        words = evolved.split()
+        while abs(len(words) - original_count) > self.max_word_change and len(words) > original_count:
+            words.pop()
+        return " ".join(words)
+
+    def evolve_many(self, instructions: list[str]) -> list[EvolutionResult]:
+        """Evolve a batch of instructions."""
+        return [self.evolve(instruction) for instruction in instructions]

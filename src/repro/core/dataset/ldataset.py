@@ -1,0 +1,254 @@
+"""Logical-enhanced dataset (L-dataset) generation — steps 9-12 of Fig. 2.
+
+The flow covers the paper's two categories of logical reasoning in Verilog
+(step 9):
+
+* **Concise expression** — the task can be reduced to a compact logical
+  expression.  We generate Karnaugh-map / truth-table style problems
+  (step 10), minimise them with Quine–McCluskey, and pair the minimal
+  ``assign``-style implementation with an instruction that presents the
+  input-output values.
+* **Faithful implementation** — no concise form is intended; the instruction
+  spells out an if/elif rule chain (or an explicit truth table with corner cases)
+  and the code implements it literally with a ``case``/``if-else`` structure,
+  including the ``default`` arm.
+
+Step 11 embeds the generated expressions and values into code and instruction
+templates; step 12 applies instruction evolution for linguistic variety while
+preserving the logical core.  Every produced pair is compile-verified.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ...logic.expr import BoolExpr, RandomExpressionGenerator, expr_from_minterms
+from ...logic.kmap import KarnaughMap
+from ...logic.minimize import literal_cost, minimize_minterms
+from ...logic.synth import SynthesisRequest, expression_to_module, truth_table_to_module
+from ...symbolic.truth_table import TruthTable
+from ...verilog.analyzer import Attribute, Topic
+from ...verilog.syntax_checker import SyntaxChecker
+from .evolution import InstructionEvolver
+from .records import InstructionCodePair, InstructionDataset, PairOrigin
+
+_CONCISE_TEMPLATES = [
+    (
+        "Implement the logic described by the truth table below as the most concise logical "
+        "expression you can find, in a module named {module}.\n{table}"
+    ),
+    (
+        "The Karnaugh map of output {output} over inputs {inputs} is given below. Derive the "
+        "minimal sum-of-products expression and implement it in module {module}.\n{table}"
+    ),
+    (
+        "Module {module} must drive {output} according to the following input-output values. "
+        "Simplify the logic before writing the assign statement.\n{table}"
+    ),
+]
+
+_FAITHFUL_TEMPLATES = [
+    (
+        "Implement the logic below exactly as specified in a module named {module}:\n{rules}\n"
+        "For any combination not listed, set {output} to 0."
+    ),
+    (
+        "Create module {module} that follows these rules literally, without simplification:\n"
+        "{rules}\nAll remaining input combinations must produce {output} = 0."
+    ),
+    (
+        "Faithfully translate the following requirement list into Verilog (module {module}):\n"
+        "{rules}\nRemember to handle the default case."
+    ),
+]
+
+
+@dataclass
+class LDatasetConfig:
+    """Configuration of the L-dataset generator."""
+
+    num_concise: int = 60
+    num_faithful: int = 40
+    variable_pool: tuple[str, ...] = ("a", "b", "c", "d")
+    min_variables: int = 2
+    max_variables: int = 4
+    seed: int = 7
+    evolve_instructions: bool = True
+
+
+@dataclass
+class LDatasetStats:
+    """Per-stage counts of the L-dataset flow."""
+
+    generated_expressions: int = 0
+    concise_pairs: int = 0
+    faithful_pairs: int = 0
+    evolved_pairs: int = 0
+    verified_pairs: int = 0
+
+
+@dataclass
+class LDatasetResult:
+    """Output of the L-dataset generation flow."""
+
+    l_dataset: InstructionDataset
+    stats: LDatasetStats = field(default_factory=LDatasetStats)
+
+
+class LDatasetGenerator:
+    """Run the full L-dataset generation flow."""
+
+    def __init__(self, config: LDatasetConfig | None = None):
+        self.config = config or LDatasetConfig()
+        self.rng = random.Random(self.config.seed)
+        self.expression_generator = RandomExpressionGenerator(seed=self.config.seed)
+        self.evolver = InstructionEvolver(seed=self.config.seed + 1)
+        self.checker = SyntaxChecker()
+
+    def generate(self) -> LDatasetResult:
+        """Generate the L-dataset."""
+        stats = LDatasetStats()
+        dataset = InstructionDataset(name="l-dataset")
+
+        for index in range(self.config.num_concise):
+            pair = self._concise_pair(index, stats)
+            if pair is not None:
+                dataset.add(pair)
+        for index in range(self.config.num_faithful):
+            pair = self._faithful_pair(index, stats)
+            if pair is not None:
+                dataset.add(pair)
+        return LDatasetResult(l_dataset=dataset, stats=stats)
+
+    # ------------------------------------------------------------------ concise category
+    def _concise_pair(self, index: int, stats: LDatasetStats) -> InstructionCodePair | None:
+        variables = self._pick_variables()
+        minterms = self._random_minterms(len(variables))
+        stats.generated_expressions += 1
+        minimal = minimize_minterms(variables, minterms)
+        if not minimal.variables():
+            return None
+
+        table = TruthTable.from_function(
+            variables, "out", function={m: 1 for m in minterms}
+        )
+        module_name = f"concise_logic_{index}"
+        presentation = self.rng.choice(["table", "kmap", "rules"])
+        if presentation == "kmap" and 2 <= len(variables) <= 4:
+            rendered = KarnaughMap.from_minterms(variables, minterms).render()
+        elif presentation == "rules":
+            rendered = table.interpret()
+        else:
+            rendered = table.to_prompt_text()
+
+        template = self.rng.choice(_CONCISE_TEMPLATES)
+        instruction = template.format(
+            module=module_name,
+            table=rendered,
+            output="out",
+            inputs=", ".join(variables),
+        )
+        code = expression_to_module(
+            minimal, SynthesisRequest(module_name=module_name, style="assign")
+        )
+        stats.concise_pairs += 1
+        return self._finalize(
+            instruction,
+            code,
+            stats,
+            metadata={
+                "category": "concise_expression",
+                "presentation": presentation,
+                "literal_cost": str(literal_cost(minimal)),
+            },
+        )
+
+    # ------------------------------------------------------------------ faithful category
+    def _faithful_pair(self, index: int, stats: LDatasetStats) -> InstructionCodePair | None:
+        variables = self._pick_variables()
+        minterms = self._random_minterms(len(variables))
+        stats.generated_expressions += 1
+        module_name = f"faithful_logic_{index}"
+
+        rule_lines = []
+        rows: dict[int, int] = {}
+        listed = sorted(self.rng.sample(range(2 ** len(variables)), k=min(len(minterms) + 1, 2 ** len(variables))))
+        for minterm in listed:
+            value = 1 if minterm in minterms else 0
+            rows[minterm] = value
+            conditions = " && ".join(
+                f"{name} == {(minterm >> (len(variables) - 1 - position)) & 1}"
+                for position, name in enumerate(variables)
+            )
+            rule_lines.append(f"if {conditions}; out = {value};")
+        rules = "\n".join(rule_lines)
+
+        style = self.rng.choice(["case", "if_else"])
+        on_minterms = [m for m, value in rows.items() if value]
+        if style == "if_else" and not on_minterms:
+            # An all-zero rule list cannot be expressed as a literal if/else chain
+            # over minterms; the case template handles it via the default arm.
+            style = "case"
+        if style == "case":
+            code = truth_table_to_module(
+                variables, rows, SynthesisRequest(module_name=module_name, style="case")
+            )
+        else:
+            expression = expr_from_minterms(variables, on_minterms)
+            code = expression_to_module(
+                expression, SynthesisRequest(module_name=module_name, style="if_else")
+            )
+
+        template = self.rng.choice(_FAITHFUL_TEMPLATES)
+        instruction = template.format(module=module_name, rules=rules, output="out")
+        stats.faithful_pairs += 1
+        return self._finalize(
+            instruction,
+            code,
+            stats,
+            metadata={"category": "faithful_implementation", "style": style},
+        )
+
+    # ------------------------------------------------------------------ shared helpers
+    def _pick_variables(self) -> list[str]:
+        count = self.rng.randint(self.config.min_variables, self.config.max_variables)
+        return list(self.config.variable_pool[:count])
+
+    def _random_minterms(self, num_variables: int) -> list[int]:
+        size = 2**num_variables
+        count = self.rng.randint(1, size - 1)
+        return sorted(self.rng.sample(range(size), count))
+
+    def _finalize(
+        self,
+        instruction: str,
+        code: str,
+        stats: LDatasetStats,
+        metadata: dict[str, str],
+    ) -> InstructionCodePair | None:
+        if self.config.evolve_instructions:
+            evolution = self.evolver.evolve(instruction)
+            instruction = evolution.evolved
+            metadata["evolved"] = "true"
+            stats.evolved_pairs += 1
+        verified = self.checker.check(code).ok
+        if not verified:
+            return None
+        stats.verified_pairs += 1
+        return InstructionCodePair(
+            instruction=instruction,
+            code=code,
+            origin=PairOrigin.LOGICAL,
+            topics={Topic.COMBINATIONAL},
+            attributes={Attribute.COMBINATIONAL_ONLY},
+            verified=True,
+            metadata=metadata,
+        )
+
+
+def generate_kl_dataset(
+    k_dataset: InstructionDataset, l_dataset: InstructionDataset, seed: int = 0
+) -> InstructionDataset:
+    """Shuffle and combine the K- and L-datasets into the KL-dataset used for fine-tuning."""
+    return k_dataset.merged_with(l_dataset, name="kl-dataset", seed=seed)

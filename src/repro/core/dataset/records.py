@@ -1,0 +1,168 @@
+"""Record types for instruction-code datasets.
+
+Every dataset in the generation flow of Fig. 2 (vanilla dataset, K-dataset,
+L-dataset, and their union the KL-dataset) is a collection of
+:class:`InstructionCodePair` records plus provenance/statistics metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator
+
+from ...verilog.analyzer import Attribute, Topic
+
+
+class PairOrigin(enum.Enum):
+    """Which stage of the generation flow produced a pair."""
+
+    VANILLA = "vanilla"
+    KNOWLEDGE = "knowledge"
+    LOGICAL = "logical"
+    EXEMPLAR = "exemplar"
+
+
+@dataclass
+class InstructionCodePair:
+    """A single instruction-code training pair.
+
+    Attributes:
+        instruction: natural-language instruction, phrased for a CodeGen LLM.
+        code: the Verilog implementation.
+        origin: which dataset-generation stage produced the pair.
+        topics: design topics covered by the code.
+        attributes: Verilog-specific attributes covered by the code.
+        verified: whether the code passed the compile-verification gate.
+        exemplar_name: name of the exemplar that guided rewriting, if any.
+        metadata: free-form extra fields (e.g. logic category, evolution applied).
+    """
+
+    instruction: str
+    code: str
+    origin: PairOrigin = PairOrigin.VANILLA
+    topics: set[Topic] = field(default_factory=set)
+    attributes: set[Attribute] = field(default_factory=set)
+    verified: bool = False
+    exemplar_name: str | None = None
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (enums become their values)."""
+        data = asdict(self)
+        data["origin"] = self.origin.value
+        data["topics"] = sorted(topic.value for topic in self.topics)
+        data["attributes"] = sorted(attribute.value for attribute in self.attributes)
+        return data
+
+
+@dataclass
+class DatasetStats:
+    """Summary statistics of a dataset (mirrors the counts reported in §III-C/D)."""
+
+    total_pairs: int = 0
+    verified_pairs: int = 0
+    by_origin: dict[str, int] = field(default_factory=dict)
+    by_topic: dict[str, int] = field(default_factory=dict)
+    by_attribute: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def verification_rate(self) -> float:
+        """Fraction of pairs that passed compile verification."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.verified_pairs / self.total_pairs
+
+
+@dataclass
+class InstructionDataset:
+    """A named collection of instruction-code pairs."""
+
+    name: str
+    pairs: list[InstructionCodePair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[InstructionCodePair]:
+        return iter(self.pairs)
+
+    def add(self, pair: InstructionCodePair) -> None:
+        self.pairs.append(pair)
+
+    def extend(self, pairs: Iterable[InstructionCodePair]) -> None:
+        self.pairs.extend(pairs)
+
+    def verified_only(self) -> "InstructionDataset":
+        """Return a new dataset containing only compile-verified pairs."""
+        return InstructionDataset(
+            name=f"{self.name}-verified",
+            pairs=[pair for pair in self.pairs if pair.verified],
+        )
+
+    def subset(self, fraction: float, seed: int = 0) -> "InstructionDataset":
+        """Return a deterministic random subset (used by the Fig. 4 ablation)."""
+        import random as _random
+
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be between 0 and 1")
+        rng = _random.Random(seed)
+        count = round(len(self.pairs) * fraction)
+        indices = list(range(len(self.pairs)))
+        rng.shuffle(indices)
+        selected = sorted(indices[:count])
+        return InstructionDataset(
+            name=f"{self.name}-{int(fraction * 100)}pct",
+            pairs=[self.pairs[index] for index in selected],
+        )
+
+    def merged_with(self, other: "InstructionDataset", name: str | None = None, seed: int = 0) -> "InstructionDataset":
+        """Shuffle-merge two datasets (the K+L → KL combination step)."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        pairs = list(self.pairs) + list(other.pairs)
+        rng.shuffle(pairs)
+        return InstructionDataset(name=name or f"{self.name}+{other.name}", pairs=pairs)
+
+    def stats(self) -> DatasetStats:
+        """Compute summary statistics."""
+        stats = DatasetStats(total_pairs=len(self.pairs))
+        for pair in self.pairs:
+            if pair.verified:
+                stats.verified_pairs += 1
+            stats.by_origin[pair.origin.value] = stats.by_origin.get(pair.origin.value, 0) + 1
+            for topic in pair.topics:
+                stats.by_topic[topic.value] = stats.by_topic.get(topic.value, 0) + 1
+            for attribute in pair.attributes:
+                stats.by_attribute[attribute.value] = stats.by_attribute.get(attribute.value, 0) + 1
+        return stats
+
+    # ------------------------------------------------------------------ persistence
+    def to_jsonl(self) -> str:
+        """Serialise as JSON-lines text."""
+        return "\n".join(json.dumps(pair.to_dict()) for pair in self.pairs)
+
+    @classmethod
+    def from_jsonl(cls, name: str, text: str) -> "InstructionDataset":
+        """Load a dataset from JSON-lines text produced by :meth:`to_jsonl`."""
+        dataset = cls(name=name)
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            dataset.add(
+                InstructionCodePair(
+                    instruction=raw["instruction"],
+                    code=raw["code"],
+                    origin=PairOrigin(raw.get("origin", "vanilla")),
+                    topics={Topic(value) for value in raw.get("topics", [])},
+                    attributes={Attribute(value) for value in raw.get("attributes", [])},
+                    verified=raw.get("verified", False),
+                    exemplar_name=raw.get("exemplar_name"),
+                    metadata=raw.get("metadata", {}),
+                )
+            )
+        return dataset

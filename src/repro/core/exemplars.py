@@ -1,0 +1,613 @@
+"""Curated high-quality exemplar library (step 4 of the K-dataset flow).
+
+The paper curates exemplars "derived from textbook exercises and manually designed
+examples that cover a wide range of Verilog knowledge", covering conventions for
+commonly implemented modules (FSMs, clock dividers, counters, shift registers,
+ALUs) and critical Verilog attributes (synchronous vs asynchronous reset, positive
+vs negative clock edge, active-high vs active-low enables).
+
+Each :class:`Exemplar` couples an HDL-engineer-style instruction with a reference
+implementation, its topic, and the attributes it demonstrates.  The exemplar
+library drives:
+
+* topic matching in the K-dataset flow (vanilla pairs are matched to exemplars by
+  topic/attribute, step 6);
+* instruction rewriting (vanilla instructions are aligned to the exemplar's
+  questioning style, step 7);
+* the knowledge base of a fine-tuned simulated CodeGen-LLM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..verilog.analyzer import Attribute, Topic
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """A curated instruction-code exemplar."""
+
+    name: str
+    topic: Topic
+    attributes: frozenset[Attribute]
+    instruction: str
+    code: str
+    source: str = "manual"
+    notes: str = ""
+
+
+def _exemplar(
+    name: str,
+    topic: Topic,
+    attributes: set[Attribute],
+    instruction: str,
+    code: str,
+    source: str = "textbook",
+    notes: str = "",
+) -> Exemplar:
+    return Exemplar(
+        name=name,
+        topic=topic,
+        attributes=frozenset(attributes),
+        instruction=instruction.strip(),
+        code=code.strip() + "\n",
+        source=source,
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------------- FSMs
+_FSM_SEQUENCE_DETECTOR = _exemplar(
+    name="fsm_sequence_detector_101",
+    topic=Topic.FSM,
+    attributes={Attribute.SEQUENTIAL, Attribute.ASYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Design a Moore finite state machine that detects the serial input sequence 101 on "
+        "`din`. The FSM has states IDLE, GOT1 and GOT10; assert `detected` for one cycle when "
+        "the full sequence has been observed. Use a conventional three-block FSM coding style: "
+        "a state register with asynchronous active-high reset on the positive clock edge, "
+        "combinational next-state logic, and combinational output logic."
+    ),
+    code="""
+module seq_detector_101 (
+    input clk,
+    input rst,
+    input din,
+    output reg detected
+);
+    localparam IDLE  = 2'd0;
+    localparam GOT1  = 2'd1;
+    localparam GOT10 = 2'd2;
+
+    reg [1:0] state, next_state;
+
+    // State register with asynchronous reset.
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            state <= IDLE;
+        else
+            state <= next_state;
+    end
+
+    // Next-state logic.
+    always @(*) begin
+        next_state = state;
+        case (state)
+            IDLE:  next_state = din ? GOT1 : IDLE;
+            GOT1:  next_state = din ? GOT1 : GOT10;
+            GOT10: next_state = din ? GOT1 : IDLE;
+            default: next_state = IDLE;
+        endcase
+    end
+
+    // Output logic.
+    always @(*) begin
+        detected = (state == GOT10) && din;
+    end
+endmodule
+""",
+    notes="Conventional three-block FSM: state transition, next-state logic, output logic.",
+)
+
+_FSM_TWO_STATE_TOGGLE = _exemplar(
+    name="fsm_two_state_moore",
+    topic=Topic.FSM,
+    attributes={Attribute.SEQUENTIAL, Attribute.SYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Implement a two-state Moore state machine with states A (out=0) and B (out=1). "
+        "From state A, transition to B when x is 0 and stay in A when x is 1. From state B, "
+        "transition to A when x is 0 and stay in B when x is 1. Reset synchronously to state A."
+    ),
+    code="""
+module two_state_fsm (
+    input clk,
+    input rst,
+    input x,
+    output reg out
+);
+    localparam A = 1'b0;
+    localparam B = 1'b1;
+
+    reg state, next_state;
+
+    always @(posedge clk) begin
+        if (rst)
+            state <= A;
+        else
+            state <= next_state;
+    end
+
+    always @(*) begin
+        case (state)
+            A: next_state = x ? A : B;
+            B: next_state = x ? B : A;
+            default: next_state = A;
+        endcase
+    end
+
+    always @(*) begin
+        out = (state == B);
+    end
+endmodule
+""",
+)
+
+# --------------------------------------------------------------------------- counters
+_COUNTER_UP = _exemplar(
+    name="counter_up_with_enable",
+    topic=Topic.COUNTER,
+    attributes={
+        Attribute.SEQUENTIAL,
+        Attribute.SYNC_RESET,
+        Attribute.POSEDGE_CLOCK,
+        Attribute.ACTIVE_HIGH_ENABLE,
+        Attribute.PARAMETERIZED,
+    },
+    instruction=(
+        "Design a parameterized WIDTH-bit up counter with a synchronous active-high reset and an "
+        "active-high enable. On every rising clock edge, clear the count to zero when rst is "
+        "asserted; otherwise increment the count by one only when en is high."
+    ),
+    code="""
+module up_counter #(parameter WIDTH = 8) (
+    input clk,
+    input rst,
+    input en,
+    output reg [WIDTH-1:0] count
+);
+    always @(posedge clk) begin
+        if (rst)
+            count <= {WIDTH{1'b0}};
+        else if (en)
+            count <= count + 1'b1;
+    end
+endmodule
+""",
+)
+
+_COUNTER_UPDOWN = _exemplar(
+    name="counter_up_down",
+    topic=Topic.COUNTER,
+    attributes={Attribute.SEQUENTIAL, Attribute.ASYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Implement a 4-bit up/down counter. When up_down is 1 the counter counts up, otherwise it "
+        "counts down. Use an asynchronous active-low reset rst_n that clears the counter to 0."
+    ),
+    code="""
+module up_down_counter (
+    input clk,
+    input rst_n,
+    input up_down,
+    output reg [3:0] count
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            count <= 4'd0;
+        else if (up_down)
+            count <= count + 4'd1;
+        else
+            count <= count - 4'd1;
+    end
+endmodule
+""",
+)
+
+_COUNTER_MOD10 = _exemplar(
+    name="counter_mod10",
+    topic=Topic.COUNTER,
+    attributes={Attribute.SEQUENTIAL, Attribute.SYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Design a decade (mod-10) counter that counts from 0 to 9 and wraps back to 0. Assert the "
+        "carry output for one cycle when the counter value is 9. Use a synchronous active-high reset."
+    ),
+    code="""
+module mod10_counter (
+    input clk,
+    input rst,
+    output reg [3:0] count,
+    output carry
+);
+    assign carry = (count == 4'd9);
+
+    always @(posedge clk) begin
+        if (rst)
+            count <= 4'd0;
+        else if (count == 4'd9)
+            count <= 4'd0;
+        else
+            count <= count + 4'd1;
+    end
+endmodule
+""",
+)
+
+# --------------------------------------------------------------------------- shift registers
+_SHIFT_SIPO = _exemplar(
+    name="shift_register_sipo",
+    topic=Topic.SHIFT_REGISTER,
+    attributes={Attribute.SEQUENTIAL, Attribute.SYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Implement an 8-bit serial-in parallel-out (SIPO) shift register. On each rising clock "
+        "edge, shift the register left by one and load the serial input into the least significant "
+        "bit. A synchronous active-high reset clears the register."
+    ),
+    code="""
+module sipo_shift_register (
+    input clk,
+    input rst,
+    input serial_in,
+    output reg [7:0] parallel_out
+);
+    always @(posedge clk) begin
+        if (rst)
+            parallel_out <= 8'd0;
+        else
+            parallel_out <= {parallel_out[6:0], serial_in};
+    end
+endmodule
+""",
+)
+
+_SHIFT_LFSR = _exemplar(
+    name="shift_register_lfsr",
+    topic=Topic.SHIFT_REGISTER,
+    attributes={Attribute.SEQUENTIAL, Attribute.ASYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Design a 4-bit Fibonacci LFSR with taps at bits 3 and 2. On reset (asynchronous, active "
+        "high) load the register with 4'b0001. On each clock edge shift left and insert the "
+        "feedback bit (xor of the tap bits) at the least significant position."
+    ),
+    code="""
+module lfsr4 (
+    input clk,
+    input rst,
+    output reg [3:0] lfsr
+);
+    wire feedback;
+    assign feedback = lfsr[3] ^ lfsr[2];
+
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            lfsr <= 4'b0001;
+        else
+            lfsr <= {lfsr[2:0], feedback};
+    end
+endmodule
+""",
+)
+
+# --------------------------------------------------------------------------- ALU / arithmetic
+_ALU = _exemplar(
+    name="alu_4op",
+    topic=Topic.ALU,
+    attributes={Attribute.COMBINATIONAL_ONLY, Attribute.PARAMETERIZED},
+    instruction=(
+        "Design a parameterized WIDTH-bit ALU with a 2-bit opcode: 00 adds the operands, 01 "
+        "subtracts b from a, 10 computes bitwise AND, and 11 computes bitwise OR. The ALU is "
+        "purely combinational and must define the result for every opcode (include a default arm)."
+    ),
+    code="""
+module alu #(parameter WIDTH = 8) (
+    input [WIDTH-1:0] a,
+    input [WIDTH-1:0] b,
+    input [1:0] opcode,
+    output reg [WIDTH-1:0] result
+);
+    always @(*) begin
+        case (opcode)
+            2'b00: result = a + b;
+            2'b01: result = a - b;
+            2'b10: result = a & b;
+            2'b11: result = a | b;
+            default: result = {WIDTH{1'b0}};
+        endcase
+    end
+endmodule
+""",
+)
+
+_ADDER = _exemplar(
+    name="adder_with_carry",
+    topic=Topic.ADDER,
+    attributes={Attribute.COMBINATIONAL_ONLY},
+    instruction=(
+        "Implement a 4-bit ripple-style adder that produces a 4-bit sum and a carry-out. The "
+        "design is combinational: use a single continuous assignment with concatenation for the "
+        "carry and sum."
+    ),
+    code="""
+module adder4 (
+    input [3:0] a,
+    input [3:0] b,
+    output [3:0] sum,
+    output carry_out
+);
+    assign {carry_out, sum} = a + b;
+endmodule
+""",
+)
+
+# --------------------------------------------------------------------------- clock divider
+_CLOCK_DIVIDER = _exemplar(
+    name="clock_divider_by2n",
+    topic=Topic.CLOCK_DIVIDER,
+    attributes={
+        Attribute.SEQUENTIAL,
+        Attribute.ASYNC_RESET,
+        Attribute.POSEDGE_CLOCK,
+        Attribute.PARAMETERIZED,
+    },
+    instruction=(
+        "Design a clock divider that divides the input clock by 2*DIVISOR. Use a counter that "
+        "counts up to DIVISOR-1 and toggles the output clock when it wraps. Include an "
+        "asynchronous active-high reset that clears the counter and drives clk_out low."
+    ),
+    code="""
+module clock_divider #(parameter DIVISOR = 4) (
+    input clk,
+    input rst,
+    output reg clk_out
+);
+    reg [7:0] counter;
+
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            counter <= 8'd0;
+            clk_out <= 1'b0;
+        end else if (counter == DIVISOR - 1) begin
+            counter <= 8'd0;
+            clk_out <= ~clk_out;
+        end else begin
+            counter <= counter + 8'd1;
+        end
+    end
+endmodule
+""",
+)
+
+# --------------------------------------------------------------------------- registers
+_DFF_ASYNC = _exemplar(
+    name="dff_async_reset",
+    topic=Topic.REGISTER,
+    attributes={Attribute.SEQUENTIAL, Attribute.ASYNC_RESET, Attribute.POSEDGE_CLOCK},
+    instruction=(
+        "Implement a D flip-flop with an asynchronous active-low reset rst_n. The flop captures d "
+        "on the rising edge of clk, and q is cleared immediately when rst_n goes low."
+    ),
+    code="""
+module dff_async (
+    input clk,
+    input rst_n,
+    input d,
+    output reg q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            q <= 1'b0;
+        else
+            q <= d;
+    end
+endmodule
+""",
+)
+
+_REGISTER_ENABLE = _exemplar(
+    name="register_with_enable",
+    topic=Topic.REGISTER,
+    attributes={
+        Attribute.SEQUENTIAL,
+        Attribute.SYNC_RESET,
+        Attribute.POSEDGE_CLOCK,
+        Attribute.ACTIVE_LOW_ENABLE,
+        Attribute.PARAMETERIZED,
+    },
+    instruction=(
+        "Design a WIDTH-bit register with a synchronous active-high reset and an active-low "
+        "enable en_n. The register loads d on the rising clock edge only when en_n is low."
+    ),
+    code="""
+module register_en #(parameter WIDTH = 8) (
+    input clk,
+    input rst,
+    input en_n,
+    input [WIDTH-1:0] d,
+    output reg [WIDTH-1:0] q
+);
+    always @(posedge clk) begin
+        if (rst)
+            q <= {WIDTH{1'b0}};
+        else if (!en_n)
+            q <= d;
+    end
+endmodule
+""",
+)
+
+_DFF_NEGEDGE = _exemplar(
+    name="dff_negedge",
+    topic=Topic.REGISTER,
+    attributes={Attribute.SEQUENTIAL, Attribute.NEGEDGE_CLOCK, Attribute.SYNC_RESET},
+    instruction=(
+        "Implement a D flip-flop that is sensitive to the negative (falling) edge of the clock, "
+        "with a synchronous active-high reset."
+    ),
+    code="""
+module dff_negedge (
+    input clk,
+    input rst,
+    input d,
+    output reg q
+);
+    always @(negedge clk) begin
+        if (rst)
+            q <= 1'b0;
+        else
+            q <= d;
+    end
+endmodule
+""",
+)
+
+# --------------------------------------------------------------------------- combinational blocks
+_MUX4 = _exemplar(
+    name="mux4_to_1",
+    topic=Topic.MULTIPLEXER,
+    attributes={Attribute.COMBINATIONAL_ONLY, Attribute.PARAMETERIZED},
+    instruction=(
+        "Implement a parameterized 4-to-1 multiplexer with WIDTH-bit data inputs and a 2-bit "
+        "select. Use an always @(*) block with a case statement and a default arm."
+    ),
+    code="""
+module mux4 #(parameter WIDTH = 8) (
+    input [WIDTH-1:0] in0,
+    input [WIDTH-1:0] in1,
+    input [WIDTH-1:0] in2,
+    input [WIDTH-1:0] in3,
+    input [1:0] sel,
+    output reg [WIDTH-1:0] out
+);
+    always @(*) begin
+        case (sel)
+            2'b00: out = in0;
+            2'b01: out = in1;
+            2'b10: out = in2;
+            2'b11: out = in3;
+            default: out = {WIDTH{1'b0}};
+        endcase
+    end
+endmodule
+""",
+)
+
+_DECODER = _exemplar(
+    name="decoder_3to8",
+    topic=Topic.DECODER,
+    attributes={Attribute.COMBINATIONAL_ONLY, Attribute.ACTIVE_HIGH_ENABLE},
+    instruction=(
+        "Implement a 3-to-8 decoder with an active-high enable. When en is high exactly one of "
+        "the eight output bits (selected by the 3-bit input) is high; when en is low all outputs "
+        "are zero."
+    ),
+    code="""
+module decoder3to8 (
+    input en,
+    input [2:0] sel,
+    output reg [7:0] out
+);
+    always @(*) begin
+        if (en)
+            out = 8'd1 << sel;
+        else
+            out = 8'd0;
+    end
+endmodule
+""",
+)
+
+_COMPARATOR = _exemplar(
+    name="comparator_unsigned",
+    topic=Topic.COMPARATOR,
+    attributes={Attribute.COMBINATIONAL_ONLY, Attribute.PARAMETERIZED},
+    instruction=(
+        "Design a parameterized unsigned comparator producing three one-hot outputs: gt when a>b, "
+        "eq when a==b, and lt when a<b. The design is purely combinational."
+    ),
+    code="""
+module comparator #(parameter WIDTH = 8) (
+    input [WIDTH-1:0] a,
+    input [WIDTH-1:0] b,
+    output gt,
+    output eq,
+    output lt
+);
+    assign gt = (a > b);
+    assign eq = (a == b);
+    assign lt = (a < b);
+endmodule
+""",
+)
+
+
+#: The full curated exemplar library.
+EXEMPLAR_LIBRARY: list[Exemplar] = [
+    _FSM_SEQUENCE_DETECTOR,
+    _FSM_TWO_STATE_TOGGLE,
+    _COUNTER_UP,
+    _COUNTER_UPDOWN,
+    _COUNTER_MOD10,
+    _SHIFT_SIPO,
+    _SHIFT_LFSR,
+    _ALU,
+    _ADDER,
+    _CLOCK_DIVIDER,
+    _DFF_ASYNC,
+    _REGISTER_ENABLE,
+    _DFF_NEGEDGE,
+    _MUX4,
+    _DECODER,
+    _COMPARATOR,
+]
+
+
+@dataclass
+class ExemplarLibrary:
+    """Queryable view over the curated exemplars."""
+
+    exemplars: list[Exemplar] = field(default_factory=lambda: list(EXEMPLAR_LIBRARY))
+
+    def __len__(self) -> int:
+        return len(self.exemplars)
+
+    def __iter__(self):
+        return iter(self.exemplars)
+
+    def by_topic(self, topic: Topic) -> list[Exemplar]:
+        """Exemplars matching a topic."""
+        return [exemplar for exemplar in self.exemplars if exemplar.topic is topic]
+
+    def by_attribute(self, attribute: Attribute) -> list[Exemplar]:
+        """Exemplars demonstrating an attribute."""
+        return [exemplar for exemplar in self.exemplars if attribute in exemplar.attributes]
+
+    def topics(self) -> set[Topic]:
+        """All topics covered by the library."""
+        return {exemplar.topic for exemplar in self.exemplars}
+
+    def attributes(self) -> set[Attribute]:
+        """All attributes covered by the library."""
+        covered: set[Attribute] = set()
+        for exemplar in self.exemplars:
+            covered |= exemplar.attributes
+        return covered
+
+    def match(self, topics: set[Topic], attributes: set[Attribute]) -> list[Exemplar]:
+        """Exemplars relevant to a module's detected topics/attributes.
+
+        An exemplar matches when its topic is among the module's topics; ties are
+        ordered by the number of shared attributes (descending) so the most
+        relevant exemplar comes first.
+        """
+        matched = [exemplar for exemplar in self.exemplars if exemplar.topic in topics]
+        matched.sort(key=lambda exemplar: len(exemplar.attributes & attributes), reverse=True)
+        return matched

@@ -1,0 +1,318 @@
+"""Hallucination detection and classification in generated Verilog code.
+
+Given a prompt, the generated code and (optionally) the outcome of the functional
+check, :class:`HallucinationDetector` classifies the defect according to the
+Table II taxonomy.  The classification combines:
+
+* the compile result (syntax misapplication);
+* structural analysis of the generated module (missing ``default`` arms, missing
+  next-state logic, reset/edge/enable attributes) via :mod:`repro.verilog.analyzer`;
+* the prompt's symbolic modality (from :mod:`repro.symbolic.detector`) and
+  requested Verilog attributes (parsed from the prompt text);
+* the functional-check outcome, which separates "looks right structurally but
+  behaves wrongly" cases into the symbolic/logical sub-types.
+
+The detector is used by the taxonomy benchmark (Table II) and is also handy for
+post-mortem analysis of failing benchmark generations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..symbolic.detector import SymbolicDetector, SymbolicModality
+from ..verilog import ast_nodes as ast
+from ..verilog.analyzer import Attribute, ModuleAnalyzer, Topic
+from ..verilog.syntax_checker import SyntaxChecker
+from .taxonomy import HallucinationRecord, HallucinationSubtype
+
+
+@dataclass
+class PromptRequirements:
+    """Design requirements extracted from the prompt text."""
+
+    modality: SymbolicModality = SymbolicModality.NONE
+    wants_async_reset: bool = False
+    wants_sync_reset: bool = False
+    wants_negedge_clock: bool = False
+    wants_posedge_clock: bool = False
+    wants_active_low_enable: bool = False
+    wants_active_high_enable: bool = False
+    wants_conventional_fsm: bool = False
+    has_instructional_logic: bool = False
+    mentions_default_behaviour: bool = False
+
+
+@dataclass
+class DetectionReport:
+    """Classification outcome for one generated sample."""
+
+    records: list[HallucinationRecord] = field(default_factory=list)
+    requirements: PromptRequirements = field(default_factory=PromptRequirements)
+
+    @property
+    def primary(self) -> HallucinationRecord | None:
+        """The highest-priority hallucination found, if any."""
+        return self.records[0] if self.records else None
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.records
+
+
+class HallucinationDetector:
+    """Classify hallucinations in generated Verilog code."""
+
+    def __init__(self) -> None:
+        self.checker = SyntaxChecker()
+        self.analyzer = ModuleAnalyzer()
+        self.symbolic_detector = SymbolicDetector()
+
+    # ------------------------------------------------------------------ public API
+    def classify(
+        self,
+        prompt: str,
+        generated_code: str,
+        functional_passed: bool | None = None,
+    ) -> DetectionReport:
+        """Classify defects in ``generated_code`` produced for ``prompt``.
+
+        Args:
+            prompt: the original instruction text.
+            generated_code: the Verilog emitted by the model.
+            functional_passed: outcome of the functional check when known;
+                ``None`` means "not run".
+        """
+        requirements = self.extract_requirements(prompt)
+        report = DetectionReport(requirements=requirements)
+
+        compile_result = self.checker.check(generated_code)
+        if not compile_result.ok:
+            report.records.append(
+                HallucinationRecord(
+                    subtype=HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION,
+                    description="generated code does not compile",
+                    evidence="; ".join(compile_result.error_messages[:3]),
+                )
+            )
+            return report
+
+        module = compile_result.source_file.modules[0] if compile_result.source_file else None
+        analysis = self.analyzer.analyze(module) if module is not None else None
+
+        # Knowledge: Verilog-specific attribute misunderstanding.
+        if analysis is not None:
+            attribute_record = self._check_attributes(requirements, analysis.attributes)
+            if attribute_record is not None:
+                report.records.append(attribute_record)
+
+        # Knowledge: digital design convention misapplication.
+        if module is not None and requirements.wants_conventional_fsm:
+            convention_record = self._check_fsm_convention(module)
+            if convention_record is not None:
+                report.records.append(convention_record)
+
+        # Logical: missing default / corner cases.
+        if module is not None:
+            corner_record = self._check_corner_cases(module)
+            if corner_record is not None:
+                report.records.append(corner_record)
+
+        # Behavioural mismatches: symbolic or logical depending on the prompt.
+        if functional_passed is False and not report.records:
+            report.records.append(self._classify_functional_failure(requirements))
+
+        return report
+
+    # ------------------------------------------------------------------ requirement extraction
+    def extract_requirements(self, prompt: str) -> PromptRequirements:
+        """Parse the prompt for symbolic modality and requested attributes."""
+        lowered = prompt.lower()
+        detection = self.symbolic_detector.detect(prompt)
+        requirements = PromptRequirements(modality=detection.modality)
+        requirements.wants_async_reset = bool(re.search(r"\basynchronous(ly)?\b|\basync\b", lowered))
+        requirements.wants_sync_reset = bool(
+            re.search(r"\bsynchronous(ly)?\b|\bsync\b", lowered)
+        ) and not requirements.wants_async_reset
+        requirements.wants_negedge_clock = bool(
+            re.search(r"negative\s+(clock\s+)?edge|falling\s+edge|negedge", lowered)
+        )
+        requirements.wants_posedge_clock = bool(
+            re.search(r"positive\s+(clock\s+)?edge|rising\s+edge|posedge", lowered)
+        )
+        requirements.wants_active_low_enable = bool(re.search(r"active[- ]low\s+enable", lowered))
+        requirements.wants_active_high_enable = bool(re.search(r"active[- ]high\s+enable", lowered))
+        requirements.wants_conventional_fsm = bool(
+            re.search(r"conventional\s+fsm|fsm|finite\s+state\s+machine|state\s+machine", lowered)
+        )
+        requirements.has_instructional_logic = bool(
+            re.search(r"\bif\b.*\belse\b|\belif\b|\botherwise\b.*;", lowered, re.DOTALL)
+        ) and ("==" in prompt or "elif" in lowered)
+        requirements.mentions_default_behaviour = "otherwise" in lowered or "default" in lowered
+        return requirements
+
+    # ------------------------------------------------------------------ checks
+    def _check_attributes(
+        self, requirements: PromptRequirements, attributes: set[Attribute]
+    ) -> HallucinationRecord | None:
+        if requirements.wants_async_reset and Attribute.SYNC_RESET in attributes:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING,
+                description="prompt requires an asynchronous reset but the code resets synchronously",
+            )
+        if requirements.wants_sync_reset and Attribute.ASYNC_RESET in attributes:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING,
+                description="prompt requires a synchronous reset but the code resets asynchronously",
+            )
+        if requirements.wants_negedge_clock and Attribute.POSEDGE_CLOCK in attributes:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING,
+                description="prompt requires negative-edge clocking but the code uses the positive edge",
+            )
+        if requirements.wants_posedge_clock and Attribute.NEGEDGE_CLOCK in attributes and (
+            Attribute.POSEDGE_CLOCK not in attributes
+        ):
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING,
+                description="prompt requires positive-edge clocking but the code uses the negative edge",
+            )
+        if requirements.wants_active_low_enable and Attribute.ACTIVE_HIGH_ENABLE in attributes:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING,
+                description="prompt requires an active-low enable but the code treats it as active-high",
+            )
+        return None
+
+    def _check_fsm_convention(self, module: ast.Module) -> HallucinationRecord | None:
+        analysis = self.analyzer.analyze(module)
+        if Topic.FSM not in analysis.topics and not analysis.state_signals:
+            return None
+        names = {name.lower() for name in self._declared_names(module)}
+        has_next_state = any("next" in name for name in names)
+        has_state = any(name in names for name in ("state", "current_state", "cs", "present_state"))
+        if has_state and not has_next_state:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.DESIGN_CONVENTION_MISAPPLICATION,
+                description=(
+                    "FSM lacks separate next-state logic; a conventional FSM contains a state "
+                    "register, next-state logic and output logic"
+                ),
+            )
+        return None
+
+    def _check_corner_cases(self, module: ast.Module) -> HallucinationRecord | None:
+        for item in module.items:
+            if not isinstance(item, ast.AlwaysBlock):
+                continue
+            is_combinational = not any(
+                entry.edge in (ast.EdgeKind.POSEDGE, ast.EdgeKind.NEGEDGE)
+                for entry in item.sensitivity
+            )
+            if not is_combinational:
+                continue
+            for case in self._iter_cases(item.body):
+                if any(arm.is_default for arm in case.items):
+                    continue
+                subject_width = self._subject_width(case.subject, module)
+                if subject_width is not None and len(case.items) >= 2**subject_width:
+                    continue
+                return HallucinationRecord(
+                    subtype=HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING,
+                    description=(
+                        "combinational case statement has no default arm and does not cover "
+                        "all input combinations (inferred latch / undefined corner cases)"
+                    ),
+                )
+        return None
+
+    def _classify_functional_failure(self, requirements: PromptRequirements) -> HallucinationRecord:
+        if requirements.modality is SymbolicModality.STATE_DIAGRAM:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION,
+                description="output mismatches the behaviour specified by the state diagram",
+            )
+        if requirements.modality is SymbolicModality.WAVEFORM:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.WAVEFORM_MISINTERPRETATION,
+                description="output mismatches the behaviour specified by the waveform chart",
+            )
+        if requirements.modality is SymbolicModality.TRUTH_TABLE:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION,
+                description="output mismatches the behaviour specified by the truth table",
+            )
+        if requirements.has_instructional_logic:
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.INSTRUCTIONAL_LOGIC_FAILURE,
+                description="generated logic does not follow the instruction's if/else structure",
+            )
+        return HallucinationRecord(
+            subtype=HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION,
+            description="generated logic expression does not match the required behaviour",
+        )
+
+    # ------------------------------------------------------------------ AST helpers
+    def _declared_names(self, module: ast.Module) -> list[str]:
+        names = list(module.port_names())
+        for item in module.items:
+            if isinstance(item, ast.NetDeclaration):
+                names.extend(item.names)
+            elif isinstance(item, ast.ParameterDeclaration):
+                names.extend(item.names.keys())
+        return names
+
+    def _iter_cases(self, statement: ast.Statement | None):
+        if statement is None:
+            return
+        if isinstance(statement, ast.CaseStatement):
+            yield statement
+            for arm in statement.items:
+                yield from self._iter_cases(arm.body)
+        elif isinstance(statement, ast.Block):
+            for inner in statement.statements:
+                yield from self._iter_cases(inner)
+        elif isinstance(statement, ast.IfStatement):
+            yield from self._iter_cases(statement.then_branch)
+            yield from self._iter_cases(statement.else_branch)
+        elif isinstance(statement, (ast.ForLoop, ast.WhileLoop, ast.RepeatLoop)):
+            yield from self._iter_cases(statement.body)
+
+    def _subject_width(self, subject: ast.Expression, module: ast.Module) -> int | None:
+        if isinstance(subject, ast.Concat):
+            total = 0
+            for part in subject.parts:
+                width = self._subject_width(part, module)
+                if width is None:
+                    return None
+                total += width
+            return total
+        if isinstance(subject, ast.Identifier):
+            for port in module.ports:
+                if port.name == subject.name:
+                    return _range_width(port.range)
+            for item in module.items:
+                if isinstance(item, ast.NetDeclaration) and subject.name in item.names:
+                    return _range_width(item.range)
+                if isinstance(item, ast.PortDeclaration) and subject.name in item.names:
+                    return _range_width(item.range)
+            return None
+        if isinstance(subject, ast.BitSelect):
+            return 1
+        return None
+
+
+def _range_width(rng: ast.Range | None) -> int | None:
+    if rng is None:
+        return 1
+    if isinstance(rng.msb, ast.Number) and isinstance(rng.lsb, ast.Number):
+        return abs(rng.msb.value - rng.lsb.value) + 1
+    return None
+
+
+def classify_generation(
+    prompt: str, generated_code: str, functional_passed: bool | None = None
+) -> DetectionReport:
+    """Module-level convenience wrapper around :class:`HallucinationDetector`."""
+    return HallucinationDetector().classify(prompt, generated_code, functional_passed)

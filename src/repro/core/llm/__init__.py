@@ -1,0 +1,47 @@
+"""Behavioural LLM backends, capability profiles, corruption and fine-tuning."""
+
+from .base import (
+    GeneratedSample,
+    GenerationConfig,
+    GenerationContext,
+    LLMBackend,
+    TaskDemands,
+)
+from .corruption import CorruptionInjector, CorruptionOutcome
+from .finetune import DatasetMix, FineTuneConfig, FineTuneReport, FineTuner
+from .profiles import (
+    BASE_MODEL_PROFILES,
+    BASELINE_PROFILES,
+    CapabilityProfile,
+    ProfileRegistry,
+)
+from .simulated import (
+    LOGISTIC_STEEPNESS,
+    MODALITY_DEMAND,
+    SimulatedCodeGenLLM,
+    make_backend,
+    success_probability,
+)
+
+__all__ = [
+    "GeneratedSample",
+    "GenerationConfig",
+    "GenerationContext",
+    "LLMBackend",
+    "TaskDemands",
+    "CorruptionInjector",
+    "CorruptionOutcome",
+    "DatasetMix",
+    "FineTuneConfig",
+    "FineTuneReport",
+    "FineTuner",
+    "BASE_MODEL_PROFILES",
+    "BASELINE_PROFILES",
+    "CapabilityProfile",
+    "ProfileRegistry",
+    "LOGISTIC_STEEPNESS",
+    "MODALITY_DEMAND",
+    "SimulatedCodeGenLLM",
+    "make_backend",
+    "success_probability",
+]

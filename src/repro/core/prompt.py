@@ -1,0 +1,117 @@
+"""Prompt and module-interface data structures shared across the framework.
+
+A *design prompt* is what the user (or a benchmark task) hands to the pipeline: a
+natural-language instruction, possibly embedding a symbolic modality, plus an
+optional explicit module interface.  The SI-CoT stage turns a raw prompt into a
+*refined prompt* whose symbolic content has been interpreted and whose module
+header is guaranteed to be present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..symbolic.detector import SymbolicModality
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """A single port of a module interface."""
+
+    name: str
+    direction: str  # "input" or "output"
+    width: int = 1
+
+    def to_verilog(self) -> str:
+        """Render the port in ANSI header style."""
+        range_text = f"[{self.width - 1}:0] " if self.width > 1 else ""
+        reg_text = ""
+        return f"{self.direction} {reg_text}{range_text}{self.name}"
+
+
+@dataclass
+class ModuleInterface:
+    """The external interface of the module to generate."""
+
+    name: str
+    ports: list[PortSpec] = field(default_factory=list)
+
+    @property
+    def input_ports(self) -> list[PortSpec]:
+        return [port for port in self.ports if port.direction == "input"]
+
+    @property
+    def output_ports(self) -> list[PortSpec]:
+        return [port for port in self.ports if port.direction == "output"]
+
+    def port(self, name: str) -> PortSpec | None:
+        """Look up a port by name."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def to_module_header(self, output_reg: bool = False) -> str:
+        """Render a Verilog module header for this interface."""
+        lines = [f"module {self.name} ("]
+        for index, port in enumerate(self.ports):
+            comma = "," if index < len(self.ports) - 1 else ""
+            range_text = f"[{port.width - 1}:0] " if port.width > 1 else ""
+            net_text = "reg " if output_reg and port.direction == "output" else ""
+            lines.append(f"    {port.direction} {net_text}{range_text}{port.name}{comma}")
+        lines.append(");")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """Render a one-line English description of the interface."""
+        def describe_port(port: PortSpec) -> str:
+            width_text = f"{port.width}-bit " if port.width > 1 else "1-bit "
+            return f"{width_text}{port.direction} {port.name}"
+
+        parts = ", ".join(describe_port(port) for port in self.ports)
+        return f"Module {self.name} with ports: {parts}."
+
+
+@dataclass
+class DesignPrompt:
+    """A raw user prompt for Verilog code generation."""
+
+    text: str
+    interface: ModuleInterface | None = None
+    modality_hint: SymbolicModality = SymbolicModality.NONE
+
+    def full_text(self) -> str:
+        """The prompt text including the module header when an interface is known."""
+        if self.interface is None:
+            return self.text
+        return f"{self.text}\n\n{self.interface.to_module_header()}"
+
+
+@dataclass
+class RefinedPrompt:
+    """The output of the SI-CoT stage.
+
+    Attributes:
+        original: the raw prompt this refinement came from.
+        text: the refined instruction handed to the CodeGen LLM.
+        modality: symbolic modality detected in the original prompt.
+        interpretation: the natural-language interpretation of the symbolic block
+            (empty when there was none).
+        added_module_header: whether step 3 appended a module header.
+        reasoning_steps: the CoT steps taken, for logging/inspection.
+        parsed_component: the parsed symbolic object (``TruthTable``, ``Waveform``
+            or ``StateDiagram``) when one was found.
+    """
+
+    original: DesignPrompt
+    text: str
+    modality: SymbolicModality = SymbolicModality.NONE
+    interpretation: str = ""
+    added_module_header: bool = False
+    reasoning_steps: list[str] = field(default_factory=list)
+    parsed_component: object | None = None
+
+    @property
+    def was_refined(self) -> bool:
+        """Whether SI-CoT changed the prompt at all."""
+        return self.text != self.original.text

@@ -1,0 +1,154 @@
+"""Symbolic-Interpretation Chain-of-Thought (SI-CoT) pipeline.
+
+This implements the three steps of Fig. 1:
+
+1. **Identify symbolic components** — the CoT prompting model decides whether the
+   prompt contains a truth table, waveform chart or state diagram
+   (:mod:`repro.symbolic.detector`).
+2. **Parse regular modalities and interpret state diagrams** — truth tables and
+   waveform charts are handled by a deterministic parser, while state diagrams are
+   interpreted by the CoT prompting model into a concise natural-language
+   description; all three are rendered into the uniform instruction format shown
+   in Table III.
+3. **Add module header** — if the instruction does not already contain a complete
+   Verilog module header, an appropriate one is appended so the CodeGen LLM knows
+   the module name and port list.
+
+In the paper the CoT prompting model is the same pre-trained LLM as the CodeGen
+model.  In this reproduction the interpretation of state diagrams is performed by
+the deterministic interpreter in :mod:`repro.symbolic.state_diagram`, optionally
+degraded through the model's capability profile (a weak CoT model can garble the
+interpretation) so that the experiments in Table VI remain meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..symbolic.detector import DetectionResult, SymbolicDetector, SymbolicModality
+from ..symbolic.state_diagram import StateDiagram
+from ..symbolic.truth_table import TruthTable
+from ..symbolic.waveform import Waveform
+from .prompt import DesignPrompt, ModuleInterface, RefinedPrompt
+
+_MODULE_HEADER_PATTERN = re.compile(r"\bmodule\s+\w+\s*(#\s*\(|\()", re.MULTILINE)
+
+
+@dataclass
+class SICoTConfig:
+    """Configuration of the SI-CoT stage."""
+
+    interpret_state_diagrams: bool = True
+    parse_regular_modalities: bool = True
+    add_module_header: bool = True
+    keep_original_block: bool = False
+
+
+class SICoTPipeline:
+    """The SI-CoT prompting model: raw prompt → refined prompt."""
+
+    def __init__(self, config: SICoTConfig | None = None):
+        self.config = config or SICoTConfig()
+        self.detector = SymbolicDetector()
+
+    def refine(self, prompt: DesignPrompt) -> RefinedPrompt:
+        """Run the three SI-CoT steps on a raw prompt."""
+        steps: list[str] = []
+
+        # Step 1: identify symbolic components.
+        detection = self.detector.detect(prompt.text)
+        steps.append(f"identify symbolic components: {detection.modality.value}")
+        if not detection.has_symbolic_content:
+            refined_text = prompt.text
+            interpretation = ""
+            parsed = None
+        else:
+            # Step 2: parse regular modalities / interpret state diagrams.
+            interpretation, parsed = self._interpret(detection)
+            steps.append(f"interpret {detection.modality.value} into uniform instruction format")
+            refined_text = self._compose(prompt.text, detection, interpretation)
+
+        # Step 3: add module header when missing.
+        added_header = False
+        if self.config.add_module_header and not self._has_module_header(refined_text):
+            header = self._build_header(prompt, parsed)
+            if header:
+                refined_text = f"{refined_text}\n\nUse the following module header:\n{header}"
+                added_header = True
+                steps.append("append module header")
+
+        return RefinedPrompt(
+            original=prompt,
+            text=refined_text,
+            modality=detection.modality,
+            interpretation=interpretation,
+            added_module_header=added_header,
+            reasoning_steps=steps,
+            parsed_component=parsed,
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _interpret(self, detection: DetectionResult) -> tuple[str, object | None]:
+        component = detection.components[0]
+        parsed = component.parsed
+        if parsed is None:
+            return "", None
+        if detection.modality is SymbolicModality.STATE_DIAGRAM:
+            if not self.config.interpret_state_diagrams:
+                return "", parsed
+            assert isinstance(parsed, StateDiagram)
+            return parsed.interpret(), parsed
+        if not self.config.parse_regular_modalities:
+            return "", parsed
+        if detection.modality is SymbolicModality.TRUTH_TABLE:
+            assert isinstance(parsed, TruthTable)
+            return parsed.interpret(), parsed
+        assert isinstance(parsed, Waveform)
+        return parsed.interpret(), parsed
+
+    def _compose(self, original_text: str, detection: DetectionResult, interpretation: str) -> str:
+        if not interpretation:
+            return original_text
+        prose = detection.prose.strip() or "Implement the following logic in Verilog."
+        parts = [prose]
+        if self.config.keep_original_block and detection.components:
+            parts.append(detection.components[0].text)
+        parts.append(interpretation)
+        return "\n\n".join(parts)
+
+    def _has_module_header(self, text: str) -> bool:
+        return bool(_MODULE_HEADER_PATTERN.search(text))
+
+    def _build_header(self, prompt: DesignPrompt, parsed: object | None) -> str:
+        if prompt.interface is not None:
+            return prompt.interface.to_module_header()
+        interface = infer_interface(parsed)
+        if interface is not None:
+            return interface.to_module_header()
+        return ""
+
+
+def infer_interface(parsed: object | None) -> ModuleInterface | None:
+    """Infer a module interface from a parsed symbolic component, when possible."""
+    from .prompt import PortSpec
+
+    if isinstance(parsed, StateDiagram):
+        ports = [PortSpec("clk", "input"), PortSpec("rst", "input")]
+        ports += [PortSpec(name, "input") for name in parsed.input_names]
+        ports += [PortSpec(name, "output") for name in parsed.output_names]
+        return ModuleInterface(name="top_module", ports=ports)
+    if isinstance(parsed, TruthTable):
+        ports = [PortSpec(name, "input") for name in parsed.inputs]
+        ports += [PortSpec(name, "output") for name in parsed.outputs]
+        return ModuleInterface(name="top_module", ports=ports)
+    if isinstance(parsed, Waveform):
+        ports = [PortSpec(name, "input") for name in parsed.input_names]
+        ports += [PortSpec(name, "output") for name in parsed.output_names]
+        return ModuleInterface(name="top_module", ports=ports)
+    return None
+
+
+def refine_prompt(text: str, interface: ModuleInterface | None = None) -> RefinedPrompt:
+    """One-call helper: run SI-CoT on a plain text prompt."""
+    return SICoTPipeline().refine(DesignPrompt(text=text, interface=interface))

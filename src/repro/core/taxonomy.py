@@ -1,0 +1,314 @@
+"""Hallucination taxonomy for LLM-based Verilog code generation (Table II).
+
+The paper classifies hallucinations into three types, each with sub-types:
+
+* **Symbolic hallucination** — the model misinterprets a symbolic modality
+  embedded in the prompt (state diagram, waveform chart, truth table).
+* **Knowledge hallucination** — the model lacks HDL domain knowledge
+  (digital-design-convention misapplication, Verilog syntax misapplication,
+  misunderstanding of Verilog-specific attributes).
+* **Logical hallucination** — the model fails at logical reasoning (incorrect
+  logical expression, incorrect handling of corner cases, failure to adhere to
+  instructional logic).
+
+This module defines the taxonomy as enums, a record type for observed
+hallucinations, and the canonical examples of Table II (used by the taxonomy
+benchmark and by the corruption injector's self-checks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class HallucinationType(enum.Enum):
+    """Top-level hallucination category."""
+
+    SYMBOLIC = "symbolic"
+    KNOWLEDGE = "knowledge"
+    LOGICAL = "logical"
+
+
+class HallucinationSubtype(enum.Enum):
+    """Fine-grained hallucination sub-type (Table II rows)."""
+
+    STATE_DIAGRAM_MISINTERPRETATION = "state_diagram_misinterpretation"
+    WAVEFORM_MISINTERPRETATION = "waveform_misinterpretation"
+    TRUTH_TABLE_MISINTERPRETATION = "truth_table_misinterpretation"
+    DESIGN_CONVENTION_MISAPPLICATION = "design_convention_misapplication"
+    VERILOG_SYNTAX_MISAPPLICATION = "verilog_syntax_misapplication"
+    VERILOG_ATTRIBUTE_MISUNDERSTANDING = "verilog_attribute_misunderstanding"
+    INCORRECT_LOGICAL_EXPRESSION = "incorrect_logical_expression"
+    INCORRECT_CORNER_CASE_HANDLING = "incorrect_corner_case_handling"
+    INSTRUCTIONAL_LOGIC_FAILURE = "instructional_logic_failure"
+
+
+#: Sub-type → type mapping (Table II structure).
+SUBTYPE_TO_TYPE: dict[HallucinationSubtype, HallucinationType] = {
+    HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION: HallucinationType.SYMBOLIC,
+    HallucinationSubtype.WAVEFORM_MISINTERPRETATION: HallucinationType.SYMBOLIC,
+    HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION: HallucinationType.SYMBOLIC,
+    HallucinationSubtype.DESIGN_CONVENTION_MISAPPLICATION: HallucinationType.KNOWLEDGE,
+    HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION: HallucinationType.KNOWLEDGE,
+    HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING: HallucinationType.KNOWLEDGE,
+    HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION: HallucinationType.LOGICAL,
+    HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING: HallucinationType.LOGICAL,
+    HallucinationSubtype.INSTRUCTIONAL_LOGIC_FAILURE: HallucinationType.LOGICAL,
+}
+
+
+def type_of(subtype: HallucinationSubtype) -> HallucinationType:
+    """Return the top-level category of a sub-type."""
+    return SUBTYPE_TO_TYPE[subtype]
+
+
+def subtypes_of(hallucination_type: HallucinationType) -> list[HallucinationSubtype]:
+    """Return all sub-types belonging to a top-level category."""
+    return [
+        subtype
+        for subtype, parent in SUBTYPE_TO_TYPE.items()
+        if parent is hallucination_type
+    ]
+
+
+@dataclass
+class HallucinationRecord:
+    """An observed (or injected) hallucination in a generated code sample."""
+
+    subtype: HallucinationSubtype
+    description: str = ""
+    evidence: str = ""
+
+    @property
+    def hallucination_type(self) -> HallucinationType:
+        return type_of(self.subtype)
+
+
+@dataclass
+class TaxonomyExample:
+    """A canonical Table II example: a prompt, the incorrect code and the analysis."""
+
+    subtype: HallucinationSubtype
+    prompt: str
+    incorrect_code: str
+    error_analysis: str
+    correct_code: str = ""
+
+
+#: The canonical examples of Table II.  The incorrect code snippets intentionally
+#: contain the errors described in the paper; the taxonomy benchmark checks that
+#: the hallucination detector flags each of them with the right sub-type.
+TABLE_II_EXAMPLES: list[TaxonomyExample] = [
+    TaxonomyExample(
+        subtype=HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION,
+        prompt=(
+            "Implement this FSM...\n"
+            "A[out=0]--[in=0]->B\n"
+            "A[out=0]--[in=1]->A\n"
+            "B[out=1]--[in=0]->A\n"
+            "B[out=1]--[in=1]->B"
+        ),
+        incorrect_code=(
+            "module fsm(input clk, input rst, input in, output reg out);\n"
+            "    reg state, next_state;\n"
+            "    localparam A = 1'b0, B = 1'b1;\n"
+            "    always @(posedge clk or posedge rst) begin\n"
+            "        if (rst) state <= A; else state <= next_state;\n"
+            "    end\n"
+            "    always @(*) begin\n"
+            "        case (state)\n"
+            "            A: begin out = 1'b0; if (in) next_state = B; else next_state = A; end\n"
+            "            B: begin out = 1'b1; if (in) next_state = A; else next_state = B; end\n"
+            "            default: begin out = 1'b0; next_state = A; end\n"
+            "        endcase\n"
+            "    end\n"
+            "endmodule"
+        ),
+        error_analysis='"A" and "B" should be reversed in the next-state logic.',
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.WAVEFORM_MISINTERPRETATION,
+        prompt=(
+            "Implement the waveforms below...\n"
+            "a:   0 1 0 1\n"
+            "b:   0 0 1 1\n"
+            "out: 0 0 0 1"
+        ),
+        incorrect_code=(
+            "module wave(input a, input b, output out);\n"
+            "    assign out = a + b;\n"
+            "endmodule"
+        ),
+        error_analysis='"out" should be "a & b".',
+        correct_code=(
+            "module wave(input a, input b, output out);\n"
+            "    assign out = a & b;\n"
+            "endmodule"
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION,
+        prompt=(
+            "Implement the truth table below...\n"
+            "a | b | out\n"
+            "0 | 0 | 0\n"
+            "0 | 1 | 0\n"
+            "1 | 0 | 0\n"
+            "1 | 1 | 1"
+        ),
+        incorrect_code=(
+            "module tt(input a, input b, output out);\n"
+            "    assign out = a | b;\n"
+            "endmodule"
+        ),
+        error_analysis='"out" should be "a & b".',
+        correct_code=(
+            "module tt(input a, input b, output out);\n"
+            "    assign out = a & b;\n"
+            "endmodule"
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.DESIGN_CONVENTION_MISAPPLICATION,
+        prompt="Implement a digit detector, using a conventional FSM.",
+        incorrect_code=(
+            "module detector(input clk, input rst, input a, input b, output reg [1:0] state);\n"
+            "    always @(posedge clk) begin\n"
+            "        case (state)\n"
+            "            2'b00: state = a + b;\n"
+            "            default: state = 2'b00;\n"
+            "        endcase\n"
+            "    end\n"
+            "endmodule"
+        ),
+        error_analysis=(
+            '"state" should be "next_state". A conventional FSM should contain '
+            '"state transition", "next-state logic" and "output logic" blocks.'
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION,
+        prompt="Implement a 4-bit adder.",
+        incorrect_code=(
+            "def adder_4bit()\n"
+            "    output = a + b\n"
+            "endmodule"
+        ),
+        error_analysis='The module definition is syntactically wrong: "def" should be "module".',
+        correct_code=(
+            "module adder_4bit(input [3:0] a, input [3:0] b, output [4:0] sum);\n"
+            "    assign sum = a + b;\n"
+            "endmodule"
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING,
+        prompt="Implement this module using an asynchronous reset signal.",
+        incorrect_code=(
+            "module dff(input clk, input reset, input d, output reg q);\n"
+            "    always @(posedge clk)\n"
+            "        if (!reset) q <= 1'b0;\n"
+            "        else q <= d;\n"
+            "endmodule"
+        ),
+        error_analysis="The reset should be asynchronous (included in the sensitivity list).",
+        correct_code=(
+            "module dff(input clk, input reset, input d, output reg q);\n"
+            "    always @(posedge clk or negedge reset)\n"
+            "        if (!reset) q <= 1'b0;\n"
+            "        else q <= d;\n"
+            "endmodule"
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION,
+        prompt="Create a module, the output signal equals a plus b, then or c.",
+        incorrect_code=(
+            "module logic_unit(input a, input b, input c, output out);\n"
+            "    assign out = (a + c) & b;\n"
+            "endmodule"
+        ),
+        error_analysis='The output should be "(a + b) | c".',
+        correct_code=(
+            "module logic_unit(input a, input b, input c, output out);\n"
+            "    assign out = (a + b) | c;\n"
+            "endmodule"
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING,
+        prompt=(
+            "Implement logic of two inputs. Output equals 1 when a and b are both 1, otherwise 0."
+        ),
+        incorrect_code=(
+            "module corner(input a, input b, output reg out);\n"
+            "    always @(*) begin\n"
+            "        case ({a, b})\n"
+            "            2'b11: out = 1;\n"
+            "        endcase\n"
+            "    end\n"
+            "endmodule"
+        ),
+        error_analysis='The "default" case is ignored, so the output latches for other inputs.',
+        correct_code=(
+            "module corner(input a, input b, output reg out);\n"
+            "    always @(*) begin\n"
+            "        case ({a, b})\n"
+            "            2'b11: out = 1;\n"
+            "            default: out = 0;\n"
+            "        endcase\n"
+            "    end\n"
+            "endmodule"
+        ),
+    ),
+    TaxonomyExample(
+        subtype=HallucinationSubtype.INSTRUCTIONAL_LOGIC_FAILURE,
+        prompt=(
+            "Implement the logic below:\n"
+            "if a == 0 && b == 0; out = 0;\n"
+            "elif a == 1 && b == 0; out = 0; else out = 1."
+        ),
+        incorrect_code=(
+            "module instr(input a, input b, output reg out);\n"
+            "    always @(*) begin\n"
+            "        if (a == 0 || b == 0) out = 0;\n"
+            "        else if (a == 1 && b == 0) out = 0;\n"
+            "        else out = 1;\n"
+            "    end\n"
+            "endmodule"
+        ),
+        error_analysis='The first "if" expression should be "a == 0 && b == 0".',
+        correct_code=(
+            "module instr(input a, input b, output reg out);\n"
+            "    always @(*) begin\n"
+            "        if (a == 0 && b == 0) out = 0;\n"
+            "        else if (a == 1 && b == 0) out = 0;\n"
+            "        else out = 1;\n"
+            "    end\n"
+            "endmodule"
+        ),
+    ),
+]
+
+
+@dataclass
+class TaxonomySummary:
+    """Aggregated counts of observed hallucinations by type and sub-type."""
+
+    by_subtype: dict[HallucinationSubtype, int] = field(default_factory=dict)
+
+    def add(self, record: HallucinationRecord) -> None:
+        self.by_subtype[record.subtype] = self.by_subtype.get(record.subtype, 0) + 1
+
+    def count(self, hallucination_type: HallucinationType) -> int:
+        """Total observations for a top-level category."""
+        return sum(
+            count
+            for subtype, count in self.by_subtype.items()
+            if type_of(subtype) is hallucination_type
+        )
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_subtype.values())

@@ -1,0 +1,51 @@
+"""Boolean-logic substrate: expressions, minimisation, Karnaugh maps, synthesis."""
+
+from .expr import (
+    And,
+    BoolExpr,
+    Const,
+    Not,
+    Or,
+    RandomExpressionGenerator,
+    Var,
+    Xor,
+    and_all,
+    expr_from_minterms,
+    or_all,
+)
+from .kmap import KarnaughMap, random_kmap
+from .minimize import (
+    Implicant,
+    literal_cost,
+    minimal_cover,
+    minimize_expression,
+    minimize_minterms,
+    prime_implicants,
+)
+from .synth import STYLES, SynthesisRequest, expression_to_module, truth_table_to_module
+
+__all__ = [
+    "And",
+    "BoolExpr",
+    "Const",
+    "Not",
+    "Or",
+    "RandomExpressionGenerator",
+    "Var",
+    "Xor",
+    "and_all",
+    "expr_from_minterms",
+    "or_all",
+    "KarnaughMap",
+    "random_kmap",
+    "Implicant",
+    "literal_cost",
+    "minimal_cover",
+    "minimize_expression",
+    "minimize_minterms",
+    "prime_implicants",
+    "STYLES",
+    "SynthesisRequest",
+    "expression_to_module",
+    "truth_table_to_module",
+]

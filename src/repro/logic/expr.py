@@ -1,0 +1,277 @@
+"""Boolean expression substrate.
+
+The L-dataset generation flow (Section III-D of the paper) starts from "scripts
+that produce a wide range of logical expressions and their associated input-output
+mappings".  This module provides those scripts' core data structure: a small
+boolean-expression AST with evaluation, truth-table extraction, random generation
+and rendering both as natural-language text and as Verilog expressions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+class BoolExpr:
+    """Base class for boolean expression nodes."""
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate under a variable assignment (values are 0/1)."""
+        raise NotImplementedError
+
+    def variables(self) -> list[str]:
+        """Return the sorted list of variable names appearing in the expression."""
+        names: set[str] = set()
+        self._collect_variables(names)
+        return sorted(names)
+
+    def _collect_variables(self, accumulator: set[str]) -> None:
+        raise NotImplementedError
+
+    def to_verilog(self) -> str:
+        """Render as a Verilog boolean expression over 1-bit signals."""
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        """Render as an engineer-style English phrase ("a and b, then or c")."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Return the height of the expression tree (variables/constants are 0)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ conveniences
+    def truth_table_rows(self) -> list[tuple[dict[str, int], int]]:
+        """Enumerate all assignments with the resulting output value."""
+        names = self.variables()
+        rows: list[tuple[dict[str, int], int]] = []
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            assignment = dict(zip(names, bits))
+            rows.append((assignment, self.evaluate(assignment)))
+        return rows
+
+    def minterms(self) -> list[int]:
+        """Return the minterm indices (first variable is the most-significant bit)."""
+        names = self.variables()
+        result: list[int] = []
+        for index, bits in enumerate(itertools.product((0, 1), repeat=len(names))):
+            assignment = dict(zip(names, bits))
+            if self.evaluate(assignment):
+                result.append(index)
+        return result
+
+    def equivalent_to(self, other: "BoolExpr") -> bool:
+        """Exhaustively check logical equivalence over the union of variables."""
+        names = sorted(set(self.variables()) | set(other.variables()))
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            assignment = dict(zip(names, bits))
+            if self.evaluate(assignment) != other.evaluate(assignment):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A boolean variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return 1 if assignment[self.name] else 0
+
+    def _collect_variables(self, accumulator: set[str]) -> None:
+        accumulator.add(self.name)
+
+    def to_verilog(self) -> str:
+        return self.name
+
+    def to_text(self) -> str:
+        return self.name
+
+    def depth(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    """A boolean constant 0 or 1."""
+
+    value: int
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return 1 if self.value else 0
+
+    def _collect_variables(self, accumulator: set[str]) -> None:
+        return None
+
+    def to_verilog(self) -> str:
+        return "1'b1" if self.value else "1'b0"
+
+    def to_text(self) -> str:
+        return "one" if self.value else "zero"
+
+    def depth(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    """Logical negation."""
+
+    operand: BoolExpr
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return 1 - self.operand.evaluate(assignment)
+
+    def _collect_variables(self, accumulator: set[str]) -> None:
+        self.operand._collect_variables(accumulator)
+
+    def to_verilog(self) -> str:
+        return f"~({self.operand.to_verilog()})"
+
+    def to_text(self) -> str:
+        return f"not {self.operand.to_text()}"
+
+    def depth(self) -> int:
+        return 1 + self.operand.depth()
+
+
+@dataclass(frozen=True)
+class BinaryBoolOp(BoolExpr):
+    """Base for binary boolean operators."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+    _symbol = "?"
+    _word = "?"
+
+    def _collect_variables(self, accumulator: set[str]) -> None:
+        self.left._collect_variables(accumulator)
+        self.right._collect_variables(accumulator)
+
+    def to_verilog(self) -> str:
+        return f"({self.left.to_verilog()} {self._symbol} {self.right.to_verilog()})"
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} {self._word} {self.right.to_text()})"
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+@dataclass(frozen=True)
+class And(BinaryBoolOp):
+    """Logical AND."""
+
+    _symbol = "&"
+    _word = "and"
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return self.left.evaluate(assignment) & self.right.evaluate(assignment)
+
+
+@dataclass(frozen=True)
+class Or(BinaryBoolOp):
+    """Logical OR."""
+
+    _symbol = "|"
+    _word = "or"
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return self.left.evaluate(assignment) | self.right.evaluate(assignment)
+
+
+@dataclass(frozen=True)
+class Xor(BinaryBoolOp):
+    """Logical XOR."""
+
+    _symbol = "^"
+    _word = "xor"
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return self.left.evaluate(assignment) ^ self.right.evaluate(assignment)
+
+
+def and_all(terms: Sequence[BoolExpr]) -> BoolExpr:
+    """AND together a sequence of expressions (empty sequence yields constant 1)."""
+    if not terms:
+        return Const(1)
+    result = terms[0]
+    for term in terms[1:]:
+        result = And(result, term)
+    return result
+
+
+def or_all(terms: Sequence[BoolExpr]) -> BoolExpr:
+    """OR together a sequence of expressions (empty sequence yields constant 0)."""
+    if not terms:
+        return Const(0)
+    result = terms[0]
+    for term in terms[1:]:
+        result = Or(result, term)
+    return result
+
+
+def expr_from_minterms(variables: Sequence[str], minterms: Sequence[int]) -> BoolExpr:
+    """Build a sum-of-products expression covering exactly the given minterms.
+
+    The first variable is the most-significant bit of the minterm index.
+    """
+    if not variables:
+        raise ValueError("at least one variable is required")
+    terms: list[BoolExpr] = []
+    for minterm in sorted(set(minterms)):
+        literals: list[BoolExpr] = []
+        for position, name in enumerate(variables):
+            bit = (minterm >> (len(variables) - 1 - position)) & 1
+            literals.append(Var(name) if bit else Not(Var(name)))
+        terms.append(and_all(literals))
+    return or_all(terms)
+
+
+class RandomExpressionGenerator:
+    """Generate random boolean expressions for the L-dataset.
+
+    The generator is seeded so that dataset generation is reproducible.
+    """
+
+    def __init__(self, seed: int = 0, operators: Sequence[str] = ("and", "or", "xor", "not")):
+        self.rng = random.Random(seed)
+        self.operators = list(operators)
+
+    def generate(self, variables: Sequence[str], max_depth: int = 3) -> BoolExpr:
+        """Generate a random expression over ``variables`` up to ``max_depth``."""
+        if not variables:
+            raise ValueError("at least one variable is required")
+        return self._generate(list(variables), max_depth)
+
+    def _generate(self, variables: list[str], depth: int) -> BoolExpr:
+        if depth <= 0 or self.rng.random() < 0.25:
+            return Var(self.rng.choice(variables))
+        operator = self.rng.choice(self.operators)
+        if operator == "not":
+            return Not(self._generate(variables, depth - 1))
+        left = self._generate(variables, depth - 1)
+        right = self._generate(variables, depth - 1)
+        node_type = {"and": And, "or": Or, "xor": Xor}[operator]
+        return node_type(left, right)
+
+    def generate_nontrivial(
+        self, variables: Sequence[str], max_depth: int = 3, attempts: int = 50
+    ) -> BoolExpr:
+        """Generate an expression that is neither constant-0 nor constant-1."""
+        for _ in range(attempts):
+            candidate = self.generate(variables, max_depth)
+            minterms = candidate.minterms()
+            if 0 < len(minterms) < 2 ** len(candidate.variables() or ["a"]):
+                if candidate.variables():
+                    return candidate
+        # Fall back to a simple but valid expression.
+        names = list(variables)
+        if len(names) >= 2:
+            return And(Var(names[0]), Var(names[1]))
+        return Var(names[0])

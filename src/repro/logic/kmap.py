@@ -1,0 +1,189 @@
+"""Karnaugh-map representation.
+
+Karnaugh maps are one of the "typical logic problems encountered in Verilog" the
+paper's L-dataset targets (step 10 of Fig. 2) and also a symbolic modality that
+shows up in VerilogEval-Human prompts.  :class:`KarnaughMap` holds a 2-to-4
+variable map, can render itself in the textual form used in prompts, and converts
+to/from minterm lists so that :mod:`repro.logic.minimize` can produce the concise
+expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .expr import BoolExpr
+from .minimize import minimize_minterms
+
+#: Gray-code orders used for map row/column labelling.
+_GRAY_1 = ("0", "1")
+_GRAY_2 = ("00", "01", "11", "10")
+
+
+def _gray_order(bits: int) -> tuple[str, ...]:
+    if bits == 1:
+        return _GRAY_1
+    if bits == 2:
+        return _GRAY_2
+    raise ValueError("Karnaugh maps support 2 to 4 variables")
+
+
+@dataclass
+class KarnaughMap:
+    """A Karnaugh map over 2, 3 or 4 variables.
+
+    Attributes:
+        variables: variable names; the first names are the row variables.
+        cells: mapping from minterm index to cell value (0, 1, or "d" for don't care).
+    """
+
+    variables: list[str]
+    cells: dict[int, int | str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 2 <= len(self.variables) <= 4:
+            raise ValueError("Karnaugh maps support 2 to 4 variables")
+        for index in range(2 ** len(self.variables)):
+            self.cells.setdefault(index, 0)
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def from_minterms(
+        cls,
+        variables: Sequence[str],
+        minterms: Sequence[int],
+        dont_cares: Sequence[int] = (),
+    ) -> "KarnaughMap":
+        """Build a map with the given on-set and optional don't-care set."""
+        kmap = cls(variables=list(variables))
+        for index in minterms:
+            kmap.cells[index] = 1
+        for index in dont_cares:
+            kmap.cells[index] = "d"
+        return kmap
+
+    @classmethod
+    def from_expression(cls, expression: BoolExpr) -> "KarnaughMap":
+        """Build a map from a boolean expression (2-4 variables)."""
+        variables = expression.variables()
+        return cls.from_minterms(variables, expression.minterms())
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def minterms(self) -> list[int]:
+        """Indices whose cell value is 1."""
+        return sorted(index for index, value in self.cells.items() if value == 1)
+
+    def dont_cares(self) -> list[int]:
+        """Indices whose cell value is don't-care."""
+        return sorted(index for index, value in self.cells.items() if value == "d")
+
+    def value_at(self, assignment: dict[str, int]) -> int | str:
+        """Cell value for a full variable assignment."""
+        index = 0
+        for name in self.variables:
+            index = (index << 1) | (1 if assignment[name] else 0)
+        return self.cells[index]
+
+    # ------------------------------------------------------------------ conversions
+    def minimized_expression(self) -> BoolExpr:
+        """Return the minimal sum-of-products implementation (don't-cares used freely)."""
+        on_set = self.minterms()
+        # Greedy use of don't cares: include them all as on-set candidates; the
+        # minimiser only benefits, never loses, from extra coverable terms here
+        # because the cover is validated against the true on-set afterwards.
+        candidate = minimize_minterms(self.variables, on_set + self.dont_cares())
+        baseline = minimize_minterms(self.variables, on_set)
+        # Pick whichever is correct on the on/off sets and cheaper.
+        if self._consistent(candidate):
+            if not self._consistent(baseline):
+                return candidate
+            return min((candidate, baseline), key=_expression_size)
+        return baseline
+
+    def _consistent(self, expression: BoolExpr) -> bool:
+        """Check the expression matches every defined (non don't-care) cell."""
+        names = self.variables
+        for index, value in self.cells.items():
+            if value == "d":
+                continue
+            assignment = {
+                name: (index >> (len(names) - 1 - position)) & 1
+                for position, name in enumerate(names)
+            }
+            if expression.evaluate(assignment) != value:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ rendering
+    def render(self) -> str:
+        """Render the map in the row/column textual form used in prompts.
+
+        The first ``ceil(n/2)`` variables index the rows and the remainder index
+        the columns, both in Gray order — the layout HDL textbooks use.
+        """
+        row_bits = (self.num_variables + 1) // 2
+        col_bits = self.num_variables - row_bits
+        row_labels = _gray_order(row_bits)
+        col_labels = _gray_order(col_bits) if col_bits else ("",)
+        row_vars = "".join(self.variables[:row_bits])
+        col_vars = "".join(self.variables[row_bits:])
+
+        header = f"{row_vars}\\{col_vars}".ljust(8) + " ".join(label.ljust(3) for label in col_labels)
+        lines = [header]
+        for row_label in row_labels:
+            cells: list[str] = []
+            for col_label in col_labels:
+                bits = row_label + col_label
+                index = int(bits, 2) if bits else 0
+                value = self.cells[index]
+                cells.append(str(value).ljust(3))
+            lines.append(row_label.ljust(8) + " ".join(cells))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """Describe the map as rules, matching the SI-CoT uniform instruction format."""
+        lines = [
+            "Variables: "
+            + "; ".join(f"{index + 1}. {name}(input)" for index, name in enumerate(self.variables)),
+            "Rules:",
+        ]
+        for index in sorted(self.cells):
+            value = self.cells[index]
+            if value == "d":
+                continue
+            assignment = ", ".join(
+                f"{name}={(index >> (self.num_variables - 1 - position)) & 1}"
+                for position, name in enumerate(self.variables)
+            )
+            lines.append(f"If {assignment}, then out={value};")
+        return "\n".join(lines)
+
+
+def random_kmap(variables: Sequence[str], seed: int = 0, dont_care_probability: float = 0.0) -> KarnaughMap:
+    """Generate a random Karnaugh map (used by the L-dataset generator)."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    minterms: list[int] = []
+    dont_cares: list[int] = []
+    size = 2 ** len(variables)
+    for index in range(size):
+        roll = rng.random()
+        if roll < dont_care_probability:
+            dont_cares.append(index)
+        elif roll < dont_care_probability + 0.5:
+            minterms.append(index)
+    if not minterms:
+        minterms.append(rng.randrange(size))
+    return KarnaughMap.from_minterms(variables, minterms, dont_cares)
+
+
+def _expression_size(expression: BoolExpr) -> int:
+    from .minimize import literal_cost
+
+    return literal_cost(expression)

@@ -1,0 +1,157 @@
+"""Two-level logic minimisation (Quine–McCluskey with greedy cover).
+
+Section III-D of the paper distinguishes two categories of logical reasoning in
+Verilog: *finding the most concise logical expression* (e.g. from a Karnaugh map)
+and *faithfully implementing the logic* when no concise form exists.  This module
+implements the first category's machinery: exact prime-implicant generation via
+Quine–McCluskey and a greedy essential-prime cover, returning a compact
+sum-of-products expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .expr import BoolExpr, Const, Not, Var, and_all, or_all
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term over ``n`` variables.
+
+    ``values`` holds the required bit values and ``mask`` marks the don't-care
+    positions (bit set = the variable is eliminated from the term).  Bit 0 of both
+    fields corresponds to the *last* variable (least significant position of the
+    minterm index).
+    """
+
+    values: int
+    mask: int
+    width: int
+
+    def covers(self, minterm: int) -> bool:
+        """Whether this implicant covers the given minterm index."""
+        return (minterm & ~self.mask) == (self.values & ~self.mask)
+
+    def literal_count(self) -> int:
+        """Number of literals in the product term."""
+        return self.width - bin(self.mask & ((1 << self.width) - 1)).count("1")
+
+    def to_expr(self, variables: Sequence[str]) -> BoolExpr:
+        """Render the implicant as an AND of literals over ``variables``."""
+        literals: list[BoolExpr] = []
+        for position, name in enumerate(variables):
+            bit_index = len(variables) - 1 - position
+            if (self.mask >> bit_index) & 1:
+                continue
+            if (self.values >> bit_index) & 1:
+                literals.append(Var(name))
+            else:
+                literals.append(Not(Var(name)))
+        if not literals:
+            return Const(1)
+        return and_all(literals)
+
+
+def _combine(a: Implicant, b: Implicant) -> Implicant | None:
+    """Combine two implicants differing in exactly one defined bit, if possible."""
+    if a.mask != b.mask:
+        return None
+    differing = (a.values ^ b.values) & ~a.mask
+    if differing == 0 or (differing & (differing - 1)) != 0:
+        return None
+    return Implicant(values=a.values & ~differing, mask=a.mask | differing, width=a.width)
+
+
+def prime_implicants(minterms: Sequence[int], num_variables: int) -> list[Implicant]:
+    """Compute all prime implicants of the given on-set."""
+    current = {Implicant(values=m, mask=0, width=num_variables) for m in set(minterms)}
+    primes: set[Implicant] = set()
+    while current:
+        combined: set[Implicant] = set()
+        used: set[Implicant] = set()
+        current_list = sorted(current, key=lambda imp: (imp.mask, imp.values))
+        for i, a in enumerate(current_list):
+            for b in current_list[i + 1 :]:
+                merged = _combine(a, b)
+                if merged is not None:
+                    combined.add(merged)
+                    used.add(a)
+                    used.add(b)
+        primes.update(current - used)
+        current = combined
+    return sorted(primes, key=lambda imp: (imp.mask, imp.values))
+
+
+def minimal_cover(minterms: Sequence[int], primes: list[Implicant]) -> list[Implicant]:
+    """Select a small set of primes covering all minterms (essential + greedy)."""
+    remaining = set(minterms)
+    if not remaining:
+        return []
+    chosen: list[Implicant] = []
+
+    # Essential primes: minterms covered by exactly one prime.
+    coverage: dict[int, list[Implicant]] = {
+        m: [p for p in primes if p.covers(m)] for m in remaining
+    }
+    for minterm, covering in sorted(coverage.items()):
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for prime in chosen:
+        remaining = {m for m in remaining if not prime.covers(m)}
+
+    # Greedy cover of whatever is left.
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (sum(1 for m in remaining if p.covers(m)), -p.literal_count()),
+        )
+        covered = {m for m in remaining if best.covers(m)}
+        if not covered:
+            break
+        chosen.append(best)
+        remaining -= covered
+    return chosen
+
+
+def minimize_minterms(variables: Sequence[str], minterms: Sequence[int]) -> BoolExpr:
+    """Return a minimised sum-of-products expression for the given on-set.
+
+    Args:
+        variables: variable names, first name is the most-significant index bit.
+        minterms: indices where the function is 1.
+
+    Returns:
+        A :class:`~repro.logic.expr.BoolExpr`; constant 0/1 when the on-set is
+        empty/complete.
+    """
+    num_variables = len(variables)
+    unique = sorted(set(minterms))
+    if not unique:
+        return Const(0)
+    if len(unique) == 2**num_variables:
+        return Const(1)
+    primes = prime_implicants(unique, num_variables)
+    cover = minimal_cover(unique, primes)
+    return or_all([implicant.to_expr(variables) for implicant in cover])
+
+
+def minimize_expression(expression: BoolExpr) -> BoolExpr:
+    """Minimise an arbitrary boolean expression into a compact sum of products."""
+    variables = expression.variables()
+    if not variables:
+        return expression
+    return minimize_minterms(variables, expression.minterms())
+
+
+def literal_cost(expression: BoolExpr) -> int:
+    """A simple cost metric: total number of variable occurrences."""
+    if isinstance(expression, Var):
+        return 1
+    if isinstance(expression, Const):
+        return 0
+    if isinstance(expression, Not):
+        return literal_cost(expression.operand)
+    # Binary nodes expose .left / .right
+    return literal_cost(expression.left) + literal_cost(expression.right)  # type: ignore[attr-defined]

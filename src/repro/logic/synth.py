@@ -1,0 +1,137 @@
+"""Synthesis of boolean expressions into Verilog modules.
+
+The L-dataset flow embeds generated logical expressions into "pre-designed code
+templates" (step 11 of Fig. 2).  This module provides those templates: given a
+boolean expression (or an explicit truth table) it emits a complete, compilable
+Verilog module implementing it, in one of several implementation styles
+(continuous assignment, ``always @(*)`` with a case statement, or an if/else
+chain) — the styles HDL engineers conventionally use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .expr import BoolExpr
+
+#: Implementation styles supported by the synthesiser.
+STYLES = ("assign", "case", "if_else")
+
+
+@dataclass
+class SynthesisRequest:
+    """Parameters controlling module synthesis."""
+
+    module_name: str = "logic_unit"
+    output_name: str = "out"
+    style: str = "assign"
+    include_default: bool = True
+
+
+def expression_to_module(expression: BoolExpr, request: SynthesisRequest | None = None) -> str:
+    """Emit a Verilog module implementing ``expression``.
+
+    Args:
+        expression: boolean expression over 1-bit inputs.
+        request: synthesis options; defaults to an ``assign``-style module.
+
+    Returns:
+        Verilog source text of a complete module.
+    """
+    request = request or SynthesisRequest()
+    variables = expression.variables()
+    if not variables:
+        raise ValueError("expression must reference at least one variable")
+    if request.style == "assign":
+        return _assign_style(expression, variables, request)
+    if request.style == "case":
+        return _case_style(expression, variables, request)
+    if request.style == "if_else":
+        return _if_else_style(expression, variables, request)
+    raise ValueError(f"unknown synthesis style {request.style!r}")
+
+
+def truth_table_to_module(
+    variables: Sequence[str],
+    rows: Mapping[int, int],
+    request: SynthesisRequest | None = None,
+) -> str:
+    """Emit a module implementing an explicit truth table.
+
+    Args:
+        variables: input names, first is the most-significant select bit.
+        rows: mapping from input index to output bit (missing rows default to 0
+            via the ``default`` case arm).
+        request: synthesis options (the ``case`` style is always used).
+    """
+    request = request or SynthesisRequest(style="case")
+    ports = ",\n".join(f"    input {name}" for name in variables)
+    lines = [
+        f"module {request.module_name} (",
+        ports + ",",
+        f"    output reg {request.output_name}",
+        ");",
+        "    always @(*) begin",
+        "        case ({" + ", ".join(variables) + "})",
+    ]
+    width = len(variables)
+    for index in sorted(rows):
+        pattern = format(index, f"0{width}b")
+        lines.append(
+            f"            {width}'b{pattern}: {request.output_name} = 1'b{1 if rows[index] else 0};"
+        )
+    if request.include_default:
+        lines.append(f"            default: {request.output_name} = 1'b0;")
+    lines.extend(["        endcase", "    end", "endmodule", ""])
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- styles
+def _module_header(variables: Sequence[str], request: SynthesisRequest, output_is_reg: bool) -> list[str]:
+    ports = ",\n".join(f"    input {name}" for name in variables)
+    output_type = "output reg" if output_is_reg else "output"
+    return [
+        f"module {request.module_name} (",
+        ports + ",",
+        f"    {output_type} {request.output_name}",
+        ");",
+    ]
+
+
+def _assign_style(expression: BoolExpr, variables: Sequence[str], request: SynthesisRequest) -> str:
+    lines = _module_header(variables, request, output_is_reg=False)
+    lines.append(f"    assign {request.output_name} = {expression.to_verilog()};")
+    lines.extend(["endmodule", ""])
+    return "\n".join(lines)
+
+
+def _case_style(expression: BoolExpr, variables: Sequence[str], request: SynthesisRequest) -> str:
+    rows = {
+        index: value
+        for index, (_, value) in enumerate(expression.truth_table_rows())
+    }
+    return truth_table_to_module(variables, rows, SynthesisRequest(
+        module_name=request.module_name,
+        output_name=request.output_name,
+        style="case",
+        include_default=request.include_default,
+    ))
+
+
+def _if_else_style(expression: BoolExpr, variables: Sequence[str], request: SynthesisRequest) -> str:
+    lines = _module_header(variables, request, output_is_reg=True)
+    lines.append("    always @(*) begin")
+    first = True
+    for assignment, value in expression.truth_table_rows():
+        condition = " && ".join(
+            f"{name} == 1'b{assignment[name]}" for name in variables
+        )
+        keyword = "if" if first else "else if"
+        lines.append(f"        {keyword} ({condition})")
+        lines.append(f"            {request.output_name} = 1'b{value};")
+        first = False
+    lines.append("        else")
+    lines.append(f"            {request.output_name} = 1'b0;")
+    lines.extend(["    end", "endmodule", ""])
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Symbolic modalities: truth tables, waveform charts, state diagrams, detection."""
+
+from .detector import (
+    DetectionResult,
+    SymbolicComponent,
+    SymbolicDetector,
+    SymbolicModality,
+    detect_symbolic,
+)
+from .state_diagram import (
+    FSMGoldenModel,
+    StateDiagram,
+    StateDiagramError,
+    Transition,
+    looks_like_state_diagram,
+    parse_state_diagram,
+    random_state_diagram,
+)
+from .truth_table import TruthTable, TruthTableError, looks_like_truth_table, parse_truth_table
+from .waveform import Waveform, WaveformError, looks_like_waveform, parse_waveform
+
+__all__ = [
+    "DetectionResult",
+    "SymbolicComponent",
+    "SymbolicDetector",
+    "SymbolicModality",
+    "detect_symbolic",
+    "FSMGoldenModel",
+    "StateDiagram",
+    "StateDiagramError",
+    "Transition",
+    "looks_like_state_diagram",
+    "parse_state_diagram",
+    "random_state_diagram",
+    "TruthTable",
+    "TruthTableError",
+    "looks_like_truth_table",
+    "parse_truth_table",
+    "Waveform",
+    "WaveformError",
+    "looks_like_waveform",
+    "parse_waveform",
+]

@@ -1,0 +1,109 @@
+"""Detection of symbolic components inside natural-language prompts.
+
+This is step 1 of the SI-CoT flow ("Identify Symbolic Components"): given a user
+prompt, decide whether it embeds a truth table, waveform chart or state diagram,
+and split the prompt into its prose part and its symbolic block(s).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .state_diagram import looks_like_state_diagram, parse_state_diagram
+from .truth_table import looks_like_truth_table, parse_truth_table
+from .waveform import looks_like_waveform, parse_waveform
+
+
+class SymbolicModality(enum.Enum):
+    """The kind of symbolic component found in a prompt."""
+
+    TRUTH_TABLE = "truth_table"
+    WAVEFORM = "waveform"
+    STATE_DIAGRAM = "state_diagram"
+    NONE = "none"
+
+
+@dataclass
+class SymbolicComponent:
+    """One symbolic block extracted from a prompt."""
+
+    modality: SymbolicModality
+    text: str
+    parsed: object | None = None
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of analysing a prompt for symbolic components."""
+
+    modality: SymbolicModality
+    components: list[SymbolicComponent] = field(default_factory=list)
+    prose: str = ""
+
+    @property
+    def has_symbolic_content(self) -> bool:
+        return self.modality is not SymbolicModality.NONE
+
+
+class SymbolicDetector:
+    """Identify and extract symbolic components from prompt text."""
+
+    def detect(self, prompt: str) -> DetectionResult:
+        """Detect the (dominant) symbolic modality in ``prompt`` and parse it.
+
+        Detection is ordered state diagram → truth table → waveform, because a
+        state-diagram line can superficially look like a waveform line ("A: ...").
+        """
+        if looks_like_state_diagram(prompt):
+            return self._build_result(prompt, SymbolicModality.STATE_DIAGRAM)
+        if looks_like_truth_table(prompt):
+            return self._build_result(prompt, SymbolicModality.TRUTH_TABLE)
+        if looks_like_waveform(prompt):
+            return self._build_result(prompt, SymbolicModality.WAVEFORM)
+        return DetectionResult(modality=SymbolicModality.NONE, prose=prompt)
+
+    def _build_result(self, prompt: str, modality: SymbolicModality) -> DetectionResult:
+        symbolic_lines, prose_lines = self._split_lines(prompt, modality)
+        block = "\n".join(symbolic_lines)
+        parsed: object | None = None
+        try:
+            if modality is SymbolicModality.STATE_DIAGRAM:
+                parsed = parse_state_diagram(block)
+            elif modality is SymbolicModality.TRUTH_TABLE:
+                parsed = parse_truth_table(block)
+            elif modality is SymbolicModality.WAVEFORM:
+                parsed = parse_waveform(block)
+        except ValueError:
+            parsed = None
+        component = SymbolicComponent(modality=modality, text=block, parsed=parsed)
+        return DetectionResult(
+            modality=modality if parsed is not None else SymbolicModality.NONE,
+            components=[component] if parsed is not None else [],
+            prose="\n".join(prose_lines) if parsed is not None else prompt,
+        )
+
+    def _split_lines(self, prompt: str, modality: SymbolicModality) -> tuple[list[str], list[str]]:
+        symbolic: list[str] = []
+        prose: list[str] = []
+        for line in prompt.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                prose.append(line)
+                continue
+            if modality is SymbolicModality.STATE_DIAGRAM and looks_like_state_diagram(stripped + "\n" + stripped):
+                symbolic.append(stripped)
+            elif modality is SymbolicModality.TRUTH_TABLE and "|" in stripped:
+                symbolic.append(stripped)
+            elif modality is SymbolicModality.WAVEFORM and ":" in stripped and (
+                looks_like_waveform(stripped + "\n" + stripped) or stripped.lower().startswith("time")
+            ):
+                symbolic.append(stripped)
+            else:
+                prose.append(line)
+        return symbolic, prose
+
+
+def detect_symbolic(prompt: str) -> DetectionResult:
+    """Module-level convenience wrapper around :class:`SymbolicDetector`."""
+    return SymbolicDetector().detect(prompt)

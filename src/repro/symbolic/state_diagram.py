@@ -1,0 +1,374 @@
+"""State-diagram modality: representation, parsing, interpretation and FSM model.
+
+State diagrams are the symbolic modality the paper handles with the *CoT prompting
+model* rather than a plain parser (step 2 of Fig. 1), because their textual form
+is less regular.  The notation used in the paper's prompts is::
+
+    A[out=0]--[x=0]->B
+    A[out=0]--[x=1]->A
+    B[out=1]--[x=0]->A
+    B[out=1]--[x=1]->B
+
+i.e. ``<state>[<output assignments>]--[<input conditions>]-><next state>``, for a
+Moore machine whose outputs depend only on the current state.
+
+Besides parsing and rendering, this module provides:
+
+* :meth:`StateDiagram.interpret` — the Table III natural-language description;
+* :meth:`StateDiagram.to_golden_model` — an executable reference model for the
+  testbench runner;
+* :meth:`StateDiagram.to_verilog` — a conventional three-block FSM implementation
+  (state register, next-state logic, output logic) used by exemplars and the
+  simulated CodeGen-LLM.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+class StateDiagramError(ValueError):
+    """Raised when a state-diagram block cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single FSM transition edge."""
+
+    source: str
+    target: str
+    conditions: tuple[tuple[str, int], ...]
+
+    def matches(self, inputs: Mapping[str, int]) -> bool:
+        """Whether the transition's input conditions hold for ``inputs``."""
+        return all(int(inputs.get(name, 0)) == value for name, value in self.conditions)
+
+    def condition_text(self) -> str:
+        """Render the conditions as ``x=0, y=1`` (empty string when unconditional)."""
+        return ", ".join(f"{name}={value}" for name, value in self.conditions)
+
+
+@dataclass
+class StateDiagram:
+    """A Moore-style finite state machine described by a state diagram.
+
+    Attributes:
+        states: mapping from state name to its output assignments.
+        transitions: transition edges in listing order.
+        reset_state: the initial state (defaults to the first state listed).
+        input_names: FSM input signal names (derived from transition conditions).
+        output_names: FSM output signal names (derived from state outputs).
+    """
+
+    states: dict[str, dict[str, int]] = field(default_factory=dict)
+    transitions: list[Transition] = field(default_factory=list)
+    reset_state: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.reset_state is None and self.states:
+            self.reset_state = next(iter(self.states))
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def input_names(self) -> list[str]:
+        names: list[str] = []
+        for transition in self.transitions:
+            for name, _ in transition.conditions:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    @property
+    def output_names(self) -> list[str]:
+        names: list[str] = []
+        for outputs in self.states.values():
+            for name in outputs:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    @property
+    def state_names(self) -> list[str]:
+        return list(self.states)
+
+    def next_state(self, current: str, inputs: Mapping[str, int]) -> str:
+        """Return the successor of ``current`` under ``inputs`` (self-loop if none match)."""
+        for transition in self.transitions:
+            if transition.source == current and transition.matches(inputs):
+                return transition.target
+        return current
+
+    def outputs_of(self, state: str) -> dict[str, int]:
+        """Moore outputs of a state (missing outputs default to 0)."""
+        outputs = dict.fromkeys(self.output_names, 0)
+        outputs.update(self.states.get(state, {}))
+        return outputs
+
+    def is_complete(self) -> bool:
+        """Whether every state has a transition for every input combination."""
+        import itertools
+
+        inputs = self.input_names
+        for state in self.states:
+            for bits in itertools.product((0, 1), repeat=len(inputs)):
+                assignment = dict(zip(inputs, bits))
+                if not any(
+                    t.source == state and t.matches(assignment) for t in self.transitions
+                ):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ rendering
+    def to_prompt_text(self) -> str:
+        """Render in the arrow notation used by prompts."""
+        lines = []
+        for transition in self.transitions:
+            outputs = self.states.get(transition.source, {})
+            output_text = ",".join(f"{name}={value}" for name, value in outputs.items())
+            condition_text = ",".join(f"{name}={value}" for name, value in transition.conditions)
+            lines.append(
+                f"{transition.source}[{output_text}]--[{condition_text}]->{transition.target}"
+            )
+        return "\n".join(lines)
+
+    def interpret(self) -> str:
+        """Produce the Table III natural-language description."""
+        state_lines = []
+        for index, (state, outputs) in enumerate(self.states.items(), start=1):
+            output_text = ", ".join(f"{name}={value}" for name, value in outputs.items())
+            state_lines.append(f"{index}. state {state}({output_text})")
+        lines = ["States&Outputs: " + "; ".join(state_lines), "State transition:"]
+        for index, state in enumerate(self.states, start=1):
+            outgoing = [t for t in self.transitions if t.source == state]
+            if not outgoing:
+                lines.append(f"{index}. From state {state}: no outgoing transitions")
+                continue
+            clauses = []
+            for transition in outgoing:
+                condition = transition.condition_text() or "always"
+                clauses.append(f"If {condition}, then transit to state {transition.target}")
+            lines.append(f"{index}. From state {state}: " + "; ".join(clauses))
+        if self.reset_state is not None:
+            lines.append(f"Reset state: {self.reset_state}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ executable models
+    def to_golden_model(self) -> "FSMGoldenModel":
+        """Return an executable reference model for the testbench runner."""
+        return FSMGoldenModel(self)
+
+    def to_verilog(
+        self,
+        module_name: str = "fsm",
+        clock: str = "clk",
+        reset: str = "rst",
+        async_reset: bool = True,
+        swap_states: tuple[str, str] | None = None,
+    ) -> str:
+        """Emit a conventional three-block FSM implementation.
+
+        Args:
+            module_name: generated module name.
+            clock: clock signal name.
+            reset: reset signal name (active high).
+            async_reset: include the reset edge in the sensitivity list.
+            swap_states: when given, the two named states are swapped in the
+                next-state logic — used by the corruption injector to model the
+                "state diagram misinterpretation" hallucination of Table II.
+        """
+        states = self.state_names
+        width = max(1, (len(states) - 1).bit_length())
+        inputs = self.input_names
+        outputs = self.output_names
+
+        def encoded(name: str) -> str:
+            return f"{width}'d{states.index(name)}"
+
+        remap = {}
+        if swap_states is not None:
+            first, second = swap_states
+            remap = {first: second, second: first}
+
+        lines = [f"module {module_name} ("]
+        lines.append(f"    input {clock},")
+        lines.append(f"    input {reset},")
+        for name in inputs:
+            lines.append(f"    input {name},")
+        for index, name in enumerate(outputs):
+            comma = "," if index < len(outputs) - 1 else ""
+            lines.append(f"    output reg {name}{comma}")
+        lines.append(");")
+        for index, state in enumerate(states):
+            lines.append(f"    localparam {state} = {width}'d{index};")
+        lines.append(f"    reg [{width - 1}:0] state, next_state;")
+        lines.append("")
+        sensitivity = f"posedge {clock} or posedge {reset}" if async_reset else f"posedge {clock}"
+        lines.append(f"    always @({sensitivity}) begin")
+        lines.append(f"        if ({reset})")
+        lines.append(f"            state <= {self.reset_state};")
+        lines.append("        else")
+        lines.append("            state <= next_state;")
+        lines.append("    end")
+        lines.append("")
+        lines.append("    always @(*) begin")
+        lines.append("        next_state = state;")
+        lines.append("        case (state)")
+        for state in states:
+            outgoing = [t for t in self.transitions if t.source == state]
+            lines.append(f"            {state}: begin")
+            for transition in outgoing:
+                target = remap.get(transition.target, transition.target)
+                if transition.conditions:
+                    condition = " && ".join(
+                        f"{name} == 1'b{value}" for name, value in transition.conditions
+                    )
+                    lines.append(f"                if ({condition}) next_state = {target};")
+                else:
+                    lines.append(f"                next_state = {target};")
+            lines.append("            end")
+        lines.append("            default: next_state = " + str(self.reset_state) + ";")
+        lines.append("        endcase")
+        lines.append("    end")
+        lines.append("")
+        lines.append("    always @(*) begin")
+        for name in outputs:
+            lines.append(f"        {name} = 1'b0;")
+        lines.append("        case (state)")
+        for state in states:
+            assignments = self.outputs_of(state)
+            lines.append(f"            {state}: begin")
+            for name in outputs:
+                lines.append(f"                {name} = 1'b{assignments.get(name, 0)};")
+            lines.append("            end")
+        lines.append("            default: begin")
+        for name in outputs:
+            lines.append(f"                {name} = 1'b0;")
+        lines.append("            end")
+        lines.append("        endcase")
+        lines.append("    end")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"
+
+
+class FSMGoldenModel:
+    """Executable golden model for a :class:`StateDiagram` (Moore semantics)."""
+
+    is_sequential = True
+
+    def __init__(self, diagram: StateDiagram):
+        self.diagram = diagram
+        self.state = diagram.reset_state
+
+    def reset(self) -> None:
+        """Return to the diagram's reset state."""
+        self.state = self.diagram.reset_state
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Advance one clock cycle and return the post-edge Moore outputs."""
+        if self.state is None:
+            raise StateDiagramError("state diagram has no states")
+        self.state = self.diagram.next_state(self.state, inputs)
+        return self.diagram.outputs_of(self.state)
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Combinational view (outputs of the current state); provided for protocol compatibility."""
+        if self.state is None:
+            raise StateDiagramError("state diagram has no states")
+        return self.diagram.outputs_of(self.state)
+
+
+# --------------------------------------------------------------------------- parsing
+_EDGE_PATTERN = re.compile(
+    r"""^\s*
+    (?P<source>\w+)\s*
+    (?:\[(?P<outputs>[^\]]*)\])?\s*
+    [-–—]+\s*
+    (?:\[(?P<conditions>[^\]]*)\])?\s*
+    [-–—]*>\s*
+    (?P<target>\w+)\s*$""",
+    re.VERBOSE,
+)
+
+
+def looks_like_state_diagram(text: str) -> bool:
+    """Cheap check used by the symbolic detector."""
+    count = 0
+    for line in text.splitlines():
+        if _EDGE_PATTERN.match(line.strip()):
+            count += 1
+    return count >= 2
+
+
+def _parse_assignments(text: str | None) -> list[tuple[str, int]]:
+    assignments: list[tuple[str, int]] = []
+    if not text:
+        return assignments
+    for clause in re.split(r"[,;]", text):
+        clause = clause.strip()
+        if not clause:
+            continue
+        match = re.match(r"(\w+)\s*=+\s*(\d+)", clause)
+        if match:
+            assignments.append((match.group(1), int(match.group(2))))
+    return assignments
+
+
+def parse_state_diagram(text: str) -> StateDiagram:
+    """Parse the arrow notation into a :class:`StateDiagram`.
+
+    Raises:
+        StateDiagramError: if fewer than two transition edges are found.
+    """
+    diagram = StateDiagram()
+    for raw_line in text.splitlines():
+        line = raw_line.strip().rstrip(".")
+        if not line:
+            continue
+        match = _EDGE_PATTERN.match(line)
+        if not match:
+            continue
+        source = match.group("source")
+        target = match.group("target")
+        outputs = dict(_parse_assignments(match.group("outputs")))
+        conditions = tuple(_parse_assignments(match.group("conditions")))
+        if source not in diagram.states:
+            diagram.states[source] = {}
+        diagram.states[source].update(outputs)
+        if target not in diagram.states:
+            diagram.states[target] = {}
+        diagram.transitions.append(Transition(source=source, target=target, conditions=conditions))
+    if len(diagram.transitions) < 2:
+        raise StateDiagramError("no state diagram found in text")
+    if diagram.reset_state is None:
+        diagram.reset_state = next(iter(diagram.states))
+    return diagram
+
+
+def random_state_diagram(
+    num_states: int = 3,
+    inputs: Sequence[str] = ("x",),
+    outputs: Sequence[str] = ("out",),
+    seed: int = 0,
+) -> StateDiagram:
+    """Generate a random complete Moore FSM (used by benchmark/dataset generators)."""
+    import itertools
+    import random as _random
+
+    rng = _random.Random(seed)
+    names = [chr(ord("A") + index) for index in range(num_states)]
+    diagram = StateDiagram()
+    for name in names:
+        diagram.states[name] = {output: rng.randint(0, 1) for output in outputs}
+    # Avoid the degenerate all-same-output machine.
+    if len({tuple(sorted(v.items())) for v in diagram.states.values()}) == 1:
+        first_output = outputs[0]
+        diagram.states[names[-1]][first_output] = 1 - diagram.states[names[0]][first_output]
+    for name in names:
+        for bits in itertools.product((0, 1), repeat=len(inputs)):
+            conditions = tuple(zip(inputs, bits))
+            target = rng.choice(names)
+            diagram.transitions.append(Transition(source=name, target=target, conditions=conditions))
+    diagram.reset_state = names[0]
+    return diagram

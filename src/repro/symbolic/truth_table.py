@@ -1,0 +1,181 @@
+"""Truth-table modality: representation, parsing and interpretation.
+
+A truth table is one of the three "regular modalities" the paper's SI-CoT stage
+handles with a deterministic parser (step 2 of Fig. 1).  This module provides:
+
+* :class:`TruthTable` — the semantic object (input names, output names, rows);
+* :func:`parse_truth_table` — parse the pipe-separated textual format used in
+  prompts (``a | b | out`` followed by value rows);
+* :meth:`TruthTable.to_prompt_text` — render back into prompt form;
+* :meth:`TruthTable.interpret` — produce the uniform natural-language instruction
+  format of Table III ("Variables: ... Rules: If a=0, b=0, then out=0; ...").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..logic.expr import BoolExpr, expr_from_minterms
+from ..logic.minimize import minimize_minterms
+
+
+class TruthTableError(ValueError):
+    """Raised when a truth-table block cannot be parsed."""
+
+
+@dataclass
+class TruthTable:
+    """A complete or partial truth table over single-bit signals.
+
+    Attributes:
+        inputs: input column names, in column order.
+        outputs: output column names, in column order.
+        rows: one entry per table row, mapping column name to its 0/1 value.
+    """
+
+    inputs: list[str]
+    outputs: list[str]
+    rows: list[dict[str, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_function(
+        cls,
+        inputs: Sequence[str],
+        output: str,
+        function: Mapping[int, int] | None = None,
+        expression: BoolExpr | None = None,
+    ) -> "TruthTable":
+        """Build a complete table from an index→value map or a boolean expression."""
+        table = cls(inputs=list(inputs), outputs=[output])
+        for index, bits in enumerate(itertools.product((0, 1), repeat=len(inputs))):
+            row = dict(zip(inputs, bits))
+            if expression is not None:
+                row[output] = expression.evaluate(row)
+            elif function is not None:
+                row[output] = function.get(index, 0)
+            else:
+                raise TruthTableError("either function or expression must be provided")
+            table.rows.append(row)
+        return table
+
+    # ------------------------------------------------------------------ queries
+    def is_complete(self) -> bool:
+        """Whether every input combination appears exactly once."""
+        seen = {tuple(row[name] for name in self.inputs) for row in self.rows}
+        return len(seen) == 2 ** len(self.inputs) and len(self.rows) == len(seen)
+
+    def output_for(self, assignment: Mapping[str, int], output: str | None = None) -> int | None:
+        """Look up the output value for an input assignment (``None`` if absent)."""
+        output = output or self.outputs[0]
+        key = tuple(int(assignment[name]) for name in self.inputs)
+        for row in self.rows:
+            if tuple(row[name] for name in self.inputs) == key:
+                return row[output]
+        return None
+
+    def minterms(self, output: str | None = None) -> list[int]:
+        """Minterm indices (first input is the most-significant bit)."""
+        output = output or self.outputs[0]
+        result: list[int] = []
+        for row in self.rows:
+            if row[output]:
+                index = 0
+                for name in self.inputs:
+                    index = (index << 1) | row[name]
+                result.append(index)
+        return sorted(result)
+
+    def to_expression(self, output: str | None = None, minimize: bool = True) -> BoolExpr:
+        """Convert one output column into a boolean expression."""
+        terms = self.minterms(output)
+        if minimize:
+            return minimize_minterms(self.inputs, terms)
+        return expr_from_minterms(self.inputs, terms)
+
+    # ------------------------------------------------------------------ rendering
+    def to_prompt_text(self) -> str:
+        """Render in the pipe-separated prompt format."""
+        header = " | ".join(self.inputs + self.outputs)
+        lines = [header]
+        for row in self.rows:
+            lines.append(" | ".join(str(row[name]) for name in self.inputs + self.outputs))
+        return "\n".join(lines)
+
+    def interpret(self) -> str:
+        """Produce the uniform instruction format of Table III."""
+        variable_lines = [
+            f"{index + 1}. {name}(input)" for index, name in enumerate(self.inputs)
+        ] + [
+            f"{len(self.inputs) + index + 1}. {name}(output)"
+            for index, name in enumerate(self.outputs)
+        ]
+        lines = ["Variables: " + "; ".join(variable_lines), "Rules:"]
+        for number, row in enumerate(self.rows, start=1):
+            conditions = ", ".join(f"{name}={row[name]}" for name in self.inputs)
+            results = ", ".join(f"{name}={row[name]}" for name in self.outputs)
+            lines.append(f"{number}. If {conditions}, then {results};")
+        return "\n".join(lines)
+
+
+def looks_like_truth_table(text: str) -> bool:
+    """Cheap check used by the symbolic detector."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    piped = [line for line in lines if "|" in line and "->" not in line and "--" not in line]
+    if len(piped) < 3:
+        return False
+    value_rows = 0
+    for line in piped[1:]:
+        cells = [cell.strip() for cell in line.split("|")]
+        if cells and all(cell in {"0", "1", "x", "X", "-", "d"} for cell in cells if cell):
+            value_rows += 1
+    return value_rows >= 2
+
+
+def parse_truth_table(text: str) -> TruthTable:
+    """Parse the pipe-separated truth-table format.
+
+    The first pipe-containing line is the header; the remaining pipe lines are
+    value rows.  Columns whose header name starts with ``out``, ``y``, ``q``, ``f``
+    or ``z`` are treated as outputs (with at least the last column always an
+    output), matching how benchmark prompts write tables.
+
+    Raises:
+        TruthTableError: if no plausible table is present.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    piped = [line for line in lines if "|" in line]
+    if len(piped) < 2:
+        raise TruthTableError("no truth table found in text")
+    header_cells = [cell.strip() for cell in piped[0].split("|") if cell.strip()]
+    if not header_cells:
+        raise TruthTableError("truth table header is empty")
+
+    output_markers = ("out", "y", "q", "f", "z")
+    outputs = [
+        name
+        for name in header_cells
+        if name.lower().startswith(output_markers)
+    ]
+    if not outputs:
+        outputs = [header_cells[-1]]
+    inputs = [name for name in header_cells if name not in outputs]
+    if not inputs:
+        raise TruthTableError("truth table has no input columns")
+
+    table = TruthTable(inputs=inputs, outputs=outputs)
+    for line in piped[1:]:
+        cells = [cell.strip() for cell in line.split("|")]
+        cells = [cell for cell in cells if cell != ""]
+        if len(cells) != len(header_cells):
+            continue
+        try:
+            values = [int(cell) for cell in cells]
+        except ValueError:
+            continue
+        table.rows.append(dict(zip(header_cells, values)))
+    if not table.rows:
+        raise TruthTableError("truth table has no value rows")
+    return table

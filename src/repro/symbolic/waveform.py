@@ -1,0 +1,194 @@
+"""Waveform-chart modality: representation, parsing and interpretation.
+
+Waveform charts are the second "regular modality" handled by a deterministic
+parser in the SI-CoT stage.  A chart lists one line per signal with its sampled
+values over time, optionally followed by a ``time(ns):`` line giving the sample
+instants:
+
+.. code-block:: text
+
+    a:    0 1 1 0
+    b:    1 0 1 0
+    out:  1 0 0 1
+    time(ns): 0 10 20 30
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic.expr import BoolExpr
+from .truth_table import TruthTable
+
+
+class WaveformError(ValueError):
+    """Raised when a waveform block cannot be parsed."""
+
+
+@dataclass
+class Waveform:
+    """A sampled waveform chart.
+
+    Attributes:
+        signals: mapping from signal name to its sample values, in listing order.
+        times: sample instants in nanoseconds (generated as 0, 10, 20... when the
+            prompt omits the time line).
+        output_names: names treated as outputs (defaults to names starting with
+            ``out``/``y``/``q``/``f``, else the last listed signal).
+    """
+
+    signals: dict[str, list[int]] = field(default_factory=dict)
+    times: list[int] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.signals and not self.times:
+            length = len(next(iter(self.signals.values())))
+            self.times = [10 * index for index in range(length)]
+        if self.signals and not self.output_names:
+            markers = ("out", "y", "q", "f")
+            detected = [name for name in self.signals if name.lower().startswith(markers)]
+            self.output_names = detected or [list(self.signals)[-1]]
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_expression(
+        cls,
+        expression: BoolExpr,
+        output: str = "out",
+        samples: Sequence[dict[str, int]] | None = None,
+        num_samples: int = 8,
+        seed: int = 0,
+    ) -> "Waveform":
+        """Build a waveform by sampling a combinational expression."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        inputs = expression.variables()
+        if samples is None:
+            samples = [
+                {name: rng.randint(0, 1) for name in inputs} for _ in range(num_samples)
+            ]
+        signals: dict[str, list[int]] = {name: [] for name in inputs}
+        signals[output] = []
+        for sample in samples:
+            for name in inputs:
+                signals[name].append(sample[name])
+            signals[output].append(expression.evaluate(sample))
+        return cls(signals=signals, output_names=[output])
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def input_names(self) -> list[str]:
+        return [name for name in self.signals if name not in self.output_names]
+
+    @property
+    def num_samples(self) -> int:
+        if not self.signals:
+            return 0
+        return min(len(values) for values in self.signals.values())
+
+    def sample(self, index: int) -> dict[str, int]:
+        """Return all signal values at sample ``index``."""
+        return {name: values[index] for name, values in self.signals.items()}
+
+    def to_truth_table(self) -> TruthTable:
+        """Collapse the samples into a (possibly partial) truth table.
+
+        Conflicting samples (same inputs, different output) keep the first
+        occurrence, which mirrors how an engineer would read the chart.
+        """
+        inputs = self.input_names
+        outputs = self.output_names
+        table = TruthTable(inputs=inputs, outputs=outputs)
+        seen: set[tuple[int, ...]] = set()
+        for index in range(self.num_samples):
+            sample = self.sample(index)
+            key = tuple(sample[name] for name in inputs)
+            if key in seen:
+                continue
+            seen.add(key)
+            table.rows.append({name: sample[name] for name in inputs + outputs})
+        return table
+
+    # ------------------------------------------------------------------ rendering
+    def to_prompt_text(self, include_time: bool = True) -> str:
+        """Render in the prompt format (one line per signal)."""
+        lines = [
+            f"{name}: " + " ".join(str(value) for value in values)
+            for name, values in self.signals.items()
+        ]
+        if include_time:
+            lines.append("time(ns): " + " ".join(str(time) for time in self.times[: self.num_samples]))
+        return "\n".join(lines)
+
+    def interpret(self) -> str:
+        """Produce the uniform instruction format of Table III."""
+        inputs = self.input_names
+        outputs = self.output_names
+        variable_lines = [f"{index + 1}. {name}(input)" for index, name in enumerate(inputs)]
+        variable_lines += [
+            f"{len(inputs) + index + 1}. {name}(output)" for index, name in enumerate(outputs)
+        ]
+        lines = ["Variables: " + "; ".join(variable_lines), "Rules:"]
+        for index in range(self.num_samples):
+            sample = self.sample(index)
+            time = self.times[index] if index < len(self.times) else 10 * index
+            values = ", ".join(f"{name}={sample[name]}" for name in inputs + outputs)
+            lines.append(f"When time is {time}ns, {values};")
+        return "\n".join(lines)
+
+
+def looks_like_waveform(text: str) -> bool:
+    """Cheap check used by the symbolic detector."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    signal_lines = 0
+    for line in lines:
+        if ":" not in line or "->" in line:
+            continue
+        name, _, rest = line.partition(":")
+        samples = rest.split()
+        if (
+            name.strip()
+            and len(samples) >= 3
+            and all(sample in {"0", "1", "x", "z"} for sample in samples)
+        ):
+            signal_lines += 1
+    return signal_lines >= 2
+
+
+def parse_waveform(text: str) -> Waveform:
+    """Parse the one-line-per-signal waveform format.
+
+    Raises:
+        WaveformError: if fewer than two signal lines are present.
+    """
+    signals: dict[str, list[int]] = {}
+    times: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if ":" not in line or "->" in line:
+            continue
+        name, _, rest = line.partition(":")
+        name = name.strip()
+        samples = rest.replace("...", " ").split()
+        if not name or not samples:
+            continue
+        if name.lower().startswith("time"):
+            try:
+                times = [int(sample) for sample in samples]
+            except ValueError:
+                continue
+            continue
+        try:
+            values = [int(sample) for sample in samples]
+        except ValueError:
+            continue
+        if all(value in (0, 1) for value in values):
+            signals[name] = values
+    if len(signals) < 2:
+        raise WaveformError("no waveform chart found in text")
+    length = min(len(values) for values in signals.values())
+    signals = {name: values[:length] for name, values in signals.items()}
+    return Waveform(signals=signals, times=times[:length] if times else [])

@@ -1,0 +1,50 @@
+"""Verilog language substrate: lexer, parser, AST, checker, analyzer, simulator.
+
+This package is the reproduction's stand-in for the external HDL tooling the paper
+relies on (the ``slang`` parser for topic matching and an industry-standard
+compiler/simulator for verification and pass@k scoring).
+"""
+
+from . import ast_nodes
+from .analyzer import AnalysisResult, Attribute, ModuleAnalyzer, Topic, analyze_module, analyze_source
+from .errors import (
+    ElaborationError,
+    LexerError,
+    ParseError,
+    SemanticError,
+    SimulationError,
+    VerilogError,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_module, parse_source
+from .syntax_checker import CompileResult, Diagnostic, SyntaxChecker, check_source, compiles
+from .writer import VerilogWriter, write_module, write_source
+
+__all__ = [
+    "ast_nodes",
+    "AnalysisResult",
+    "Attribute",
+    "ModuleAnalyzer",
+    "Topic",
+    "analyze_module",
+    "analyze_source",
+    "ElaborationError",
+    "LexerError",
+    "ParseError",
+    "SemanticError",
+    "SimulationError",
+    "VerilogError",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_module",
+    "parse_source",
+    "CompileResult",
+    "Diagnostic",
+    "SyntaxChecker",
+    "check_source",
+    "compiles",
+    "VerilogWriter",
+    "write_module",
+    "write_source",
+]

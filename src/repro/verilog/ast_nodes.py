@@ -1,0 +1,414 @@
+"""Typed AST node definitions for the Verilog-2001 subset.
+
+All nodes are plain dataclasses.  The AST is intentionally close to the concrete
+syntax so that :mod:`repro.verilog.writer` can regenerate readable source and the
+analyzer/simulator can walk it without a lowering pass.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------- misc
+class PortDirection(enum.Enum):
+    """Direction of a module port."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+class NetType(enum.Enum):
+    """Data type of a declared net or variable."""
+
+    WIRE = "wire"
+    REG = "reg"
+    INTEGER = "integer"
+
+
+class EdgeKind(enum.Enum):
+    """Edge qualifier inside a sensitivity list."""
+
+    POSEDGE = "posedge"
+    NEGEDGE = "negedge"
+    LEVEL = "level"
+    ANY = "any"  # ``always @(*)``
+
+
+# --------------------------------------------------------------------------- expressions
+@dataclass
+class Expression:
+    """Base class for all expression nodes."""
+
+
+@dataclass
+class Identifier(Expression):
+    """A reference to a net, variable, parameter or genvar."""
+
+    name: str
+
+
+@dataclass
+class Number(Expression):
+    """A literal number.
+
+    Attributes:
+        value: integer value with ``x``/``z`` digits treated as 0 (``xz_mask`` records them).
+        width: declared width, or ``None`` for unsized literals.
+        base: one of ``b``, ``o``, ``d``, ``h`` or ``None`` for plain decimals.
+        signed: whether the literal carries the ``s`` marker.
+        xz_mask: bitmask of positions holding ``x``/``z`` digits.
+        text: original literal text (used for faithful re-emission).
+    """
+
+    value: int
+    width: int | None = None
+    base: str | None = None
+    signed: bool = False
+    xz_mask: int = 0
+    text: str | None = None
+
+
+@dataclass
+class StringLiteral(Expression):
+    """A string literal (testbench/system-task contexts only)."""
+
+    value: str
+
+
+@dataclass
+class UnaryOp(Expression):
+    """A prefix unary operation such as ``~a`` or the reduction ``|bus``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    """A binary operation such as ``a + b`` or ``sel && en``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Ternary(Expression):
+    """The conditional operator ``cond ? a : b``."""
+
+    condition: Expression
+    if_true: Expression
+    if_false: Expression
+
+
+@dataclass
+class Concat(Expression):
+    """A concatenation ``{a, b, c}``."""
+
+    parts: list[Expression]
+
+
+@dataclass
+class Replication(Expression):
+    """A replication ``{4{bit}}``."""
+
+    count: Expression
+    value: Expression
+
+
+@dataclass
+class BitSelect(Expression):
+    """A single-bit select ``bus[i]``."""
+
+    target: Expression
+    index: Expression
+
+
+@dataclass
+class PartSelect(Expression):
+    """A constant part select ``bus[msb:lsb]`` or indexed ``bus[i +: w]``."""
+
+    target: Expression
+    msb: Expression
+    lsb: Expression
+    mode: str = ":"  # ":", "+:", "-:"
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A call to a user function or system function (``$signed`` etc.)."""
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- statements
+@dataclass
+class Statement:
+    """Base class for procedural statements."""
+
+
+@dataclass
+class Block(Statement):
+    """A ``begin ... end`` block, optionally named."""
+
+    statements: list[Statement] = field(default_factory=list)
+    name: str | None = None
+
+
+@dataclass
+class BlockingAssign(Statement):
+    """A blocking assignment ``lhs = rhs;``."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass
+class NonBlockingAssign(Statement):
+    """A non-blocking assignment ``lhs <= rhs;``."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass
+class IfStatement(Statement):
+    """An ``if``/``else`` statement."""
+
+    condition: Expression
+    then_branch: Statement | None
+    else_branch: Statement | None = None
+
+
+@dataclass
+class CaseItem:
+    """One arm of a case statement; ``expressions`` empty means ``default``."""
+
+    expressions: list[Expression]
+    body: Statement | None
+    is_default: bool = False
+
+
+@dataclass
+class CaseStatement(Statement):
+    """A ``case``/``casez``/``casex`` statement."""
+
+    kind: str  # "case", "casez", "casex"
+    subject: Expression
+    items: list[CaseItem] = field(default_factory=list)
+
+
+@dataclass
+class ForLoop(Statement):
+    """A procedural ``for`` loop with blocking-assignment init/step."""
+
+    init: BlockingAssign
+    condition: Expression
+    step: BlockingAssign
+    body: Statement | None
+
+
+@dataclass
+class WhileLoop(Statement):
+    """A procedural ``while`` loop."""
+
+    condition: Expression
+    body: Statement | None
+
+
+@dataclass
+class RepeatLoop(Statement):
+    """A ``repeat (n)`` loop."""
+
+    count: Expression
+    body: Statement | None
+
+
+@dataclass
+class DelayStatement(Statement):
+    """A delayed statement ``#10 body`` (testbench contexts)."""
+
+    delay: Expression
+    body: Statement | None
+
+
+@dataclass
+class EventWait(Statement):
+    """An event control statement ``@(posedge clk) body``."""
+
+    events: list[SensitivityItem]
+    body: Statement | None
+
+
+@dataclass
+class SystemTaskCall(Statement):
+    """A system task invocation such as ``$display(...)`` or ``$finish;``."""
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class NullStatement(Statement):
+    """An empty statement (bare ``;``)."""
+
+
+# --------------------------------------------------------------------------- module items
+@dataclass
+class SensitivityItem:
+    """One entry of a sensitivity list."""
+
+    edge: EdgeKind
+    signal: Expression | None  # ``None`` for ``@(*)``
+
+
+@dataclass
+class Range:
+    """A packed vector range ``[msb:lsb]``."""
+
+    msb: Expression
+    lsb: Expression
+
+
+@dataclass
+class ModuleItem:
+    """Base class for items appearing directly inside a module body."""
+
+
+@dataclass
+class Port:
+    """A module port, possibly with an inline declaration (ANSI style)."""
+
+    name: str
+    direction: PortDirection | None = None
+    net_type: NetType | None = None
+    range: Range | None = None
+    signed: bool = False
+
+
+@dataclass
+class NetDeclaration(ModuleItem):
+    """A ``wire``/``reg``/``integer`` declaration (possibly with initialiser)."""
+
+    net_type: NetType
+    names: list[str]
+    range: Range | None = None
+    signed: bool = False
+    array_range: Range | None = None
+    initial_values: dict[str, Expression] = field(default_factory=dict)
+
+
+@dataclass
+class PortDeclaration(ModuleItem):
+    """A non-ANSI port direction declaration inside the module body."""
+
+    direction: PortDirection
+    names: list[str]
+    net_type: NetType | None = None
+    range: Range | None = None
+    signed: bool = False
+
+
+@dataclass
+class ParameterDeclaration(ModuleItem):
+    """A ``parameter`` or ``localparam`` declaration."""
+
+    names: dict[str, Expression]
+    local: bool = False
+    range: Range | None = None
+    signed: bool = False
+
+
+@dataclass
+class ContinuousAssign(ModuleItem):
+    """A continuous assignment ``assign lhs = rhs;``."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass
+class AlwaysBlock(ModuleItem):
+    """An ``always`` block with its sensitivity list and body."""
+
+    sensitivity: list[SensitivityItem]
+    body: Statement | None
+
+
+@dataclass
+class InitialBlock(ModuleItem):
+    """An ``initial`` block (used by testbench-style code and initialisation)."""
+
+    body: Statement | None
+
+
+@dataclass
+class PortConnection:
+    """A port connection inside a module instantiation."""
+
+    port: str | None  # ``None`` for positional connections
+    expression: Expression | None
+
+
+@dataclass
+class ModuleInstance(ModuleItem):
+    """A module instantiation."""
+
+    module_name: str
+    instance_name: str
+    connections: list[PortConnection] = field(default_factory=list)
+    parameter_overrides: list[PortConnection] = field(default_factory=list)
+
+
+@dataclass
+class GenvarDeclaration(ModuleItem):
+    """A ``genvar`` declaration (kept for syntax acceptance)."""
+
+    names: list[str]
+
+
+@dataclass
+class FunctionDeclaration(ModuleItem):
+    """A Verilog ``function`` definition."""
+
+    name: str
+    range: Range | None
+    inputs: list[PortDeclaration]
+    locals: list[NetDeclaration]
+    body: Statement | None
+
+
+@dataclass
+class Module:
+    """A Verilog module definition."""
+
+    name: str
+    ports: list[Port] = field(default_factory=list)
+    items: list[ModuleItem] = field(default_factory=list)
+    parameters: dict[str, Expression] = field(default_factory=dict)
+
+    def port_names(self) -> list[str]:
+        """Return the declared port names in declaration order."""
+        return [port.name for port in self.ports]
+
+    def find_items(self, item_type: type) -> list[ModuleItem]:
+        """Return all module items of the given type."""
+        return [item for item in self.items if isinstance(item, item_type)]
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file: an ordered collection of modules."""
+
+    modules: list[Module] = field(default_factory=list)
+
+    def find_module(self, name: str) -> Module | None:
+        """Return the module with the given name, or ``None``."""
+        for module in self.modules:
+            if module.name == name:
+                return module
+        return None

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Verilog front-end and simulator."""
+
+from __future__ import annotations
+
+
+class VerilogError(Exception):
+    """Base class for all errors raised by :mod:`repro.verilog`."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            if column is not None:
+                location += f", col {column}"
+            location += ")"
+        super().__init__(f"{message}{location}")
+
+
+class LexerError(VerilogError):
+    """Raised when the lexer encounters an unrecognisable character sequence."""
+
+
+class ParseError(VerilogError):
+    """Raised when the token stream does not form a valid construct."""
+
+
+class SemanticError(VerilogError):
+    """Raised by the syntax/semantic checker for legal-syntax but illegal programs."""
+
+
+class ElaborationError(VerilogError):
+    """Raised when a design cannot be elaborated (unknown module, port mismatch...)."""
+
+
+class SimulationError(VerilogError):
+    """Raised when the simulator cannot execute a design."""

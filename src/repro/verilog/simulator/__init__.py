@@ -1,0 +1,35 @@
+"""Event-free functional Verilog simulator used for functional pass@k scoring."""
+
+from .values import LogicVector, concat_all
+from .eval import EvalContext, ExpressionEvaluator
+from .scheduler import Process, ProcessKind, SignalStore, StatementExecutor
+from .simulator import ModuleSimulator, simulate_combinational
+from .testbench import (
+    CombinationalGolden,
+    GoldenModel,
+    Mismatch,
+    ResetSpec,
+    TestbenchResult,
+    TestbenchRunner,
+    run_functional_check,
+)
+
+__all__ = [
+    "LogicVector",
+    "concat_all",
+    "EvalContext",
+    "ExpressionEvaluator",
+    "Process",
+    "ProcessKind",
+    "SignalStore",
+    "StatementExecutor",
+    "ModuleSimulator",
+    "simulate_combinational",
+    "CombinationalGolden",
+    "GoldenModel",
+    "Mismatch",
+    "ResetSpec",
+    "TestbenchResult",
+    "TestbenchRunner",
+    "run_functional_check",
+]

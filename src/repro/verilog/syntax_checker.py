@@ -1,0 +1,330 @@
+"""Syntax and semantic checking for Verilog source.
+
+This module plays the role of the "industry-standard Verilog compiler" the paper
+uses in two places:
+
+* step 8 of the K-dataset flow — filtering out instruction-code pairs whose code
+  does not compile; and
+* the *syntax pass@k* metric reported for RTLLM v1.1.
+
+The checker runs the lexer and parser and then performs a set of semantic checks
+(undeclared identifiers, port-direction violations, procedural assignment to nets,
+continuous assignment to variables, duplicate declarations, missing module ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as ast
+from .errors import VerilogError
+from .parser import parse_source
+
+
+@dataclass
+class Diagnostic:
+    """A single compiler message."""
+
+    severity: str  # "error" or "warning"
+    message: str
+    line: int | None = None
+
+    def __str__(self) -> str:
+        location = f" (line {self.line})" if self.line is not None else ""
+        return f"{self.severity}: {self.message}{location}"
+
+
+@dataclass
+class CompileResult:
+    """Outcome of checking a piece of Verilog source."""
+
+    ok: bool
+    errors: list[Diagnostic] = field(default_factory=list)
+    warnings: list[Diagnostic] = field(default_factory=list)
+    source_file: ast.SourceFile | None = None
+
+    @property
+    def error_messages(self) -> list[str]:
+        """Plain-string error messages, convenient for logging and tests."""
+        return [str(diag) for diag in self.errors]
+
+
+class SyntaxChecker:
+    """Compile-check Verilog source text."""
+
+    def check(self, source: str) -> CompileResult:
+        """Lex, parse and semantically check ``source``."""
+        try:
+            design = parse_source(source)
+        except VerilogError as exc:
+            return CompileResult(
+                ok=False,
+                errors=[Diagnostic("error", exc.message, exc.line)],
+            )
+        errors: list[Diagnostic] = []
+        warnings: list[Diagnostic] = []
+        if not design.modules:
+            errors.append(Diagnostic("error", "source contains no module definition"))
+        seen_modules: set[str] = set()
+        for module in design.modules:
+            if module.name in seen_modules:
+                errors.append(Diagnostic("error", f"duplicate module name {module.name!r}"))
+            seen_modules.add(module.name)
+            module_errors, module_warnings = self._check_module(module)
+            errors.extend(module_errors)
+            warnings.extend(module_warnings)
+        return CompileResult(ok=not errors, errors=errors, warnings=warnings, source_file=design)
+
+    # ------------------------------------------------------------------ module checks
+    def _check_module(self, module: ast.Module) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        errors: list[Diagnostic] = []
+        warnings: list[Diagnostic] = []
+
+        declared = self._collect_declared_names(module)
+        port_directions: dict[str, ast.PortDirection | None] = {
+            port.name: port.direction for port in module.ports
+        }
+        for item in module.items:
+            if isinstance(item, ast.PortDeclaration):
+                for name in item.names:
+                    if name in port_directions:
+                        port_directions[name] = item.direction
+
+        # Every port must end up with a direction.
+        for port_name, direction in port_directions.items():
+            if direction is None:
+                errors.append(
+                    Diagnostic("error", f"port {port_name!r} has no direction declaration")
+                )
+
+        # Duplicate declarations.
+        duplicate_check: set[str] = set()
+        for name in self._iter_declared_names(module):
+            if name in duplicate_check:
+                errors.append(Diagnostic("error", f"identifier {name!r} declared more than once"))
+            duplicate_check.add(name)
+
+        reg_names = self._collect_reg_names(module)
+
+        for item in module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                errors.extend(self._check_expression(item.value, declared, module.name))
+                errors.extend(self._check_expression(item.target, declared, module.name))
+                target_name = _base_name(item.target)
+                if target_name is not None and target_name in reg_names:
+                    errors.append(
+                        Diagnostic(
+                            "error",
+                            f"continuous assignment to reg {target_name!r} in module {module.name!r}",
+                        )
+                    )
+                if target_name is not None and port_directions.get(target_name) is ast.PortDirection.INPUT:
+                    errors.append(
+                        Diagnostic("error", f"assignment to input port {target_name!r}")
+                    )
+            elif isinstance(item, ast.AlwaysBlock):
+                errors.extend(
+                    self._check_statement(item.body, declared, reg_names, port_directions, module.name)
+                )
+                if not item.sensitivity:
+                    warnings.append(
+                        Diagnostic(
+                            "warning",
+                            f"always block without sensitivity list in module {module.name!r}",
+                        )
+                    )
+            elif isinstance(item, ast.InitialBlock):
+                errors.extend(
+                    self._check_statement(item.body, declared, reg_names, port_directions, module.name)
+                )
+            elif isinstance(item, ast.ModuleInstance):
+                for connection in item.connections:
+                    if connection.expression is not None:
+                        errors.extend(
+                            self._check_expression(connection.expression, declared, module.name)
+                        )
+        return errors, warnings
+
+    # ------------------------------------------------------------------ name collection
+    def _collect_declared_names(self, module: ast.Module) -> set[str]:
+        names: set[str] = set(module.port_names())
+        names.update(module.parameters.keys())
+        for item in module.items:
+            if isinstance(item, ast.NetDeclaration):
+                names.update(item.names)
+            elif isinstance(item, ast.PortDeclaration):
+                names.update(item.names)
+            elif isinstance(item, ast.ParameterDeclaration):
+                names.update(item.names.keys())
+            elif isinstance(item, ast.GenvarDeclaration):
+                names.update(item.names)
+            elif isinstance(item, ast.FunctionDeclaration):
+                names.add(item.name)
+                for decl in item.inputs:
+                    names.update(decl.names)
+                for decl in item.locals:
+                    names.update(decl.names)
+        return names
+
+    def _iter_declared_names(self, module: ast.Module):
+        for item in module.items:
+            if isinstance(item, ast.NetDeclaration):
+                yield from item.names
+            elif isinstance(item, ast.ParameterDeclaration):
+                yield from item.names.keys()
+
+    def _collect_reg_names(self, module: ast.Module) -> set[str]:
+        regs: set[str] = set()
+        for port in module.ports:
+            if port.net_type in (ast.NetType.REG, ast.NetType.INTEGER):
+                regs.add(port.name)
+        for item in module.items:
+            if isinstance(item, ast.NetDeclaration) and item.net_type in (
+                ast.NetType.REG,
+                ast.NetType.INTEGER,
+            ):
+                regs.update(item.names)
+            elif isinstance(item, ast.PortDeclaration) and item.net_type is ast.NetType.REG:
+                regs.update(item.names)
+        return regs
+
+    # ------------------------------------------------------------------ statement / expression checks
+    def _check_statement(
+        self,
+        statement: ast.Statement | None,
+        declared: set[str],
+        reg_names: set[str],
+        port_directions: dict[str, ast.PortDirection | None],
+        module_name: str,
+    ) -> list[Diagnostic]:
+        if statement is None or isinstance(statement, ast.NullStatement):
+            return []
+        errors: list[Diagnostic] = []
+        if isinstance(statement, ast.Block):
+            for inner in statement.statements:
+                errors.extend(
+                    self._check_statement(inner, declared, reg_names, port_directions, module_name)
+                )
+        elif isinstance(statement, (ast.BlockingAssign, ast.NonBlockingAssign)):
+            errors.extend(self._check_expression(statement.value, declared, module_name))
+            errors.extend(self._check_expression(statement.target, declared, module_name))
+            target_name = _base_name(statement.target)
+            if target_name is not None:
+                if port_directions.get(target_name) is ast.PortDirection.INPUT:
+                    errors.append(
+                        Diagnostic("error", f"assignment to input port {target_name!r}")
+                    )
+                elif target_name in declared and target_name not in reg_names:
+                    errors.append(
+                        Diagnostic(
+                            "error",
+                            f"procedural assignment to wire {target_name!r} in module {module_name!r}"
+                            " (declare it as reg)",
+                        )
+                    )
+        elif isinstance(statement, ast.IfStatement):
+            errors.extend(self._check_expression(statement.condition, declared, module_name))
+            errors.extend(
+                self._check_statement(statement.then_branch, declared, reg_names, port_directions, module_name)
+            )
+            errors.extend(
+                self._check_statement(statement.else_branch, declared, reg_names, port_directions, module_name)
+            )
+        elif isinstance(statement, ast.CaseStatement):
+            errors.extend(self._check_expression(statement.subject, declared, module_name))
+            for item in statement.items:
+                for expression in item.expressions:
+                    errors.extend(self._check_expression(expression, declared, module_name))
+                errors.extend(
+                    self._check_statement(item.body, declared, reg_names, port_directions, module_name)
+                )
+        elif isinstance(statement, ast.ForLoop):
+            errors.extend(
+                self._check_statement(statement.init, declared, reg_names, port_directions, module_name)
+            )
+            errors.extend(self._check_expression(statement.condition, declared, module_name))
+            errors.extend(
+                self._check_statement(statement.step, declared, reg_names, port_directions, module_name)
+            )
+            errors.extend(
+                self._check_statement(statement.body, declared, reg_names, port_directions, module_name)
+            )
+        elif isinstance(statement, (ast.WhileLoop, ast.RepeatLoop)):
+            condition = statement.condition if isinstance(statement, ast.WhileLoop) else statement.count
+            errors.extend(self._check_expression(condition, declared, module_name))
+            errors.extend(
+                self._check_statement(statement.body, declared, reg_names, port_directions, module_name)
+            )
+        elif isinstance(statement, (ast.DelayStatement, ast.EventWait)):
+            errors.extend(
+                self._check_statement(statement.body, declared, reg_names, port_directions, module_name)
+            )
+        elif isinstance(statement, ast.SystemTaskCall):
+            for argument in statement.args:
+                if not isinstance(argument, ast.StringLiteral):
+                    errors.extend(self._check_expression(argument, declared, module_name))
+        return errors
+
+    def _check_expression(
+        self, expression: ast.Expression, declared: set[str], module_name: str
+    ) -> list[Diagnostic]:
+        errors: list[Diagnostic] = []
+        for name in _iter_identifiers(expression):
+            if name not in declared:
+                errors.append(
+                    Diagnostic(
+                        "error",
+                        f"identifier {name!r} is not declared in module {module_name!r}",
+                    )
+                )
+        return errors
+
+
+def _base_name(expression: ast.Expression) -> str | None:
+    """Return the root identifier of an lvalue expression, or ``None``."""
+    if isinstance(expression, ast.Identifier):
+        return expression.name
+    if isinstance(expression, (ast.BitSelect, ast.PartSelect)):
+        return _base_name(expression.target)
+    return None
+
+
+def _iter_identifiers(expression: ast.Expression):
+    """Yield every identifier name referenced by ``expression``."""
+    if isinstance(expression, ast.Identifier):
+        yield expression.name
+    elif isinstance(expression, ast.UnaryOp):
+        yield from _iter_identifiers(expression.operand)
+    elif isinstance(expression, ast.BinaryOp):
+        yield from _iter_identifiers(expression.left)
+        yield from _iter_identifiers(expression.right)
+    elif isinstance(expression, ast.Ternary):
+        yield from _iter_identifiers(expression.condition)
+        yield from _iter_identifiers(expression.if_true)
+        yield from _iter_identifiers(expression.if_false)
+    elif isinstance(expression, ast.Concat):
+        for part in expression.parts:
+            yield from _iter_identifiers(part)
+    elif isinstance(expression, ast.Replication):
+        yield from _iter_identifiers(expression.count)
+        yield from _iter_identifiers(expression.value)
+    elif isinstance(expression, ast.BitSelect):
+        yield from _iter_identifiers(expression.target)
+        yield from _iter_identifiers(expression.index)
+    elif isinstance(expression, ast.PartSelect):
+        yield from _iter_identifiers(expression.target)
+        yield from _iter_identifiers(expression.msb)
+        yield from _iter_identifiers(expression.lsb)
+    elif isinstance(expression, ast.FunctionCall):
+        for argument in expression.args:
+            yield from _iter_identifiers(argument)
+
+
+def check_source(source: str) -> CompileResult:
+    """Compile-check Verilog source text (module-level convenience API)."""
+    return SyntaxChecker().check(source)
+
+
+def compiles(source: str) -> bool:
+    """Return ``True`` when the source lexes, parses and passes semantic checks."""
+    return check_source(source).ok

@@ -1,0 +1,131 @@
+"""Tests for the benchmark evaluator (generate → compile → simulate → pass@k)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.evaluator import BenchmarkEvaluator, EvaluationConfig, evaluate_models
+from repro.core.llm.base import GenerationConfig, GenerationContext, GeneratedSample, LLMBackend
+from repro.core.llm.profiles import BASELINE_PROFILES
+from repro.core.llm.simulated import SimulatedCodeGenLLM
+from repro.core.pipeline import HaVenPipeline
+
+
+class PerfectBackend(LLMBackend):
+    """Always returns the task's reference implementation."""
+
+    name = "Perfect"
+
+    def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
+        return [
+            GeneratedSample(code=context.reference_source, sample_index=index)
+            for index in range(config.num_samples)
+        ]
+
+
+class BrokenBackend(LLMBackend):
+    """Always returns code that does not even compile."""
+
+    name = "Broken"
+
+    def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
+        return [
+            GeneratedSample(code="def module(): pass", sample_index=index)
+            for index in range(config.num_samples)
+        ]
+
+
+class WrongButCompilingBackend(LLMBackend):
+    """Returns a compiling module whose single output is constantly zero."""
+
+    name = "ConstantZero"
+
+    def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
+        ports = []
+        for port in context.interface.ports:
+            range_text = f"[{port.width - 1}:0] " if port.width > 1 else ""
+            ports.append(f"    {port.direction} {range_text}{port.name}")
+        body = []
+        for port in context.interface.output_ports:
+            body.append(f"    assign {port.name} = 0;")
+        source = (
+            f"module {context.interface.name} (\n" + ",\n".join(ports) + "\n);\n" + "\n".join(body) + "\nendmodule\n"
+        )
+        return [GeneratedSample(code=source, sample_index=index) for index in range(config.num_samples)]
+
+
+@pytest.fixture(scope="module")
+def config() -> EvaluationConfig:
+    return EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,))
+
+
+class TestEvaluator:
+    def test_perfect_backend_scores_100(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
+        assert result.functional_pass_at_k()[1] == pytest.approx(1.0)
+        assert result.syntax_pass_at_k()[1] == pytest.approx(1.0)
+
+    def test_broken_backend_scores_0(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(HaVenPipeline(BrokenBackend(), use_sicot=False), tiny_human_suite)
+        assert result.functional_pass_at_k()[1] == pytest.approx(0.0)
+        assert result.syntax_pass_at_k()[1] == pytest.approx(0.0)
+
+    def test_wrong_but_compiling_backend_fails_functionally(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(
+            HaVenPipeline(WrongButCompilingBackend(), use_sicot=False), tiny_human_suite
+        )
+        assert result.syntax_pass_at_k()[1] > 0.9
+        assert result.functional_pass_at_k()[1] < 0.3
+
+    def test_simulated_backend_between_extremes(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"])
+        result = evaluator.evaluate(HaVenPipeline(backend, use_sicot=False), tiny_human_suite)
+        value = result.functional_pass_at_k()[1]
+        assert 0.0 < value < 1.0
+
+    def test_task_results_populated(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
+        assert len(result.task_results) == len(tiny_human_suite)
+        for task_result in result.task_results:
+            assert task_result.num_samples == 2
+            assert task_result.category
+
+    def test_max_tasks_limits_evaluation(self, tiny_human_suite):
+        evaluator = BenchmarkEvaluator(EvaluationConfig(num_samples=1, ks=(1,), temperatures=(0.2,), max_tasks=3))
+        result = evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
+        assert len(result.task_results) == 3
+
+    def test_category_breakdown(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
+        by_category = result.by_category()
+        assert sum(total for _, total in by_category.values()) == len(tiny_human_suite)
+        per_category = result.category_pass_at_1()
+        assert all(value == pytest.approx(1.0) for value in per_category.values())
+
+    def test_temperature_sweep_takes_best(self, tiny_human_suite):
+        sweep = EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2, 0.8))
+        single = EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,))
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["codeqwen-7b"])
+        swept = BenchmarkEvaluator(sweep).evaluate(HaVenPipeline(backend, use_sicot=False), tiny_human_suite)
+        fixed = BenchmarkEvaluator(single).evaluate(HaVenPipeline(backend, use_sicot=False), tiny_human_suite)
+        assert swept.functional_pass_at_k()[1] >= fixed.functional_pass_at_k()[1]
+
+    def test_evaluate_models_helper(self, tiny_human_suite, config):
+        pipelines = [HaVenPipeline(PerfectBackend(), use_sicot=False)]
+        results = evaluate_models(pipelines, [tiny_human_suite], config)
+        assert ("Perfect", tiny_human_suite.name) in results
+
+    def test_failure_examples_recorded(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(HaVenPipeline(BrokenBackend(), use_sicot=False), tiny_human_suite)
+        assert any(task_result.failure_examples for task_result in result.task_results)
+
+    def test_single_temperature_config_helper(self):
+        config = EvaluationConfig(temperatures=(0.2, 0.5, 0.8))
+        assert config.single_temperature().temperatures == (0.2,)

@@ -1,0 +1,117 @@
+"""Tests for the benchmark task families.
+
+The key invariant: every family's *reference implementation* must pass its own
+golden model under the task's stimulus — otherwise the benchmark would be
+unwinnable even for a perfect model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import families
+from repro.bench.task import BenchmarkTask
+from repro.symbolic.detector import SymbolicModality
+from repro.verilog.simulator.testbench import TestbenchRunner
+from repro.verilog.syntax_checker import check_source
+
+ALL_FAMILIES = [
+    families.make_expression_task,
+    families.make_truth_table_task,
+    families.make_waveform_task,
+    families.make_state_diagram_task,
+    families.make_counter_task,
+    families.make_shift_register_task,
+    families.make_register_task,
+    families.make_sequence_detector_task,
+    families.make_edge_detector_task,
+    families.make_clock_divider_task,
+    families.make_alu_task,
+    families.make_mux_task,
+    families.make_decoder_task,
+    families.make_adder_task,
+    families.make_comparator_task,
+    families.make_instructional_logic_task,
+]
+
+
+def _reference_passes(task: BenchmarkTask) -> bool:
+    runner = TestbenchRunner(clock=task.clock, reset=task.reset)
+    result = runner.run(
+        task.reference_source,
+        task.golden(),
+        task.stimulus(seed=99),
+        check_outputs=task.check_outputs,
+    )
+    return result.passed
+
+
+class TestReferenceImplementations:
+    @pytest.mark.parametrize("builder", ALL_FAMILIES, ids=lambda b: b.__name__)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_reference_compiles_and_matches_golden(self, builder, seed):
+        task = builder(f"t_{seed}", "unit", seed, "human")
+        assert check_source(task.reference_source).ok, task.task_id
+        assert _reference_passes(task), f"{builder.__name__} seed={seed}"
+
+    @pytest.mark.parametrize("builder", ALL_FAMILIES, ids=lambda b: b.__name__)
+    def test_task_fields_populated(self, builder):
+        task = builder("t_fields", "unit", 7, "human")
+        assert task.prompt.text.strip()
+        assert task.interface.ports
+        assert 0.0 <= task.demands.knowledge <= 1.0
+        assert 0.0 <= task.demands.difficulty <= 1.0
+        assert task.category
+
+
+class TestPromptStyles:
+    def test_machine_style_phrasing(self):
+        task = families.make_counter_task("t", "unit", 1, "machine")
+        assert "design requirement" in task.prompt.text.lower()
+        assert task.prompt_style == "completion"
+
+    def test_human_style_includes_interface(self):
+        task = families.make_counter_task("t", "unit", 1, "human")
+        assert "module top_module" in task.prompt.text
+
+    def test_spec_to_rtl_style(self):
+        task = families.make_counter_task("t", "unit", 1, "spec_to_rtl")
+        assert task.prompt.text.startswith("Question:")
+        assert task.prompt.text.rstrip().endswith("Answer:")
+        assert task.prompt_style == "spec_to_rtl"
+
+
+class TestSymbolicTasks:
+    def test_truth_table_task_modality(self):
+        task = families.make_truth_table_task("t", "unit", 3, "human")
+        assert task.demands.modality is SymbolicModality.TRUTH_TABLE
+        assert "|" in task.prompt.text
+        assert task.is_symbolic
+        assert task.category == "truth_table"
+
+    def test_waveform_task_modality(self):
+        task = families.make_waveform_task("t", "unit", 3, "human")
+        assert task.demands.modality is SymbolicModality.WAVEFORM
+        assert task.category == "waveform"
+
+    def test_state_diagram_task_modality(self):
+        task = families.make_state_diagram_task("t", "unit", 3, "human")
+        assert task.demands.modality is SymbolicModality.STATE_DIAGRAM
+        assert "->" in task.prompt.text
+
+    def test_non_symbolic_task(self):
+        task = families.make_adder_task("t", "unit", 3, "human")
+        assert not task.is_symbolic
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("builder", [families.make_counter_task, families.make_alu_task])
+    def test_same_seed_same_task(self, builder):
+        first = builder("t", "unit", 11, "human")
+        second = builder("t", "unit", 11, "human")
+        assert first.prompt.text == second.prompt.text
+        assert first.reference_source == second.reference_source
+
+    def test_different_seeds_vary(self):
+        texts = {families.make_register_task("t", "unit", seed, "human").prompt.text for seed in range(8)}
+        assert len(texts) > 1

@@ -1,0 +1,72 @@
+"""Tests for the unbiased pass@k estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.passk import compute_pass_at_k, mean_pass_at_k, pass_at_k
+
+
+class TestPassAtK:
+    def test_all_correct(self):
+        assert pass_at_k(10, 10, 1) == pytest.approx(1.0)
+        assert pass_at_k(10, 10, 5) == pytest.approx(1.0)
+
+    def test_none_correct(self):
+        assert pass_at_k(10, 0, 1) == pytest.approx(0.0)
+        assert pass_at_k(10, 0, 5) == pytest.approx(0.0)
+
+    def test_pass_at_1_equals_fraction(self):
+        assert pass_at_k(10, 3, 1) == pytest.approx(0.3)
+        assert pass_at_k(4, 1, 1) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # n=10, c=2, k=5: 1 - C(8,5)/C(10,5) = 1 - 56/252
+        assert pass_at_k(10, 2, 5) == pytest.approx(1 - 56 / 252)
+
+    def test_guaranteed_when_failures_fewer_than_k(self):
+        assert pass_at_k(10, 8, 5) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pass_at_k(3, 1, 5)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 6, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 2, 0)
+        with pytest.raises(ValueError):
+            pass_at_k(5, -1, 1)
+
+    def test_mean_over_problems(self):
+        counts = [(10, 10), (10, 0)]
+        assert mean_pass_at_k(counts, 1) == pytest.approx(0.5)
+
+    def test_mean_empty(self):
+        assert mean_pass_at_k([], 1) == 0.0
+
+    def test_compute_pass_at_k_result(self):
+        result = compute_pass_at_k([(10, 5), (10, 0)], ks=(1, 5))
+        assert result.num_problems == 2
+        assert result[1] == pytest.approx(0.25)
+        assert result[5] > result[1]
+        percentages = result.as_percentages()
+        assert percentages[1] == 25.0
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.data(),
+)
+def test_pass_at_k_properties(n, data):
+    """Monotone in c, monotone in k, and bounded in [0, 1]."""
+    c = data.draw(st.integers(min_value=0, max_value=n))
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    value = pass_at_k(n, c, k)
+    assert 0.0 <= value <= 1.0
+    if c < n:
+        assert pass_at_k(n, c + 1, k) >= value
+    if k < n:
+        assert pass_at_k(n, c, min(k + 1, n)) >= value
+    # pass@1 is exactly c/n.
+    assert pass_at_k(n, c, 1) == pytest.approx(c / n)

@@ -1,0 +1,103 @@
+"""Tests for report rendering (Tables IV-VI, Figs. 3-4 layouts)."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import (
+    AblationSeries,
+    FIG3_SETTINGS,
+    Table4Row,
+    Table5Row,
+    format_table,
+    render_fig3,
+    render_fig4,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bbb"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_without_title(self):
+        text = format_table(["x"], [[1]])
+        assert not text.startswith("\n")
+        assert "x" in text.splitlines()[0]
+
+
+class TestTable4:
+    def test_render_contains_all_columns(self):
+        row = Table4Row(
+            model="HaVen-DeepSeek",
+            group="Ours",
+            open_source=True,
+            model_size="6.7B",
+            machine_pass1=78.8,
+            machine_pass5=84.5,
+            human_pass1=57.3,
+            human_pass5=64.2,
+            rtllm_syntax_pass5=92.8,
+            rtllm_func_pass5=66.0,
+            v2_pass1=58.3,
+            v2_pass5=63.4,
+        )
+        text = render_table4([row])
+        assert "HaVen-DeepSeek" in text
+        assert "78.8" in text and "66.0" in text and "63.4" in text
+        assert "VE-Machine p@1" in text
+
+    def test_missing_values_render_na(self):
+        row = Table4Row(model="ChipNeMo", group="Verilog", open_source=False, model_size="13B", machine_pass1=43.4)
+        text = render_table4([row])
+        assert "n/a" in text
+
+
+class TestTable5:
+    def test_overall_rate(self):
+        row = Table5Row(model="HaVen", truth_table=(6, 10), waveform=(4, 13), state_diagram=(11, 21))
+        assert abs(row.overall - 100.0 * 21 / 44) < 1e-6
+
+    def test_render(self):
+        row = Table5Row(model="HaVen", truth_table=(6, 10), waveform=(4, 13), state_diagram=(11, 21))
+        text = render_table5([row])
+        assert "6/10" in text
+        assert "%" in text
+
+    def test_empty_counts(self):
+        row = Table5Row(model="X", truth_table=(0, 0), waveform=(0, 0), state_diagram=(0, 0))
+        assert row.overall == 0.0
+
+
+class TestTable6:
+    def test_render_with_delta(self):
+        text = render_table6({"GPT-4": (34.1, 22.7)})
+        assert "GPT-4" in text
+        assert "+11.4" in text
+
+
+class TestFigures:
+    def test_fig3_renders_all_settings(self):
+        series = [
+            AblationSeries(
+                model="CodeQwen",
+                pass1={setting: 10.0 * index for index, setting in enumerate(FIG3_SETTINGS)},
+                pass5={setting: 12.0 * index for index, setting in enumerate(FIG3_SETTINGS)},
+            )
+        ]
+        text = render_fig3(series)
+        for setting in FIG3_SETTINGS:
+            assert setting in text
+        assert "Pass@1" in text and "Pass@5" in text
+
+    def test_fig4_renders_grid(self):
+        grid1 = {(k, l): float(k + l) for k in (0, 50, 100) for l in (0, 50, 100)}
+        grid5 = {key: value + 5 for key, value in grid1.items()}
+        text = render_fig4(grid1, grid5)
+        assert "K% \\ L%" in text
+        assert "150.0" in text
+        assert "Pass@5" in text

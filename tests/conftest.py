@@ -1,0 +1,129 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.verilogeval import SuiteConfig, build_verilogeval_human
+from repro.core.dataset.corpus import CorpusConfig, CorpusGenerator
+from repro.core.dataset.vanilla import VanillaDatasetGenerator
+
+
+COUNTER_SOURCE = """
+module counter #(parameter WIDTH = 4) (
+    input clk,
+    input rst,
+    input en,
+    output reg [WIDTH-1:0] count
+);
+    always @(posedge clk) begin
+        if (rst)
+            count <= {WIDTH{1'b0}};
+        else if (en)
+            count <= count + 1'b1;
+    end
+endmodule
+"""
+
+FSM_SOURCE = """
+module two_state_fsm (
+    input clk,
+    input rst,
+    input x,
+    output reg out
+);
+    localparam A = 1'b0;
+    localparam B = 1'b1;
+    reg state, next_state;
+
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            state <= A;
+        else
+            state <= next_state;
+    end
+
+    always @(*) begin
+        case (state)
+            A: next_state = x ? A : B;
+            B: next_state = x ? B : A;
+            default: next_state = A;
+        endcase
+    end
+
+    always @(*) begin
+        out = (state == B);
+    end
+endmodule
+"""
+
+ADDER_SOURCE = """
+module adder4 (
+    input [3:0] a,
+    input [3:0] b,
+    output [3:0] sum,
+    output carry_out
+);
+    assign {carry_out, sum} = a + b;
+endmodule
+"""
+
+MUX_SOURCE = """
+module mux2 (
+    input [7:0] in0,
+    input [7:0] in1,
+    input sel,
+    output [7:0] out
+);
+    assign out = sel ? in1 : in0;
+endmodule
+"""
+
+BROKEN_SOURCE = """
+def adder_4bit()
+    output = a + b
+endmodule
+"""
+
+
+@pytest.fixture
+def counter_source() -> str:
+    return COUNTER_SOURCE
+
+
+@pytest.fixture
+def fsm_source() -> str:
+    return FSM_SOURCE
+
+
+@pytest.fixture
+def adder_source() -> str:
+    return ADDER_SOURCE
+
+
+@pytest.fixture
+def mux_source() -> str:
+    return MUX_SOURCE
+
+
+@pytest.fixture
+def broken_source() -> str:
+    return BROKEN_SOURCE
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small deterministic synthetic corpus shared across dataset tests."""
+    return CorpusGenerator(CorpusConfig(num_samples=60, seed=7)).generate()
+
+
+@pytest.fixture(scope="session")
+def small_vanilla_dataset(small_corpus):
+    """Vanilla dataset generated from the small corpus."""
+    return VanillaDatasetGenerator(seed=7).generate(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_human_suite():
+    """A small VerilogEval-Human style suite for evaluator tests."""
+    return build_verilogeval_human(SuiteConfig(num_tasks=12, seed=5))

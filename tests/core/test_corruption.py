@@ -1,0 +1,141 @@
+"""Tests for the taxonomy-keyed corruption injector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.llm.corruption import CorruptionInjector
+from repro.core.taxonomy import HallucinationSubtype
+from repro.verilog.syntax_checker import compiles
+from repro.verilog.simulator.testbench import CombinationalGolden, ResetSpec, run_functional_check
+from repro.symbolic.state_diagram import parse_state_diagram
+
+AND_MODULE = "module g(input a, input b, output y);\n    assign y = a & b;\nendmodule\n"
+
+SD_TEXT = """A[out=0]--[x=0]->B
+A[out=0]--[x=1]->A
+B[out=1]--[x=0]->A
+B[out=1]--[x=1]->B"""
+
+
+@pytest.fixture
+def injector() -> CorruptionInjector:
+    return CorruptionInjector(random.Random(1))
+
+
+class TestIndividualCorruptions:
+    def test_every_subtype_changes_the_code(self, fsm_source, injector):
+        for subtype in HallucinationSubtype:
+            outcome = CorruptionInjector(random.Random(3)).inject(fsm_source, subtype)
+            assert outcome.applied, subtype
+            assert outcome.code != fsm_source
+            assert outcome.record.subtype is subtype
+
+    def test_syntax_corruption_breaks_compilation(self, counter_source):
+        for seed in range(5):
+            outcome = CorruptionInjector(random.Random(seed)).inject(
+                counter_source, HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION
+            )
+            assert outcome.applied
+            assert not compiles(outcome.code)
+
+    def test_operator_flip_still_compiles_but_fails(self, injector):
+        outcome = injector.inject(AND_MODULE, HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION)
+        assert outcome.applied
+        assert compiles(outcome.code)
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"] & ins["b"]})
+        stimulus = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)]
+        assert not run_functional_check(outcome.code, golden, stimulus).passed
+
+    def test_state_swap_breaks_fsm_behaviour(self):
+        diagram = parse_state_diagram(SD_TEXT)
+        reference = diagram.to_verilog(module_name="fsm_ref")
+        outcome = CorruptionInjector(random.Random(0)).inject(
+            reference, HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION
+        )
+        assert outcome.applied
+        assert compiles(outcome.code)
+        stimulus = [{"x": bit, "rst": 0} for bit in [0, 1, 1, 0, 0, 1, 0]]
+        result = run_functional_check(
+            outcome.code, diagram.to_golden_model(), stimulus, reset=ResetSpec(signal="rst")
+        )
+        assert not result.passed
+
+    def test_attribute_flip_inverts_reset_polarity(self, counter_source, injector):
+        outcome = injector.inject(
+            counter_source, HallucinationSubtype.VERILOG_ATTRIBUTE_MISUNDERSTANDING
+        )
+        assert outcome.applied
+        assert "if (!rst)" in outcome.code
+        assert compiles(outcome.code)
+
+    def test_drop_default_removes_arm(self, fsm_source, injector):
+        outcome = injector.inject(fsm_source, HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING)
+        assert outcome.applied
+        assert outcome.code.count("default") < fsm_source.count("default")
+        assert compiles(outcome.code)
+
+    def test_fsm_convention_break_freezes_state(self, fsm_source, injector):
+        outcome = injector.inject(fsm_source, HallucinationSubtype.DESIGN_CONVENTION_MISAPPLICATION)
+        assert outcome.applied
+        assert "state <= state;" in outcome.code or "state =" in outcome.code
+        assert compiles(outcome.code)
+
+    def test_condition_corruption_swaps_logical_operator(self, injector):
+        source = (
+            "module m(input a, input b, output reg y);\n"
+            "    always @(*) begin\n"
+            "        if (a == 1'b1 && b == 1'b0) y = 1'b1;\n"
+            "        else y = 1'b0;\n"
+            "    end\n"
+            "endmodule\n"
+        )
+        outcome = injector.inject(source, HallucinationSubtype.INSTRUCTIONAL_LOGIC_FAILURE)
+        assert outcome.applied
+        assert "||" in outcome.code
+        assert compiles(outcome.code)
+
+    def test_fallback_on_inapplicable_corruption(self, injector):
+        # A pure-assign module has no default arm; the injector falls back to a
+        # different defect rather than silently returning the original code.
+        outcome = injector.inject(AND_MODULE, HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING)
+        assert outcome.applied
+        assert outcome.code != AND_MODULE
+
+    def test_deterministic_for_seeded_rng(self, fsm_source):
+        first = CorruptionInjector(random.Random(7)).inject(
+            fsm_source, HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION
+        )
+        second = CorruptionInjector(random.Random(7)).inject(
+            fsm_source, HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION
+        )
+        assert first.code == second.code
+
+
+class TestCorruptionVsDetector:
+    def test_injected_defects_are_classified_in_same_family(self, fsm_source):
+        """Corruptions injected for a sub-type are recognised by the detector as
+        hallucinations (usually of the same top-level type)."""
+        from repro.core.hallucination_detector import HallucinationDetector
+        from repro.core.taxonomy import type_of
+
+        detector = HallucinationDetector()
+        prompt = "Implement this FSM with the conventional structure.\n" + SD_TEXT
+        agreements = 0
+        checked = 0
+        for subtype in (
+            HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION,
+            HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING,
+            HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION,
+        ):
+            outcome = CorruptionInjector(random.Random(2)).inject(fsm_source, subtype)
+            if not outcome.applied:
+                continue
+            checked += 1
+            report = detector.classify(prompt, outcome.code, functional_passed=False)
+            if report.primary is not None and type_of(report.primary.subtype) is type_of(subtype):
+                agreements += 1
+        assert checked >= 2
+        assert agreements >= checked - 1

@@ -1,0 +1,59 @@
+"""Tests for instruction evolution (step 12)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset.evolution import InstructionEvolver
+
+SAMPLE = "Implement the logic below exactly: if a == 1 && b == 0; out = 1; otherwise out = 0."
+
+
+class TestEvolution:
+    def test_deterministic_for_seed(self):
+        assert InstructionEvolver(seed=4).evolve(SAMPLE).evolved == InstructionEvolver(seed=4).evolve(SAMPLE).evolved
+
+    def test_word_budget_respected(self):
+        for seed in range(20):
+            result = InstructionEvolver(seed=seed).evolve(SAMPLE)
+            assert result.net_word_change <= 10
+
+    def test_protected_tokens_preserved(self):
+        for seed in range(20):
+            evolved = InstructionEvolver(seed=seed).evolve(SAMPLE).evolved
+            # The logical core (conditions, values, operators) must survive.
+            assert "a == 1" in evolved
+            assert "b == 0" in evolved
+            assert "out = 1" in evolved
+            assert "out = 0" in evolved
+
+    def test_numbers_never_change(self):
+        text = "When the count reaches 9 wrap to 0 and assert carry."
+        for seed in range(10):
+            evolved = InstructionEvolver(seed=seed).evolve(text).evolved
+            assert "9" in evolved
+            assert "0" in evolved
+
+    def test_some_seeds_change_the_text(self):
+        results = {InstructionEvolver(seed=seed).evolve(SAMPLE).evolved for seed in range(10)}
+        assert len(results) > 1
+
+    def test_evolve_many(self):
+        evolver = InstructionEvolver(seed=2)
+        results = evolver.evolve_many([SAMPLE, "Design a 4-bit adder."])
+        assert len(results) == 2
+        assert all(result.evolved for result in results)
+
+    def test_custom_budget(self):
+        evolver = InstructionEvolver(seed=1, max_word_change=2)
+        result = evolver.evolve(SAMPLE)
+        assert result.net_word_change <= 2
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_budget_property(seed):
+    """Property: the ±10-word constraint of §III-D holds for every seed."""
+    result = InstructionEvolver(seed=seed).evolve(SAMPLE)
+    assert result.net_word_change <= 10
+    assert result.evolved.strip()

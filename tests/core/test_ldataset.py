@@ -1,0 +1,81 @@
+"""Tests for the L-dataset generation flow (steps 9-12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset.ldataset import LDatasetConfig, LDatasetGenerator, generate_kl_dataset
+from repro.core.dataset.records import InstructionDataset, PairOrigin
+from repro.verilog.syntax_checker import SyntaxChecker
+
+
+@pytest.fixture(scope="module")
+def l_result():
+    return LDatasetGenerator(LDatasetConfig(num_concise=20, num_faithful=15, seed=3)).generate()
+
+
+class TestGeneration:
+    def test_requested_counts_approximately(self, l_result):
+        stats = l_result.stats
+        assert stats.concise_pairs + stats.faithful_pairs >= 30
+        assert len(l_result.l_dataset) == stats.verified_pairs
+
+    def test_both_categories_present(self, l_result):
+        categories = {pair.metadata.get("category") for pair in l_result.l_dataset}
+        assert categories == {"concise_expression", "faithful_implementation"}
+
+    def test_all_pairs_compile(self, l_result):
+        checker = SyntaxChecker()
+        for pair in l_result.l_dataset:
+            assert pair.verified
+            assert checker.check(pair.code).ok
+
+    def test_origin_is_logical(self, l_result):
+        assert all(pair.origin is PairOrigin.LOGICAL for pair in l_result.l_dataset)
+
+    def test_deterministic_for_seed(self):
+        config = LDatasetConfig(num_concise=5, num_faithful=5, seed=9)
+        first = LDatasetGenerator(config).generate().l_dataset
+        second = LDatasetGenerator(config).generate().l_dataset
+        assert [p.instruction for p in first] == [p.instruction for p in second]
+        assert [p.code for p in first] == [p.code for p in second]
+
+    def test_instructions_embed_io_values(self, l_result):
+        """Step 10/11: the generated input-output values appear in the instruction."""
+        for pair in l_result.l_dataset:
+            if pair.metadata["category"] == "faithful_implementation":
+                assert "out = " in pair.instruction or "out=" in pair.instruction
+
+    def test_concise_pairs_use_assign_style(self, l_result):
+        concise = [p for p in l_result.l_dataset if p.metadata["category"] == "concise_expression"]
+        assert concise
+        assert all("assign out" in pair.code for pair in concise)
+
+    def test_faithful_pairs_handle_default(self, l_result):
+        faithful = [p for p in l_result.l_dataset if p.metadata["category"] == "faithful_implementation"]
+        assert faithful
+        for pair in faithful:
+            assert "default" in pair.code or "else" in pair.code
+
+    def test_evolution_marks_metadata(self, l_result):
+        assert all(pair.metadata.get("evolved") == "true" for pair in l_result.l_dataset)
+
+    def test_evolution_can_be_disabled(self):
+        config = LDatasetConfig(num_concise=3, num_faithful=3, seed=1, evolve_instructions=False)
+        result = LDatasetGenerator(config).generate()
+        assert all("evolved" not in pair.metadata for pair in result.l_dataset)
+        assert result.stats.evolved_pairs == 0
+
+
+class TestKLCombination:
+    def test_kl_merge(self, l_result):
+        k_like = InstructionDataset(name="k", pairs=list(l_result.l_dataset.pairs[:5]))
+        kl = generate_kl_dataset(k_like, l_result.l_dataset, seed=0)
+        assert len(kl) == len(k_like) + len(l_result.l_dataset)
+        assert kl.name == "kl-dataset"
+
+    def test_kl_merge_is_shuffled(self, l_result):
+        k_like = InstructionDataset(name="k", pairs=list(l_result.l_dataset.pairs[:10]))
+        kl = generate_kl_dataset(k_like, l_result.l_dataset, seed=1)
+        first_codes = [pair.code for pair in kl.pairs[:10]]
+        assert first_codes != [pair.code for pair in k_like.pairs]

@@ -1,0 +1,242 @@
+"""Tests for profiles, the behavioural CodeGen backend and fine-tuning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.llm.base import GenerationConfig, GenerationContext, TaskDemands
+from repro.core.llm.finetune import DatasetMix, FineTuneConfig, FineTuner
+from repro.core.llm.profiles import BASE_MODEL_PROFILES, BASELINE_PROFILES, CapabilityProfile, ProfileRegistry
+from repro.core.llm.simulated import (
+    MODALITY_DEMAND,
+    SimulatedCodeGenLLM,
+    success_probability,
+)
+from repro.core.dataset.records import InstructionCodePair, InstructionDataset, PairOrigin
+from repro.core.prompt import ModuleInterface, PortSpec
+from repro.symbolic.detector import SymbolicModality
+from repro.verilog.analyzer import Attribute, Topic
+from repro.verilog.syntax_checker import compiles
+
+AND_MODULE = "module g(input a, input b, output y);\n    assign y = a & b;\nendmodule\n"
+
+
+def _context(**kwargs) -> GenerationContext:
+    defaults = dict(
+        prompt_text="Implement an AND gate.",
+        interface=ModuleInterface(
+            name="g", ports=[PortSpec("a", "input"), PortSpec("b", "input"), PortSpec("y", "output")]
+        ),
+        reference_source=AND_MODULE,
+        demands=TaskDemands(knowledge=0.3, logic=0.3, difficulty=0.3),
+        task_id="task-1",
+    )
+    defaults.update(kwargs)
+    return GenerationContext(**defaults)
+
+
+class TestProfiles:
+    def test_registry_contains_paper_baselines(self):
+        for key in ("gpt-3.5", "gpt-4", "rtlcoder-deepseek", "origen-deepseek", "autovcoder-codeqwen"):
+            assert key in BASELINE_PROFILES
+
+    def test_haven_models_not_predefined(self):
+        assert not any("haven" in key.lower() for key in BASELINE_PROFILES)
+
+    def test_base_models_present(self):
+        assert set(BASE_MODEL_PROFILES) == {"codellama-7b", "deepseek-coder-6.7b", "codeqwen-7b"}
+
+    def test_skills_in_unit_range(self):
+        for profile in BASELINE_PROFILES.values():
+            for value in (
+                profile.symbolic_skill,
+                profile.knowledge_skill,
+                profile.logic_skill,
+                profile.syntax_skill,
+                profile.general_skill,
+                profile.chat_alignment,
+            ):
+                assert 0.0 <= value <= 1.0
+
+    def test_specialist_models_beat_their_bases(self):
+        assert (
+            BASELINE_PROFILES["rtlcoder-deepseek"].knowledge_skill
+            > BASELINE_PROFILES["deepseek-coder-6.7b"].knowledge_skill
+        )
+        assert (
+            BASELINE_PROFILES["origen-deepseek"].knowledge_skill
+            > BASELINE_PROFILES["rtlcoder-deepseek"].knowledge_skill
+        )
+
+    def test_effective_symbolic_skill(self):
+        profile = BASELINE_PROFILES["gpt-4"]
+        assert profile.effective_symbolic_skill(True) > profile.effective_symbolic_skill(False)
+
+    def test_registry_lookup_and_register(self):
+        registry = ProfileRegistry()
+        assert registry.get("gpt-4").name == "GPT-4"
+        with pytest.raises(KeyError):
+            registry.get("unknown-model")
+        custom = registry.get("gpt-4").with_updates(name="Custom")
+        registry.register("custom", custom)
+        assert registry.get("custom").name == "Custom"
+
+    def test_latent_identity_defaults_to_name(self):
+        profile = BASELINE_PROFILES["gpt-4"]
+        assert profile.latent_identity() == profile.name
+
+
+class TestSuccessProbability:
+    def test_monotone_in_skill(self):
+        assert success_probability(0.8, 0.5) > success_probability(0.4, 0.5)
+
+    def test_half_at_equality(self):
+        assert abs(success_probability(0.5, 0.5) - 0.5) < 1e-9
+
+    def test_modality_demand_ordering_matches_table5(self):
+        assert MODALITY_DEMAND[SymbolicModality.WAVEFORM] > MODALITY_DEMAND[SymbolicModality.STATE_DIAGRAM]
+        assert MODALITY_DEMAND[SymbolicModality.STATE_DIAGRAM] > MODALITY_DEMAND[SymbolicModality.TRUTH_TABLE]
+
+
+class TestSimulatedBackend:
+    def test_generates_requested_number_of_samples(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["gpt-4"])
+        samples = backend.generate(_context(), GenerationConfig(num_samples=6))
+        assert len(samples) == 6
+
+    def test_generation_is_deterministic(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["gpt-4"], seed=1)
+        first = backend.generate(_context(), GenerationConfig(num_samples=4, seed=2))
+        second = backend.generate(_context(), GenerationConfig(num_samples=4, seed=2))
+        assert [s.code for s in first] == [s.code for s in second]
+
+    def test_correct_samples_equal_reference(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["gpt-4"])
+        samples = backend.generate(_context(), GenerationConfig(num_samples=8))
+        for sample in samples:
+            if sample.is_intended_correct:
+                assert sample.code == AND_MODULE
+            else:
+                assert sample.code != AND_MODULE
+
+    def test_all_samples_are_verilog_text(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["codellama-7b"])
+        samples = backend.generate(_context(), GenerationConfig(num_samples=10))
+        assert all(isinstance(sample.code, str) and sample.code.strip() for sample in samples)
+
+    def test_stronger_model_passes_more(self):
+        weak = SimulatedCodeGenLLM(BASELINE_PROFILES["codellama-7b"])
+        strong = SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"])
+        demands = TaskDemands(knowledge=0.55, logic=0.55, difficulty=0.55)
+        weak_passes = strong_passes = 0
+        for index in range(40):
+            context = _context(demands=demands, task_id=f"t{index}")
+            weak_passes += sum(s.is_intended_correct for s in weak.generate(context, GenerationConfig(num_samples=1)))
+            strong_passes += sum(s.is_intended_correct for s in strong.generate(context, GenerationConfig(num_samples=1)))
+        assert strong_passes > weak_passes
+
+    def test_sicot_refinement_helps_on_symbolic_tasks(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["gpt-4o-mini"])
+        demands = TaskDemands(modality=SymbolicModality.STATE_DIAGRAM, knowledge=0.3, logic=0.3, difficulty=0.3)
+        raw = refined = 0
+        for index in range(60):
+            context_raw = _context(demands=demands, task_id=f"s{index}", prompt_refined=False)
+            context_ref = _context(demands=demands, task_id=f"s{index}", prompt_refined=True)
+            raw += backend.generate_one(context_raw).is_intended_correct
+            refined += backend.generate_one(context_ref).is_intended_correct
+        assert refined >= raw
+
+    def test_pass_probability_closed_form(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["gpt-4"])
+        easy = backend.pass_probability(_context(demands=TaskDemands(knowledge=0.1, logic=0.1, difficulty=0.1)))
+        hard = backend.pass_probability(_context(demands=TaskDemands(knowledge=0.9, logic=0.9, difficulty=0.9)))
+        assert 0.0 <= hard < easy <= 1.0
+
+    def test_spec_to_rtl_penalty_for_unaligned_models(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["codellama-7b"])
+        completion = backend.pass_probability(_context(prompt_style="completion"))
+        chat = backend.pass_probability(_context(prompt_style="spec_to_rtl"))
+        assert chat < completion
+
+    def test_failed_samples_record_hallucination(self):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["codellama-7b"])
+        demands = TaskDemands(knowledge=0.95, logic=0.95, difficulty=0.95)
+        samples = backend.generate(_context(demands=demands, task_id="hard"), GenerationConfig(num_samples=10))
+        failing = [s for s in samples if not s.is_intended_correct]
+        assert failing
+        assert all(s.injected_hallucinations for s in failing)
+
+
+class TestFineTuning:
+    def _dataset(self, count: int, origin: PairOrigin, category: str | None = None) -> InstructionDataset:
+        pairs = []
+        for index in range(count):
+            metadata = {"category": category} if category else {}
+            pairs.append(
+                InstructionCodePair(
+                    instruction=f"i{index}",
+                    code="module m(); endmodule",
+                    origin=origin,
+                    topics={Topic.COUNTER, Topic.FSM},
+                    attributes={Attribute.SYNC_RESET, Attribute.ASYNC_RESET},
+                    verified=True,
+                    metadata=metadata,
+                )
+            )
+        return InstructionDataset(name=origin.value, pairs=pairs)
+
+    def test_vanilla_raises_general_and_syntax(self):
+        base = BASE_MODEL_PROFILES["codeqwen-7b"]
+        tuned, report = FineTuner().finetune(base, DatasetMix(vanilla=self._dataset(150, PairOrigin.VANILLA)))
+        assert tuned.general_skill > base.general_skill
+        assert tuned.syntax_skill > base.syntax_skill
+        assert report.dataset_sizes["vanilla"] == 150
+
+    def test_k_dataset_raises_knowledge(self):
+        base = BASE_MODEL_PROFILES["codeqwen-7b"]
+        tuner = FineTuner()
+        with_k, _ = tuner.finetune(base, DatasetMix(k_dataset=self._dataset(120, PairOrigin.KNOWLEDGE)))
+        without_k, _ = tuner.finetune(base, DatasetMix())
+        assert with_k.knowledge_skill > without_k.knowledge_skill
+
+    def test_l_dataset_raises_logic(self):
+        base = BASE_MODEL_PROFILES["codeqwen-7b"]
+        tuned, _ = FineTuner().finetune(
+            base, DatasetMix(l_dataset=self._dataset(60, PairOrigin.LOGICAL, "concise_expression"))
+        )
+        assert tuned.logic_skill > base.logic_skill
+        assert tuned.knowledge_skill == pytest.approx(base.knowledge_skill)
+
+    def test_gains_saturate(self):
+        base = BASE_MODEL_PROFILES["codeqwen-7b"]
+        tuner = FineTuner()
+        small, _ = tuner.finetune(base, DatasetMix(k_dataset=self._dataset(50, PairOrigin.KNOWLEDGE)))
+        large, _ = tuner.finetune(base, DatasetMix(k_dataset=self._dataset(500, PairOrigin.KNOWLEDGE)))
+        config = FineTuneConfig()
+        assert small.knowledge_skill < large.knowledge_skill <= config.knowledge_cap + 1e-9
+        # Diminishing returns: the second 450 pairs add less than the first 50.
+        assert (large.knowledge_skill - small.knowledge_skill) < (small.knowledge_skill - base.knowledge_skill) * 9
+
+    def test_more_data_never_hurts(self):
+        base = BASE_MODEL_PROFILES["deepseek-coder-6.7b"]
+        tuner = FineTuner()
+        half, _ = tuner.finetune(base, DatasetMix(k_dataset=self._dataset(60, PairOrigin.KNOWLEDGE)))
+        full, _ = tuner.finetune(base, DatasetMix(k_dataset=self._dataset(120, PairOrigin.KNOWLEDGE)))
+        assert full.knowledge_skill >= half.knowledge_skill >= base.knowledge_skill
+
+    def test_latent_key_preserved(self):
+        base = BASE_MODEL_PROFILES["codeqwen-7b"]
+        tuned, _ = FineTuner().finetune(base, DatasetMix(vanilla=self._dataset(10, PairOrigin.VANILLA)), "Tuned")
+        assert tuned.latent_identity() == base.latent_identity()
+        assert tuned.name == "Tuned"
+
+    def test_symbolic_skill_untouched_without_k(self):
+        base = BASE_MODEL_PROFILES["codellama-7b"]
+        tuned, _ = FineTuner().finetune(base, DatasetMix(l_dataset=self._dataset(40, PairOrigin.LOGICAL)))
+        assert tuned.symbolic_skill == pytest.approx(base.symbolic_skill)
+
+    def test_report_contains_before_after(self):
+        base = BASE_MODEL_PROFILES["codeqwen-7b"]
+        _, report = FineTuner().finetune(base, DatasetMix(vanilla=self._dataset(30, PairOrigin.VANILLA)))
+        assert set(report.skill_before) == set(report.skill_after)
+        assert report.skill_after["general"] >= report.skill_before["general"]

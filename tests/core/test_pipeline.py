@@ -1,0 +1,109 @@
+"""Tests for the end-to-end HaVen pipeline."""
+
+from __future__ import annotations
+
+from repro.core.llm.base import GenerationConfig, TaskDemands
+from repro.core.llm.profiles import BASELINE_PROFILES
+from repro.core.llm.simulated import SimulatedCodeGenLLM
+from repro.core.pipeline import HaVenPipeline
+from repro.core.prompt import DesignPrompt, ModuleInterface, PortSpec
+from repro.symbolic.detector import SymbolicModality
+
+SD_PROMPT = """Implement this FSM.
+A[out=0]--[x=0]->B
+A[out=0]--[x=1]->A
+B[out=1]--[x=0]->A
+B[out=1]--[x=1]->B"""
+
+FSM_REFERENCE = """module top_module(input clk, input rst, input x, output reg out);
+    localparam A = 1'd0;
+    localparam B = 1'd1;
+    reg state, next_state;
+    always @(posedge clk or posedge rst) begin
+        if (rst) state <= A;
+        else state <= next_state;
+    end
+    always @(*) begin
+        case (state)
+            A: next_state = x ? A : B;
+            B: next_state = x ? B : A;
+            default: next_state = A;
+        endcase
+    end
+    always @(*) out = (state == B);
+endmodule
+"""
+
+INTERFACE = ModuleInterface(
+    name="top_module",
+    ports=[
+        PortSpec("clk", "input"),
+        PortSpec("rst", "input"),
+        PortSpec("x", "input"),
+        PortSpec("out", "output"),
+    ],
+)
+
+
+def _pipeline(use_sicot: bool) -> HaVenPipeline:
+    backend = SimulatedCodeGenLLM(BASELINE_PROFILES["deepseek-coder-v2"], seed=0)
+    return HaVenPipeline(backend, use_sicot=use_sicot)
+
+
+class TestPipeline:
+    def test_name_reflects_sicot(self):
+        assert _pipeline(True).name.endswith("+SI-CoT")
+        assert not _pipeline(False).name.endswith("+SI-CoT")
+
+    def test_generation_returns_samples(self):
+        result = _pipeline(True).generate(
+            prompt=DesignPrompt(text=SD_PROMPT, interface=INTERFACE),
+            interface=INTERFACE,
+            reference_source=FSM_REFERENCE,
+            demands=TaskDemands(modality=SymbolicModality.STATE_DIAGRAM),
+            config=GenerationConfig(num_samples=3),
+            task_id="pipe-1",
+        )
+        assert len(result.samples) == 3
+        assert len(result.codes) == 3
+
+    def test_sicot_produces_refined_prompt(self):
+        result = _pipeline(True).generate(
+            prompt=DesignPrompt(text=SD_PROMPT, interface=INTERFACE),
+            interface=INTERFACE,
+            reference_source=FSM_REFERENCE,
+            demands=TaskDemands(modality=SymbolicModality.STATE_DIAGRAM),
+            task_id="pipe-2",
+        )
+        assert result.refined_prompt is not None
+        assert result.refined_prompt.modality is SymbolicModality.STATE_DIAGRAM
+        assert "transit to state" in result.refined_prompt.text
+
+    def test_without_sicot_prompt_not_refined(self):
+        result = _pipeline(False).generate(
+            prompt=DesignPrompt(text=SD_PROMPT, interface=INTERFACE),
+            interface=INTERFACE,
+            reference_source=FSM_REFERENCE,
+            task_id="pipe-3",
+        )
+        assert result.refined_prompt is None
+
+    def test_plain_prompt_with_sicot_not_marked_refined(self):
+        pipeline = _pipeline(True)
+        result = pipeline.generate(
+            prompt=DesignPrompt(text="Design an AND gate.", interface=INTERFACE),
+            interface=INTERFACE,
+            reference_source=FSM_REFERENCE,
+            task_id="pipe-4",
+        )
+        # SI-CoT ran, but there was no symbolic content to interpret.
+        assert result.refined_prompt is not None
+        assert result.refined_prompt.modality is SymbolicModality.NONE
+
+    def test_default_config_and_demands(self):
+        result = _pipeline(False).generate(
+            prompt=DesignPrompt(text="Design the FSM.", interface=INTERFACE),
+            interface=INTERFACE,
+            reference_source=FSM_REFERENCE,
+        )
+        assert len(result.samples) == 1

@@ -1,0 +1,74 @@
+"""Tests for prompt / module-interface data structures."""
+
+from __future__ import annotations
+
+from repro.core.prompt import DesignPrompt, ModuleInterface, PortSpec
+from repro.verilog.parser import parse_source
+from repro.verilog.syntax_checker import check_source
+
+
+class TestModuleInterface:
+    def _interface(self) -> ModuleInterface:
+        return ModuleInterface(
+            name="alu",
+            ports=[
+                PortSpec("a", "input", 8),
+                PortSpec("b", "input", 8),
+                PortSpec("op", "input", 2),
+                PortSpec("result", "output", 8),
+            ],
+        )
+
+    def test_port_partitioning(self):
+        interface = self._interface()
+        assert [p.name for p in interface.input_ports] == ["a", "b", "op"]
+        assert [p.name for p in interface.output_ports] == ["result"]
+
+    def test_port_lookup(self):
+        interface = self._interface()
+        assert interface.port("op").width == 2
+        assert interface.port("missing") is None
+
+    def test_module_header_is_parsable_when_closed(self):
+        interface = self._interface()
+        header = interface.to_module_header()
+        assert header.startswith("module alu (")
+        source = header + "\n  assign result = a;\nendmodule"
+        assert parse_source(source).modules[0].name == "alu"
+
+    def test_module_header_with_reg_outputs(self):
+        header = self._interface().to_module_header(output_reg=True)
+        assert "output reg [7:0] result" in header
+
+    def test_header_widths(self):
+        header = self._interface().to_module_header()
+        assert "input [7:0] a" in header
+        assert "input [1:0] op" in header
+
+    def test_describe(self):
+        description = self._interface().describe()
+        assert "alu" in description
+        assert "8-bit input a" in description
+
+    def test_single_bit_port_rendering(self):
+        port = PortSpec("en", "input", 1)
+        assert port.to_verilog() == "input en"
+
+
+class TestDesignPrompt:
+    def test_full_text_without_interface(self):
+        prompt = DesignPrompt(text="Build a mux.")
+        assert prompt.full_text() == "Build a mux."
+
+    def test_full_text_with_interface(self):
+        interface = ModuleInterface(name="mux", ports=[PortSpec("a", "input"), PortSpec("y", "output")])
+        prompt = DesignPrompt(text="Build a mux.", interface=interface)
+        assert "module mux" in prompt.full_text()
+        assert prompt.full_text().startswith("Build a mux.")
+
+    def test_header_compiles_inside_stub_module(self):
+        interface = ModuleInterface(
+            name="stub", ports=[PortSpec("a", "input", 4), PortSpec("y", "output", 4)]
+        )
+        source = interface.to_module_header() + "\n    assign y = a;\nendmodule"
+        assert check_source(source).ok

@@ -1,0 +1,92 @@
+"""Tests for dataset record types and dataset operations."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.dataset.records import InstructionCodePair, InstructionDataset, PairOrigin
+from repro.verilog.analyzer import Attribute, Topic
+
+
+def _pair(index: int, origin: PairOrigin = PairOrigin.VANILLA, verified: bool = True) -> InstructionCodePair:
+    return InstructionCodePair(
+        instruction=f"instruction {index}",
+        code=f"module m{index}(); endmodule",
+        origin=origin,
+        topics={Topic.COUNTER} if index % 2 else {Topic.FSM},
+        attributes={Attribute.SYNC_RESET},
+        verified=verified,
+    )
+
+
+class TestDataset:
+    def test_add_extend_len(self):
+        dataset = InstructionDataset(name="d")
+        dataset.add(_pair(0))
+        dataset.extend([_pair(1), _pair(2)])
+        assert len(dataset) == 3
+
+    def test_verified_only(self):
+        dataset = InstructionDataset(name="d", pairs=[_pair(0, verified=True), _pair(1, verified=False)])
+        assert len(dataset.verified_only()) == 1
+
+    def test_stats(self):
+        dataset = InstructionDataset(
+            name="d",
+            pairs=[_pair(0), _pair(1, origin=PairOrigin.KNOWLEDGE), _pair(2, origin=PairOrigin.LOGICAL)],
+        )
+        stats = dataset.stats()
+        assert stats.total_pairs == 3
+        assert stats.verified_pairs == 3
+        assert stats.by_origin["knowledge"] == 1
+        assert stats.verification_rate == 1.0
+
+    def test_stats_empty(self):
+        assert InstructionDataset(name="d").stats().verification_rate == 0.0
+
+    def test_subset_deterministic(self):
+        dataset = InstructionDataset(name="d", pairs=[_pair(i) for i in range(20)])
+        first = dataset.subset(0.5, seed=1)
+        second = dataset.subset(0.5, seed=1)
+        assert [p.instruction for p in first] == [p.instruction for p in second]
+        assert len(first) == 10
+
+    def test_subset_fraction_bounds(self):
+        dataset = InstructionDataset(name="d", pairs=[_pair(i) for i in range(4)])
+        assert len(dataset.subset(0.0)) == 0
+        assert len(dataset.subset(1.0)) == 4
+        try:
+            dataset.subset(1.5)
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_merge_shuffles_and_combines(self):
+        a = InstructionDataset(name="a", pairs=[_pair(i) for i in range(5)])
+        b = InstructionDataset(name="b", pairs=[_pair(i + 100, PairOrigin.LOGICAL) for i in range(5)])
+        merged = a.merged_with(b, name="kl", seed=0)
+        assert len(merged) == 10
+        assert merged.name == "kl"
+        origins = {pair.origin for pair in merged}
+        assert origins == {PairOrigin.VANILLA, PairOrigin.LOGICAL}
+
+    def test_jsonl_roundtrip(self):
+        dataset = InstructionDataset(name="d", pairs=[_pair(0), _pair(1, PairOrigin.KNOWLEDGE)])
+        text = dataset.to_jsonl()
+        loaded = InstructionDataset.from_jsonl("d2", text)
+        assert len(loaded) == 2
+        assert loaded.pairs[1].origin is PairOrigin.KNOWLEDGE
+        assert loaded.pairs[0].topics == dataset.pairs[0].topics
+
+    def test_to_dict_serialisable(self):
+        import json
+
+        payload = json.dumps(_pair(0).to_dict())
+        assert "instruction 0" in payload
+
+
+@given(st.integers(min_value=0, max_value=40), st.floats(min_value=0.0, max_value=1.0))
+def test_subset_size_property(count, fraction):
+    dataset = InstructionDataset(name="d", pairs=[_pair(i) for i in range(count)])
+    subset = dataset.subset(fraction, seed=0)
+    assert len(subset) == round(count * fraction)

@@ -1,0 +1,138 @@
+"""Tests for the SI-CoT pipeline (Fig. 1, steps 1-3)."""
+
+from __future__ import annotations
+
+from repro.core.prompt import DesignPrompt, ModuleInterface, PortSpec
+from repro.core.sicot import SICoTConfig, SICoTPipeline, infer_interface, refine_prompt
+from repro.symbolic.detector import SymbolicModality
+from repro.symbolic.state_diagram import StateDiagram
+
+SD_PROMPT = """Implement this FSM with active-high reset.
+A[out=0]--[x=0]->B
+A[out=0]--[x=1]->A
+B[out=1]--[x=0]->A
+B[out=1]--[x=1]->B"""
+
+TT_PROMPT = """Implement the truth table below.
+a | b | out
+0 | 0 | 0
+0 | 1 | 0
+1 | 0 | 0
+1 | 1 | 1"""
+
+WF_PROMPT = """Implement the waveform behaviour.
+a: 0 1 0 1
+b: 0 0 1 1
+out: 0 0 0 1"""
+
+
+class TestStep1Identification:
+    def test_plain_prompt_untouched_except_header(self):
+        pipeline = SICoTPipeline(SICoTConfig(add_module_header=False))
+        refined = pipeline.refine(DesignPrompt(text="Design a 4-bit adder."))
+        assert refined.modality is SymbolicModality.NONE
+        assert refined.text == "Design a 4-bit adder."
+        assert not refined.was_refined
+
+    def test_symbolic_prompt_identified(self):
+        refined = refine_prompt(SD_PROMPT)
+        assert refined.modality is SymbolicModality.STATE_DIAGRAM
+        assert any("identify symbolic components" in step for step in refined.reasoning_steps)
+
+
+class TestStep2Interpretation:
+    def test_state_diagram_interpreted(self):
+        refined = refine_prompt(SD_PROMPT)
+        assert "States&Outputs:" in refined.text
+        assert "transit to state" in refined.interpretation
+        assert isinstance(refined.parsed_component, StateDiagram)
+        # The raw arrow notation is replaced by the natural-language description.
+        assert "-->" not in refined.text and "]->" not in refined.text
+
+    def test_truth_table_parsed(self):
+        refined = refine_prompt(TT_PROMPT)
+        assert refined.modality is SymbolicModality.TRUTH_TABLE
+        assert "If a=1, b=1, then out=1;" in refined.text
+
+    def test_waveform_parsed(self):
+        refined = refine_prompt(WF_PROMPT)
+        assert refined.modality is SymbolicModality.WAVEFORM
+        assert "When time is 0ns" in refined.text
+
+    def test_prose_retained(self):
+        refined = refine_prompt(SD_PROMPT)
+        assert "Implement this FSM" in refined.text
+
+    def test_interpretation_disabled_by_config(self):
+        pipeline = SICoTPipeline(SICoTConfig(interpret_state_diagrams=False, add_module_header=False))
+        refined = pipeline.refine(DesignPrompt(text=SD_PROMPT))
+        assert refined.interpretation == ""
+        assert refined.text == SD_PROMPT
+
+    def test_keep_original_block_option(self):
+        pipeline = SICoTPipeline(SICoTConfig(keep_original_block=True))
+        refined = pipeline.refine(DesignPrompt(text=TT_PROMPT))
+        assert "|" in refined.text  # original table kept alongside the interpretation
+
+
+class TestStep3ModuleHeader:
+    def test_header_added_from_interface(self):
+        interface = ModuleInterface(
+            name="adder", ports=[PortSpec("a", "input", 4), PortSpec("y", "output", 4)]
+        )
+        refined = refine_prompt("Design a 4-bit adder.", interface=interface)
+        assert refined.added_module_header
+        assert "module adder" in refined.text
+
+    def test_header_inferred_from_state_diagram(self):
+        refined = refine_prompt(SD_PROMPT)
+        assert refined.added_module_header
+        assert "module top_module" in refined.text
+        assert "input x" in refined.text
+        assert "output out" in refined.text
+
+    def test_header_not_duplicated(self):
+        prompt_with_header = "Design an inverter.\nmodule inv(input a, output y);"
+        refined = refine_prompt(prompt_with_header)
+        assert not refined.added_module_header
+
+    def test_header_step_can_be_disabled(self):
+        pipeline = SICoTPipeline(SICoTConfig(add_module_header=False))
+        refined = pipeline.refine(DesignPrompt(text=TT_PROMPT))
+        assert not refined.added_module_header
+        assert "module " not in refined.text
+
+    def test_no_header_when_nothing_to_infer(self):
+        refined = refine_prompt("Design something combinational.")
+        assert not refined.added_module_header
+
+
+class TestInterfaceInference:
+    def test_from_truth_table(self):
+        refined = refine_prompt(TT_PROMPT)
+        interface = infer_interface(refined.parsed_component)
+        assert [p.name for p in interface.input_ports] == ["a", "b"]
+        assert [p.name for p in interface.output_ports] == ["out"]
+
+    def test_from_state_diagram_includes_clock_and_reset(self):
+        refined = refine_prompt(SD_PROMPT)
+        interface = infer_interface(refined.parsed_component)
+        names = [p.name for p in interface.ports]
+        assert names[:2] == ["clk", "rst"]
+
+    def test_from_unknown_object(self):
+        assert infer_interface(None) is None
+        assert infer_interface(42) is None
+
+
+class TestTable3Examples:
+    def test_state_diagram_example_matches_table3(self):
+        text = "A[out=0]--[x=0]->B\nA[out=0]--[x=1]->A\nB[out=1]--[x=0]->A\nB[out=1]--[x=1]->B"
+        refined = refine_prompt(text)
+        assert "1. state A(out=0)" in refined.interpretation
+        assert "2. state B(out=1)" in refined.interpretation
+        assert "From state A: If x=0, then transit to state B" in refined.interpretation
+
+    def test_truth_table_example_matches_table3(self):
+        refined = refine_prompt(TT_PROMPT)
+        assert "Variables: 1. a(input); 2. b(input); 3. out(output)" in refined.interpretation

@@ -1,0 +1,92 @@
+"""Tests for the hallucination taxonomy (Table II)."""
+
+from __future__ import annotations
+
+from repro.core.taxonomy import (
+    SUBTYPE_TO_TYPE,
+    TABLE_II_EXAMPLES,
+    HallucinationRecord,
+    HallucinationSubtype,
+    HallucinationType,
+    TaxonomySummary,
+    subtypes_of,
+    type_of,
+)
+from repro.verilog.syntax_checker import compiles
+
+
+class TestTaxonomyStructure:
+    def test_three_top_level_types(self):
+        assert len(HallucinationType) == 3
+
+    def test_nine_subtypes(self):
+        assert len(HallucinationSubtype) == 9
+        assert len(SUBTYPE_TO_TYPE) == 9
+
+    def test_symbolic_subtypes(self):
+        symbolic = subtypes_of(HallucinationType.SYMBOLIC)
+        assert set(symbolic) == {
+            HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION,
+            HallucinationSubtype.WAVEFORM_MISINTERPRETATION,
+            HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION,
+        }
+
+    def test_knowledge_subtypes(self):
+        knowledge = subtypes_of(HallucinationType.KNOWLEDGE)
+        assert len(knowledge) == 3
+        assert HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION in knowledge
+
+    def test_logical_subtypes(self):
+        logical = subtypes_of(HallucinationType.LOGICAL)
+        assert len(logical) == 3
+        assert HallucinationSubtype.INCORRECT_CORNER_CASE_HANDLING in logical
+
+    def test_type_of_consistency(self):
+        for subtype in HallucinationSubtype:
+            assert type_of(subtype) in HallucinationType
+
+    def test_record_exposes_type(self):
+        record = HallucinationRecord(subtype=HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION)
+        assert record.hallucination_type is HallucinationType.LOGICAL
+
+
+class TestTableIIExamples:
+    def test_every_subtype_has_an_example(self):
+        covered = {example.subtype for example in TABLE_II_EXAMPLES}
+        assert covered == set(HallucinationSubtype)
+
+    def test_examples_have_prompt_code_and_analysis(self):
+        for example in TABLE_II_EXAMPLES:
+            assert example.prompt.strip()
+            assert example.incorrect_code.strip()
+            assert example.error_analysis.strip()
+
+    def test_syntax_example_does_not_compile(self):
+        example = next(
+            e for e in TABLE_II_EXAMPLES
+            if e.subtype is HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION
+        )
+        assert not compiles(example.incorrect_code)
+
+    def test_non_syntax_examples_compile(self):
+        for example in TABLE_II_EXAMPLES:
+            if example.subtype is HallucinationSubtype.VERILOG_SYNTAX_MISAPPLICATION:
+                continue
+            assert compiles(example.incorrect_code), example.subtype
+
+    def test_correct_code_compiles_where_given(self):
+        for example in TABLE_II_EXAMPLES:
+            if example.correct_code:
+                assert compiles(example.correct_code), example.subtype
+
+
+class TestSummary:
+    def test_counts_by_type(self):
+        summary = TaxonomySummary()
+        summary.add(HallucinationRecord(subtype=HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION))
+        summary.add(HallucinationRecord(subtype=HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION))
+        summary.add(HallucinationRecord(subtype=HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION))
+        assert summary.total == 3
+        assert summary.count(HallucinationType.SYMBOLIC) == 2
+        assert summary.count(HallucinationType.LOGICAL) == 1
+        assert summary.count(HallucinationType.KNOWLEDGE) == 0

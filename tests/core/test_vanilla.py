@@ -1,0 +1,56 @@
+"""Tests for vanilla instruction generation (the GPT-3.5 describer substitute)."""
+
+from __future__ import annotations
+
+from repro.core.dataset.records import PairOrigin
+from repro.core.dataset.vanilla import SimulatedDescriptionWriter, VanillaDatasetGenerator
+
+
+class TestDescriptionWriter:
+    def test_description_mentions_module_name_and_ports(self, counter_source):
+        writer = SimulatedDescriptionWriter(seed=0)
+        description = writer.describe(counter_source)
+        assert "counter" in description
+        assert "clk" in description
+        assert "count" in description
+
+    def test_description_mentions_topic(self, counter_source):
+        description = SimulatedDescriptionWriter(seed=1).describe(counter_source)
+        assert "counter" in description.lower()
+
+    def test_description_for_unparsable_code(self, broken_source):
+        description = SimulatedDescriptionWriter(seed=0).describe(broken_source)
+        assert description
+        assert "def adder_4bit" in description
+
+    def test_deterministic_for_seed(self, fsm_source):
+        assert (
+            SimulatedDescriptionWriter(seed=3).describe(fsm_source)
+            == SimulatedDescriptionWriter(seed=3).describe(fsm_source)
+        )
+
+    def test_descriptions_are_generic_not_engineer_style(self, counter_source):
+        """Vanilla instructions must NOT contain the HDL-engineer attribute phrasing
+        that the K-dataset rewriting adds later (that is the whole point of Table I)."""
+        description = SimulatedDescriptionWriter(seed=0).describe(counter_source)
+        assert "synchronous" not in description.lower()
+        assert "active-high" not in description.lower()
+
+
+class TestVanillaDatasetGenerator:
+    def test_one_pair_per_sample(self, small_corpus, small_vanilla_dataset):
+        assert len(small_vanilla_dataset) == len(small_corpus)
+
+    def test_pairs_have_origin_and_metadata(self, small_vanilla_dataset):
+        for pair in small_vanilla_dataset:
+            assert pair.origin is PairOrigin.VANILLA
+            assert pair.metadata.get("path", "").startswith("github/")
+            assert pair.instruction
+            assert pair.code
+
+    def test_parsable_pairs_have_topics(self, small_vanilla_dataset):
+        with_topics = [pair for pair in small_vanilla_dataset if pair.topics]
+        assert len(with_topics) >= len(small_vanilla_dataset) * 0.5
+
+    def test_unverified_until_k_stage(self, small_vanilla_dataset):
+        assert all(not pair.verified for pair in small_vanilla_dataset)

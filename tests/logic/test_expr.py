@@ -1,0 +1,144 @@
+"""Tests for the boolean expression substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.expr import (
+    And,
+    Const,
+    Not,
+    Or,
+    RandomExpressionGenerator,
+    Var,
+    Xor,
+    and_all,
+    expr_from_minterms,
+    or_all,
+)
+
+
+class TestEvaluation:
+    def test_variable(self):
+        assert Var("a").evaluate({"a": 1}) == 1
+        assert Var("a").evaluate({"a": 0}) == 0
+
+    def test_constants(self):
+        assert Const(1).evaluate({}) == 1
+        assert Const(0).evaluate({}) == 0
+
+    def test_gates(self):
+        env = {"a": 1, "b": 0}
+        assert And(Var("a"), Var("b")).evaluate(env) == 0
+        assert Or(Var("a"), Var("b")).evaluate(env) == 1
+        assert Xor(Var("a"), Var("b")).evaluate(env) == 1
+        assert Not(Var("b")).evaluate(env) == 1
+
+    def test_nested_expression(self):
+        expression = Or(And(Var("a"), Var("b")), Not(Var("c")))
+        assert expression.evaluate({"a": 1, "b": 1, "c": 1}) == 1
+        assert expression.evaluate({"a": 0, "b": 1, "c": 1}) == 0
+        assert expression.evaluate({"a": 0, "b": 0, "c": 0}) == 1
+
+    def test_variables_sorted_unique(self):
+        expression = And(Var("b"), Or(Var("a"), Var("b")))
+        assert expression.variables() == ["a", "b"]
+
+    def test_depth(self):
+        assert Var("a").depth() == 0
+        assert And(Var("a"), Not(Var("b"))).depth() == 2
+
+
+class TestTruthTables:
+    def test_truth_table_rows_complete(self):
+        expression = And(Var("a"), Var("b"))
+        rows = expression.truth_table_rows()
+        assert len(rows) == 4
+        assert rows[-1] == ({"a": 1, "b": 1}, 1)
+
+    def test_minterms_of_and(self):
+        assert And(Var("a"), Var("b")).minterms() == [3]
+
+    def test_minterms_of_or(self):
+        assert Or(Var("a"), Var("b")).minterms() == [1, 2, 3]
+
+    def test_expr_from_minterms_roundtrip(self):
+        original = Xor(Var("a"), Var("b"))
+        rebuilt = expr_from_minterms(["a", "b"], original.minterms())
+        assert original.equivalent_to(rebuilt)
+
+    def test_expr_from_minterms_empty(self):
+        assert expr_from_minterms(["a"], []).evaluate({"a": 1}) == 0
+
+    def test_expr_from_minterms_requires_variables(self):
+        with pytest.raises(ValueError):
+            expr_from_minterms([], [0])
+
+
+class TestRendering:
+    def test_to_verilog(self):
+        expression = Or(And(Var("a"), Var("b")), Var("c"))
+        assert expression.to_verilog() == "((a & b) | c)"
+
+    def test_to_text(self):
+        assert And(Var("a"), Var("b")).to_text() == "(a and b)"
+        assert Not(Var("a")).to_text() == "not a"
+
+    def test_constant_verilog(self):
+        assert Const(1).to_verilog() == "1'b1"
+        assert Const(0).to_verilog() == "1'b0"
+
+
+class TestCombinators:
+    def test_and_all_empty_is_true(self):
+        assert and_all([]).evaluate({}) == 1
+
+    def test_or_all_empty_is_false(self):
+        assert or_all([]).evaluate({}) == 0
+
+    def test_and_all_chain(self):
+        expression = and_all([Var("a"), Var("b"), Var("c")])
+        assert expression.evaluate({"a": 1, "b": 1, "c": 1}) == 1
+        assert expression.evaluate({"a": 1, "b": 0, "c": 1}) == 0
+
+
+class TestRandomGeneration:
+    def test_deterministic_for_seed(self):
+        first = RandomExpressionGenerator(seed=5).generate(["a", "b", "c"])
+        second = RandomExpressionGenerator(seed=5).generate(["a", "b", "c"])
+        assert first.equivalent_to(second)
+        assert first.to_verilog() == second.to_verilog()
+
+    def test_different_seeds_differ_eventually(self):
+        expressions = {
+            RandomExpressionGenerator(seed=seed).generate_nontrivial(["a", "b", "c"]).to_verilog()
+            for seed in range(8)
+        }
+        assert len(expressions) > 1
+
+    def test_nontrivial_is_not_constant(self):
+        for seed in range(10):
+            expression = RandomExpressionGenerator(seed=seed).generate_nontrivial(["a", "b"])
+            minterms = expression.minterms()
+            size = 2 ** len(expression.variables())
+            assert 0 < len(minterms) < size
+
+    def test_requires_variables(self):
+        with pytest.raises(ValueError):
+            RandomExpressionGenerator().generate([])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=8, unique=True))
+def test_expr_from_minterms_matches_spec(minterms):
+    expression = expr_from_minterms(["a", "b", "c"], minterms)
+    assert sorted(expression.minterms()) == sorted(minterms)
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_random_expression_evaluation_total(seed):
+    """Random expressions always evaluate to 0/1 on every assignment."""
+    expression = RandomExpressionGenerator(seed=seed).generate(["a", "b", "c"], max_depth=4)
+    for assignment, value in expression.truth_table_rows():
+        assert value in (0, 1)
+        assert set(assignment) == set(expression.variables())

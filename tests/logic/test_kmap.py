@@ -1,0 +1,95 @@
+"""Tests for the Karnaugh-map representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.expr import And, Var, Xor
+from repro.logic.kmap import KarnaughMap, random_kmap
+
+
+class TestConstruction:
+    def test_from_minterms(self):
+        kmap = KarnaughMap.from_minterms(["a", "b"], [3], dont_cares=[0])
+        assert kmap.minterms() == [3]
+        assert kmap.dont_cares() == [0]
+        assert kmap.cells[1] == 0
+
+    def test_from_expression(self):
+        kmap = KarnaughMap.from_expression(And(Var("a"), Var("b")))
+        assert kmap.minterms() == [3]
+
+    def test_invalid_variable_count(self):
+        with pytest.raises(ValueError):
+            KarnaughMap(variables=["a"])
+        with pytest.raises(ValueError):
+            KarnaughMap(variables=list("abcde"))
+
+    def test_value_at(self):
+        kmap = KarnaughMap.from_minterms(["a", "b"], [2])
+        assert kmap.value_at({"a": 1, "b": 0}) == 1
+        assert kmap.value_at({"a": 0, "b": 0}) == 0
+
+
+class TestMinimization:
+    def test_simple_map_minimises(self):
+        kmap = KarnaughMap.from_minterms(["a", "b"], [2, 3])
+        expression = kmap.minimized_expression()
+        assert expression.equivalent_to(Var("a"))
+
+    def test_xor_map(self):
+        kmap = KarnaughMap.from_expression(Xor(Var("a"), Var("b")))
+        assert kmap.minimized_expression().equivalent_to(Xor(Var("a"), Var("b")))
+
+    def test_dont_cares_allow_simplification(self):
+        # On-set {3}, don't care {2}: with the don't care, the function reduces to "a".
+        kmap = KarnaughMap.from_minterms(["a", "b"], [3], dont_cares=[2])
+        expression = kmap.minimized_expression()
+        # Must still match the defined cells.
+        assert expression.evaluate({"a": 1, "b": 1}) == 1
+        assert expression.evaluate({"a": 0, "b": 0}) == 0
+        assert expression.evaluate({"a": 0, "b": 1}) == 0
+
+    def test_consistency_check(self):
+        kmap = KarnaughMap.from_minterms(["a", "b", "c"], [1, 3, 5, 7])
+        expression = kmap.minimized_expression()
+        for index in range(8):
+            assignment = {"a": (index >> 2) & 1, "b": (index >> 1) & 1, "c": index & 1}
+            assert expression.evaluate(assignment) == (1 if index in kmap.minterms() else 0)
+
+
+class TestRendering:
+    def test_render_contains_gray_order_labels(self):
+        kmap = KarnaughMap.from_minterms(["a", "b", "c", "d"], [0, 5, 10])
+        rendered = kmap.render()
+        assert "ab\\cd" in rendered
+        assert "00" in rendered and "01" in rendered and "11" in rendered and "10" in rendered
+
+    def test_render_marks_dont_cares(self):
+        kmap = KarnaughMap.from_minterms(["a", "b"], [1], dont_cares=[2])
+        assert "d" in kmap.render()
+
+    def test_describe_lists_rules(self):
+        kmap = KarnaughMap.from_minterms(["a", "b"], [3])
+        description = kmap.describe()
+        assert "Variables:" in description
+        assert "If a=1, b=1, then out=1;" in description
+
+    def test_describe_skips_dont_cares(self):
+        kmap = KarnaughMap.from_minterms(["a", "b"], [3], dont_cares=[0])
+        assert "out=d" not in kmap.describe()
+
+
+class TestRandomKmap:
+    def test_deterministic(self):
+        first = random_kmap(["a", "b", "c"], seed=3)
+        second = random_kmap(["a", "b", "c"], seed=3)
+        assert first.minterms() == second.minterms()
+
+    def test_never_empty(self):
+        for seed in range(10):
+            assert random_kmap(["a", "b"], seed=seed).minterms()
+
+    def test_dont_care_probability(self):
+        kmap = random_kmap(["a", "b", "c", "d"], seed=1, dont_care_probability=0.5)
+        assert kmap.dont_cares()

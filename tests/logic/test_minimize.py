@@ -1,0 +1,126 @@
+"""Tests for Quine-McCluskey minimisation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.expr import And, Not, Or, Var, Xor, expr_from_minterms
+from repro.logic.minimize import (
+    Implicant,
+    literal_cost,
+    minimal_cover,
+    minimize_expression,
+    minimize_minterms,
+    prime_implicants,
+)
+
+
+class TestImplicant:
+    def test_covers(self):
+        implicant = Implicant(values=0b10, mask=0b01, width=2)  # "1-"
+        assert implicant.covers(0b10)
+        assert implicant.covers(0b11)
+        assert not implicant.covers(0b00)
+
+    def test_literal_count(self):
+        assert Implicant(values=0b10, mask=0b01, width=2).literal_count() == 1
+        assert Implicant(values=0b11, mask=0b00, width=2).literal_count() == 2
+
+    def test_to_expr(self):
+        implicant = Implicant(values=0b10, mask=0b01, width=2)
+        expression = implicant.to_expr(["a", "b"])
+        assert expression.evaluate({"a": 1, "b": 0}) == 1
+        assert expression.evaluate({"a": 1, "b": 1}) == 1
+        assert expression.evaluate({"a": 0, "b": 0}) == 0
+
+    def test_full_dont_care_is_constant_one(self):
+        implicant = Implicant(values=0, mask=0b11, width=2)
+        assert implicant.to_expr(["a", "b"]).evaluate({"a": 0, "b": 0}) == 1
+
+
+class TestPrimeImplicants:
+    def test_pair_merges(self):
+        primes = prime_implicants([0b00, 0b01], 2)
+        assert len(primes) == 1
+        assert primes[0].mask == 0b01
+
+    def test_xor_has_two_primes(self):
+        primes = prime_implicants([0b01, 0b10], 2)
+        assert len(primes) == 2
+
+    def test_full_cover_single_prime(self):
+        primes = prime_implicants([0, 1, 2, 3], 2)
+        assert len(primes) == 1
+        assert primes[0].mask == 0b11
+
+    def test_cover_selects_essentials(self):
+        minterms = [0, 1, 3]
+        primes = prime_implicants(minterms, 2)
+        cover = minimal_cover(minterms, primes)
+        covered = {m for m in minterms if any(p.covers(m) for p in cover)}
+        assert covered == set(minterms)
+
+
+class TestMinimization:
+    def test_classic_example(self):
+        # f(a,b) with minterms {2,3} reduces to just "a".
+        expression = minimize_minterms(["a", "b"], [2, 3])
+        assert expression.equivalent_to(Var("a"))
+        assert literal_cost(expression) == 1
+
+    def test_empty_onset_is_zero(self):
+        expression = minimize_minterms(["a", "b"], [])
+        assert all(value == 0 for _, value in expression.truth_table_rows()) or expression.evaluate({"a": 0, "b": 0}) == 0
+
+    def test_full_onset_is_one(self):
+        expression = minimize_minterms(["a", "b"], [0, 1, 2, 3])
+        assert expression.evaluate({"a": 0, "b": 1}) == 1
+        assert literal_cost(expression) == 0
+
+    def test_minimization_never_increases_cost(self):
+        original = Or(And(Var("a"), Var("b")), And(Var("a"), Not(Var("b"))))
+        minimized = minimize_expression(original)
+        assert minimized.equivalent_to(original)
+        assert literal_cost(minimized) <= literal_cost(original)
+        assert minimized.equivalent_to(Var("a"))
+
+    def test_xor_cannot_be_simplified_below_four_literals(self):
+        expression = minimize_expression(Xor(Var("a"), Var("b")))
+        assert expression.equivalent_to(Xor(Var("a"), Var("b")))
+        assert literal_cost(expression) == 4
+
+    def test_three_variable_consensus(self):
+        # ab + a'c + bc  minimises to ab + a'c (consensus term dropped).
+        minterms = sorted(
+            index
+            for index, bits in enumerate(
+                [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+            )
+            if (bits[0] and bits[1]) or ((not bits[0]) and bits[2]) or (bits[1] and bits[2])
+        )
+        expression = minimize_minterms(["a", "b", "c"], minterms)
+        assert sorted(expression.minterms()) == minterms
+        assert literal_cost(expression) <= 4
+
+    def test_expression_without_variables_passthrough(self):
+        from repro.logic.expr import Const
+
+        assert minimize_expression(Const(1)).evaluate({}) == 1
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.data(),
+)
+def test_minimization_preserves_function(num_variables, data):
+    """Property: the minimised expression computes exactly the same function."""
+    size = 2**num_variables
+    minterms = data.draw(
+        st.lists(st.integers(min_value=0, max_value=size - 1), min_size=1, max_size=size, unique=True)
+    )
+    variables = ["a", "b", "c", "d"][:num_variables]
+    original = expr_from_minterms(variables, minterms)
+    minimized = minimize_minterms(variables, minterms)
+    assert minimized.equivalent_to(original)
+    assert literal_cost(minimized) <= literal_cost(original)

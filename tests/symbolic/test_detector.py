@@ -1,0 +1,86 @@
+"""Tests for symbolic-component detection in prompts."""
+
+from __future__ import annotations
+
+from repro.symbolic.detector import SymbolicDetector, SymbolicModality, detect_symbolic
+from repro.symbolic.state_diagram import StateDiagram
+from repro.symbolic.truth_table import TruthTable
+from repro.symbolic.waveform import Waveform
+
+TT_PROMPT = """Implement the truth table below...
+a | b | out
+0 | 0 | 0
+0 | 1 | 0
+1 | 0 | 0
+1 | 1 | 1"""
+
+WF_PROMPT = """Implement the waveforms below...
+a: 0 1 0 1
+b: 0 0 1 1
+out: 0 0 0 1"""
+
+SD_PROMPT = """Implement this FSM...
+A[out=0]--[in=0]->B
+A[out=0]--[in=1]->A
+B[out=1]--[in=0]->A
+B[out=1]--[in=1]->B"""
+
+
+class TestDetection:
+    def test_truth_table_detected(self):
+        result = detect_symbolic(TT_PROMPT)
+        assert result.modality is SymbolicModality.TRUTH_TABLE
+        assert isinstance(result.components[0].parsed, TruthTable)
+        assert result.has_symbolic_content
+
+    def test_waveform_detected(self):
+        result = detect_symbolic(WF_PROMPT)
+        assert result.modality is SymbolicModality.WAVEFORM
+        assert isinstance(result.components[0].parsed, Waveform)
+
+    def test_state_diagram_detected(self):
+        result = detect_symbolic(SD_PROMPT)
+        assert result.modality is SymbolicModality.STATE_DIAGRAM
+        assert isinstance(result.components[0].parsed, StateDiagram)
+
+    def test_plain_prompt_has_no_symbolic_content(self):
+        result = detect_symbolic("Design an 8-bit up counter with synchronous reset.")
+        assert result.modality is SymbolicModality.NONE
+        assert not result.has_symbolic_content
+        assert result.components == []
+
+    def test_state_diagram_takes_priority_over_waveform(self):
+        # State-diagram lines superficially contain ':'-free arrows; mixing prose
+        # with a diagram must still classify as a state diagram.
+        result = detect_symbolic("Notes: timing is not critical\n" + SD_PROMPT)
+        assert result.modality is SymbolicModality.STATE_DIAGRAM
+
+    def test_prose_extracted(self):
+        result = detect_symbolic(TT_PROMPT)
+        assert "Implement the truth table below" in result.prose
+        assert "|" not in result.prose
+
+    def test_symbolic_block_extracted(self):
+        result = detect_symbolic(SD_PROMPT)
+        block = result.components[0].text
+        assert "->" in block
+        assert "Implement" not in block
+
+    def test_detector_is_reusable(self):
+        detector = SymbolicDetector()
+        assert detector.detect(TT_PROMPT).modality is SymbolicModality.TRUTH_TABLE
+        assert detector.detect(WF_PROMPT).modality is SymbolicModality.WAVEFORM
+        assert detector.detect("plain text").modality is SymbolicModality.NONE
+
+    def test_table2_prompts_classified(self):
+        from repro.core.taxonomy import TABLE_II_EXAMPLES, HallucinationSubtype
+
+        expectations = {
+            HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION: SymbolicModality.STATE_DIAGRAM,
+            HallucinationSubtype.WAVEFORM_MISINTERPRETATION: SymbolicModality.WAVEFORM,
+            HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION: SymbolicModality.TRUTH_TABLE,
+        }
+        for example in TABLE_II_EXAMPLES:
+            if example.subtype in expectations:
+                result = detect_symbolic(example.prompt)
+                assert result.modality is expectations[example.subtype], example.subtype

@@ -1,0 +1,173 @@
+"""Tests for the state-diagram modality and its FSM models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.symbolic.state_diagram import (
+    StateDiagram,
+    StateDiagramError,
+    Transition,
+    looks_like_state_diagram,
+    parse_state_diagram,
+    random_state_diagram,
+)
+from repro.verilog.simulator.testbench import ResetSpec, run_functional_check
+from repro.verilog.syntax_checker import check_source
+
+PAPER_DIAGRAM = """A[out=0]--[x=0]->B
+A[out=0]--[x=1]->A
+B[out=1]--[x=0]->A
+B[out=1]--[x=1]->B"""
+
+
+class TestParsing:
+    def test_parse_paper_diagram(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        assert diagram.state_names == ["A", "B"]
+        assert diagram.input_names == ["x"]
+        assert diagram.output_names == ["out"]
+        assert diagram.reset_state == "A"
+        assert len(diagram.transitions) == 4
+
+    def test_parse_with_en_dash_and_double_equals(self):
+        text = "A[out=0]–[in==0]–>B\nB[out=1]–[in==1]–>A"
+        diagram = parse_state_diagram(text)
+        assert diagram.input_names == ["in"]
+        assert len(diagram.transitions) == 2
+
+    def test_parse_with_surrounding_prose(self):
+        text = "Implement this FSM...\n" + PAPER_DIAGRAM + "\nUse a single clock."
+        diagram = parse_state_diagram(text)
+        assert len(diagram.transitions) == 4
+
+    def test_unconditional_transition(self):
+        text = "A[out=0]-->B\nB[out=1]-->A"
+        diagram = parse_state_diagram(text)
+        assert diagram.transitions[0].conditions == ()
+
+    def test_no_diagram_raises(self):
+        with pytest.raises(StateDiagramError):
+            parse_state_diagram("a | b | out\n0 | 0 | 1")
+
+    def test_detection_heuristic(self):
+        assert looks_like_state_diagram(PAPER_DIAGRAM)
+        assert not looks_like_state_diagram("a: 0 1 0\nb: 1 1 0")
+
+
+class TestSemantics:
+    def test_next_state(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        assert diagram.next_state("A", {"x": 0}) == "B"
+        assert diagram.next_state("A", {"x": 1}) == "A"
+        assert diagram.next_state("B", {"x": 0}) == "A"
+
+    def test_next_state_defaults_to_self_loop(self):
+        diagram = StateDiagram(states={"A": {"out": 0}}, transitions=[])
+        assert diagram.next_state("A", {"x": 1}) == "A"
+
+    def test_outputs_of(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        assert diagram.outputs_of("B") == {"out": 1}
+        assert diagram.outputs_of("A") == {"out": 0}
+
+    def test_is_complete(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        assert diagram.is_complete()
+        incomplete = StateDiagram(
+            states={"A": {"out": 0}, "B": {"out": 1}},
+            transitions=[Transition("A", "B", (("x", 0),))],
+        )
+        assert not incomplete.is_complete()
+
+    def test_golden_model_trace(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        golden = diagram.to_golden_model()
+        golden.reset()
+        outputs = [golden.step({"x": x})["out"] for x in [0, 1, 0, 0, 1]]
+        assert outputs == [1, 1, 0, 1, 1]
+
+    def test_golden_model_reset(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        golden = diagram.to_golden_model()
+        golden.step({"x": 0})
+        golden.reset()
+        assert golden.state == "A"
+
+
+class TestRendering:
+    def test_prompt_roundtrip(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        reparsed = parse_state_diagram(diagram.to_prompt_text())
+        assert reparsed.state_names == diagram.state_names
+        assert len(reparsed.transitions) == len(diagram.transitions)
+
+    def test_interpretation_matches_table3_format(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        interpretation = diagram.interpret()
+        assert "States&Outputs:" in interpretation
+        assert "state A(out=0)" in interpretation
+        assert "State transition:" in interpretation
+        assert "If x=0, then transit to state B" in interpretation
+        assert "Reset state: A" in interpretation
+
+
+class TestVerilogGeneration:
+    def test_generated_fsm_compiles(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        source = diagram.to_verilog(module_name="fsm_x")
+        assert check_source(source).ok
+
+    def test_generated_fsm_matches_golden(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        source = diagram.to_verilog(module_name="fsm_x")
+        stimulus = [{"x": bit, "rst": 0} for bit in [0, 1, 1, 0, 0, 1, 0, 0]]
+        result = run_functional_check(
+            source, diagram.to_golden_model(), stimulus, reset=ResetSpec(signal="rst")
+        )
+        assert result.passed, result.failure_summary
+
+    def test_swap_states_breaks_functionality(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        source = diagram.to_verilog(module_name="fsm_x", swap_states=("A", "B"))
+        assert check_source(source).ok
+        stimulus = [{"x": bit, "rst": 0} for bit in [0, 1, 1, 0, 0, 1, 0, 0]]
+        result = run_functional_check(
+            source, diagram.to_golden_model(), stimulus, reset=ResetSpec(signal="rst")
+        )
+        assert not result.passed
+
+    def test_sync_reset_variant_compiles(self):
+        diagram = parse_state_diagram(PAPER_DIAGRAM)
+        source = diagram.to_verilog(async_reset=False)
+        assert "or posedge rst" not in source
+        assert check_source(source).ok
+
+
+class TestRandomDiagrams:
+    def test_deterministic(self):
+        first = random_state_diagram(seed=9)
+        second = random_state_diagram(seed=9)
+        assert first.to_prompt_text() == second.to_prompt_text()
+
+    def test_complete_and_consistent(self):
+        for seed in range(6):
+            diagram = random_state_diagram(num_states=3, seed=seed)
+            assert diagram.is_complete()
+            assert diagram.reset_state == "A"
+
+    def test_outputs_not_all_identical(self):
+        for seed in range(6):
+            diagram = random_state_diagram(num_states=3, seed=seed)
+            outputs = {tuple(sorted(diagram.outputs_of(state).items())) for state in diagram.state_names}
+            assert len(outputs) > 1
+
+    def test_generated_verilog_matches_golden(self):
+        for seed in (0, 3, 5):
+            diagram = random_state_diagram(num_states=4, seed=seed)
+            source = diagram.to_verilog(module_name="rand_fsm")
+            stimulus = [{"x": (seed + i) % 2, "rst": 0} for i in range(10)]
+            result = run_functional_check(
+                source, diagram.to_golden_model(), stimulus, reset=ResetSpec(signal="rst")
+            )
+            assert result.passed, result.failure_summary

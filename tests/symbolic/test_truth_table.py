@@ -1,0 +1,128 @@
+"""Tests for the truth-table modality."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.expr import And, Var
+from repro.symbolic.truth_table import (
+    TruthTable,
+    TruthTableError,
+    looks_like_truth_table,
+    parse_truth_table,
+)
+
+PAPER_TABLE = """a | b | out
+0 | 0 | 0
+0 | 1 | 0
+1 | 0 | 0
+1 | 1 | 1"""
+
+
+class TestParsing:
+    def test_parse_paper_table(self):
+        table = parse_truth_table(PAPER_TABLE)
+        assert table.inputs == ["a", "b"]
+        assert table.outputs == ["out"]
+        assert len(table.rows) == 4
+        assert table.is_complete()
+
+    def test_parse_with_surrounding_text(self):
+        text = "Implement the truth table below...\n" + PAPER_TABLE + "\nThanks."
+        table = parse_truth_table(text)
+        assert table.minterms() == [3]
+
+    def test_parse_multi_output(self):
+        text = "a | b | y | q\n0 | 0 | 1 | 0\n1 | 1 | 0 | 1"
+        table = parse_truth_table(text)
+        assert table.outputs == ["y", "q"]
+        assert table.inputs == ["a", "b"]
+
+    def test_parse_defaults_last_column_to_output(self):
+        text = "p | r | s\n0 | 0 | 1\n1 | 1 | 0"
+        table = parse_truth_table(text)
+        assert table.outputs == ["s"]
+
+    def test_skips_malformed_rows(self):
+        text = PAPER_TABLE + "\n1 | ? | 1"
+        table = parse_truth_table(text)
+        assert len(table.rows) == 4
+
+    def test_no_table_raises(self):
+        with pytest.raises(TruthTableError):
+            parse_truth_table("implement a counter please")
+
+    def test_header_only_raises(self):
+        with pytest.raises(TruthTableError):
+            parse_truth_table("a | b | out")
+
+
+class TestDetectionHeuristic:
+    def test_positive(self):
+        assert looks_like_truth_table(PAPER_TABLE)
+
+    def test_negative_plain_text(self):
+        assert not looks_like_truth_table("implement an adder with carry out")
+
+    def test_negative_state_diagram(self):
+        assert not looks_like_truth_table("A[out=0]--[x=0]->B\nB[out=1]--[x=1]->B\nA[out=0]--[x=1]->A")
+
+
+class TestSemantics:
+    def test_minterms_and_expression(self):
+        table = parse_truth_table(PAPER_TABLE)
+        assert table.minterms() == [3]
+        assert table.to_expression().equivalent_to(And(Var("a"), Var("b")))
+
+    def test_output_for_lookup(self):
+        table = parse_truth_table(PAPER_TABLE)
+        assert table.output_for({"a": 1, "b": 1}) == 1
+        assert table.output_for({"a": 0, "b": 1}) == 0
+
+    def test_output_for_missing_row(self):
+        table = TruthTable(inputs=["a"], outputs=["out"], rows=[{"a": 0, "out": 1}])
+        assert table.output_for({"a": 1}) is None
+        assert not table.is_complete()
+
+    def test_from_function(self):
+        table = TruthTable.from_function(["a", "b"], "out", function={3: 1})
+        assert table.minterms() == [3]
+        assert table.is_complete()
+
+    def test_from_expression(self):
+        table = TruthTable.from_function(["a", "b"], "out", expression=And(Var("a"), Var("b")))
+        assert table.minterms() == [3]
+
+    def test_from_function_requires_source(self):
+        with pytest.raises(TruthTableError):
+            TruthTable.from_function(["a"], "out")
+
+
+class TestRendering:
+    def test_prompt_roundtrip(self):
+        table = parse_truth_table(PAPER_TABLE)
+        reparsed = parse_truth_table(table.to_prompt_text())
+        assert reparsed.minterms() == table.minterms()
+        assert reparsed.inputs == table.inputs
+
+    def test_interpretation_format(self):
+        table = parse_truth_table(PAPER_TABLE)
+        interpretation = table.interpret()
+        assert "Variables:" in interpretation
+        assert "a(input)" in interpretation
+        assert "out(output)" in interpretation
+        assert "Rules:" in interpretation
+        assert "If a=1, b=1, then out=1;" in interpretation
+
+    def test_interpretation_has_one_rule_per_row(self):
+        table = parse_truth_table(PAPER_TABLE)
+        rules = [line for line in table.interpret().splitlines() if line and line[0].isdigit()]
+        assert len(rules) == 4
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=8, unique=True))
+def test_prompt_roundtrip_property(minterms):
+    table = TruthTable.from_function(["a", "b", "c"], "out", function={m: 1 for m in minterms})
+    reparsed = parse_truth_table(table.to_prompt_text())
+    assert reparsed.minterms() == sorted(minterms)

@@ -1,0 +1,114 @@
+"""Tests for the waveform-chart modality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.expr import And, Var
+from repro.symbolic.waveform import Waveform, WaveformError, looks_like_waveform, parse_waveform
+
+PAPER_WAVEFORM = """a: 0 1 1 0
+b: 1 0 1 0
+out: 0 0 1 0
+time(ns): 0 10 20 30"""
+
+
+class TestParsing:
+    def test_parse_paper_waveform(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        assert set(waveform.signals) == {"a", "b", "out"}
+        assert waveform.times == [0, 10, 20, 30]
+        assert waveform.num_samples == 4
+
+    def test_output_detection(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        assert waveform.output_names == ["out"]
+        assert waveform.input_names == ["a", "b"]
+
+    def test_parse_with_ellipsis(self):
+        text = "a: 0 1 1 ...\nout: 0 1 1 ...\n"
+        waveform = parse_waveform(text)
+        assert waveform.num_samples == 3
+
+    def test_parse_without_time_line_generates_times(self):
+        text = "a: 0 1\nout: 0 1"
+        waveform = parse_waveform(text)
+        assert waveform.times == [0, 10]
+
+    def test_last_signal_is_output_when_unnamed(self):
+        text = "p: 0 1\nr: 1 0\ns: 1 1"
+        waveform = parse_waveform(text)
+        assert waveform.output_names == ["s"]
+
+    def test_single_signal_raises(self):
+        with pytest.raises(WaveformError):
+            parse_waveform("a: 0 1 0 1")
+
+    def test_plain_text_raises(self):
+        with pytest.raises(WaveformError):
+            parse_waveform("make me a mux")
+
+    def test_truncates_to_shortest_signal(self):
+        text = "a: 0 1 1 1 0\nout: 0 1 1"
+        waveform = parse_waveform(text)
+        assert waveform.num_samples == 3
+
+
+class TestDetectionHeuristic:
+    def test_positive(self):
+        assert looks_like_waveform(PAPER_WAVEFORM)
+
+    def test_negative(self):
+        assert not looks_like_waveform("Implement a 4-bit adder with carry.")
+
+    def test_negative_state_diagram(self):
+        assert not looks_like_waveform("A[out=0]--[x=0]->B")
+
+
+class TestSemantics:
+    def test_sample_access(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        assert waveform.sample(2) == {"a": 1, "b": 1, "out": 1}
+
+    def test_to_truth_table(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        table = waveform.to_truth_table()
+        assert table.inputs == ["a", "b"]
+        assert table.output_for({"a": 1, "b": 1}) == 1
+        assert table.output_for({"a": 0, "b": 1}) == 0
+
+    def test_to_truth_table_deduplicates(self):
+        text = "a: 0 0 1\nout: 0 0 1"
+        table = parse_waveform(text).to_truth_table()
+        assert len(table.rows) == 2
+
+    def test_from_expression(self):
+        waveform = Waveform.from_expression(And(Var("a"), Var("b")), num_samples=6, seed=1)
+        assert waveform.num_samples == 6
+        for index in range(6):
+            sample = waveform.sample(index)
+            assert sample["out"] == (sample["a"] & sample["b"])
+
+    def test_from_expression_with_explicit_samples(self):
+        samples = [{"a": 1, "b": 1}, {"a": 0, "b": 1}]
+        waveform = Waveform.from_expression(And(Var("a"), Var("b")), samples=samples)
+        assert waveform.signals["out"] == [1, 0]
+
+
+class TestRendering:
+    def test_prompt_roundtrip(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        reparsed = parse_waveform(waveform.to_prompt_text())
+        assert reparsed.signals == waveform.signals
+
+    def test_interpretation_format(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        interpretation = waveform.interpret()
+        assert "Variables:" in interpretation
+        assert "When time is 0ns" in interpretation
+        assert "out=1" in interpretation
+
+    def test_interpretation_mentions_every_sample(self):
+        waveform = parse_waveform(PAPER_WAVEFORM)
+        lines = [line for line in waveform.interpret().splitlines() if line.startswith("When time")]
+        assert len(lines) == 4

@@ -1,0 +1,76 @@
+"""Tests for the post-evaluation hallucination analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import HallucinationAnalyzer, analyze_hallucinations
+from repro.core.llm.profiles import BASELINE_PROFILES
+from repro.core.llm.simulated import SimulatedCodeGenLLM
+from repro.core.pipeline import HaVenPipeline
+from repro.core.taxonomy import HallucinationType
+
+
+@pytest.fixture(scope="module")
+def weak_report(tiny_human_suite_module):
+    backend = SimulatedCodeGenLLM(BASELINE_PROFILES["codellama-7b"], seed=3)
+    pipeline = HaVenPipeline(backend, use_sicot=False)
+    return analyze_hallucinations(pipeline, tiny_human_suite_module, samples_per_task=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_human_suite_module():
+    from repro.bench.verilogeval import SuiteConfig, build_verilogeval_human
+
+    return build_verilogeval_human(SuiteConfig(num_tasks=14, seed=9))
+
+
+class TestHallucinationAnalysis:
+    def test_every_sample_diagnosed(self, weak_report, tiny_human_suite_module):
+        assert weak_report.total_samples == 2 * len(tiny_human_suite_module)
+
+    def test_weak_model_produces_failures(self, weak_report):
+        assert weak_report.failing_samples > 0
+
+    def test_failing_samples_are_classified(self, weak_report):
+        classified = [d for d in weak_report.diagnoses if d.subtype is not None]
+        failing = [d for d in weak_report.diagnoses if not d.functional_pass]
+        assert len(classified) >= len(failing) * 0.5
+
+    def test_counts_by_type_cover_taxonomy(self, weak_report):
+        by_type = weak_report.counts_by_type()
+        assert set(by_type) == set(HallucinationType)
+        assert sum(by_type.values()) == weak_report.summary().total
+
+    def test_counts_by_category_totals(self, weak_report):
+        by_category = weak_report.counts_by_category()
+        assert sum(total for _, total in by_category.values()) == weak_report.total_samples
+        for failing, total in by_category.values():
+            assert 0 <= failing <= total
+
+    def test_render_contains_sections(self, weak_report):
+        text = weak_report.render()
+        assert "Hallucination analysis" in text
+        assert "Task category" in text
+
+    def test_perfect_samples_not_classified(self, tiny_human_suite_module):
+        class PerfectBackend:
+            name = "Perfect"
+
+            def generate(self, context, config):
+                from repro.core.llm.base import GeneratedSample
+
+                return [GeneratedSample(code=context.reference_source, sample_index=i) for i in range(config.num_samples)]
+
+        report = HallucinationAnalyzer(samples_per_task=1).analyze(
+            HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite_module
+        )
+        assert report.failing_samples == 0
+        assert report.summary().total == 0
+
+    def test_strong_model_fails_less_than_weak(self, weak_report, tiny_human_suite_module):
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"], seed=3)
+        strong = analyze_hallucinations(
+            HaVenPipeline(backend, use_sicot=False), tiny_human_suite_module, samples_per_task=2, seed=3
+        )
+        assert strong.failing_samples <= weak_report.failing_samples

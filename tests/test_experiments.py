@@ -1,0 +1,130 @@
+"""End-to-end tests of the experiment drivers (scaled far down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    HAVEN_BASE_MODELS,
+    build_datasets,
+    build_haven_models,
+    build_suites,
+    baseline_pipeline,
+    run_fig3,
+    run_fig4,
+    run_table4,
+    run_table6,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> ExperimentScale:
+    return ExperimentScale(
+        corpus_size=50,
+        l_dataset_concise=10,
+        l_dataset_faithful=6,
+        machine_tasks=8,
+        human_tasks=10,
+        rtllm_tasks=4,
+        v2_tasks=6,
+        num_samples=2,
+        temperatures=(0.2,),
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets(tiny_scale):
+    return build_datasets(tiny_scale)
+
+
+class TestDatasetBundle:
+    def test_all_three_datasets_non_empty(self, tiny_datasets):
+        assert len(tiny_datasets.vanilla) > 0
+        assert len(tiny_datasets.k_dataset) > 0
+        assert len(tiny_datasets.l_dataset) > 0
+
+    def test_kl_combination(self, tiny_datasets):
+        kl = tiny_datasets.kl_dataset()
+        assert len(kl) == len(tiny_datasets.k_dataset) + len(tiny_datasets.l_dataset)
+
+
+class TestHaVenModels:
+    def test_three_models_built(self, tiny_datasets):
+        models = build_haven_models(tiny_datasets)
+        assert set(models.pipelines) == set(HAVEN_BASE_MODELS.values())
+        for name, profile in models.profiles.items():
+            assert profile.name == name
+
+    def test_finetuned_skills_exceed_base(self, tiny_datasets):
+        from repro.core.llm.profiles import BASE_MODEL_PROFILES
+
+        models = build_haven_models(tiny_datasets)
+        for base_key, haven_name in HAVEN_BASE_MODELS.items():
+            base = BASE_MODEL_PROFILES[base_key]
+            tuned = models.profiles[haven_name]
+            assert tuned.knowledge_skill > base.knowledge_skill
+            assert tuned.logic_skill > base.logic_skill
+
+
+class TestSuitesAndScales:
+    def test_build_suites_sizes(self, tiny_scale):
+        suites = build_suites(tiny_scale)
+        assert len(suites["machine"]) == tiny_scale.machine_tasks
+        assert len(suites["human"]) == tiny_scale.human_tasks
+        assert len(suites["rtllm"]) == tiny_scale.rtllm_tasks
+        assert len(suites["v2"]) == tiny_scale.v2_tasks
+
+    def test_paper_scale_matches_benchmark_sizes(self):
+        scale = ExperimentScale.paper()
+        assert scale.machine_tasks == 143
+        assert scale.human_tasks == 156
+        assert scale.rtllm_tasks == 29
+        assert scale.num_samples == 10
+        assert scale.temperatures == (0.2, 0.5, 0.8)
+
+    def test_evaluation_config_ks(self, tiny_scale):
+        assert tiny_scale.evaluation_config().ks == (1,)
+        assert ExperimentScale.paper().evaluation_config().ks == (1, 5)
+
+    def test_baseline_pipeline_factory(self):
+        pipeline = baseline_pipeline("gpt-4", use_sicot=True)
+        assert "GPT-4" in pipeline.name
+        assert pipeline.use_sicot
+
+
+class TestExperimentDrivers:
+    def test_table4_rows(self, tiny_scale):
+        rows = run_table4(tiny_scale, baseline_keys=["gpt-3.5", "origen-deepseek"], include_haven=True)
+        names = [row.model for row in rows]
+        assert "GPT-3.5" in names
+        assert any(name.startswith("HaVen") for name in names)
+        for row in rows:
+            assert row.machine_pass1 is not None
+            assert row.human_pass1 is not None
+
+    def test_haven_outperforms_weak_baseline_on_human(self, tiny_scale):
+        rows = run_table4(tiny_scale, baseline_keys=["codellama-7b"], include_haven=True)
+        by_name = {row.model: row for row in rows}
+        haven_best = max(row.human_pass1 for name, row in by_name.items() if name.startswith("HaVen"))
+        assert haven_best >= by_name["CodeLlama-7b-Instruct"].human_pass1
+
+    def test_table6_sicot_never_hurts_much(self, tiny_scale):
+        rows = run_table6(tiny_scale, full_subset=False)
+        assert set(rows) == {"GPT-4o mini", "GPT-4", "DeepSeek-Coder-V2"}
+        for with_cot, without_cot in rows.values():
+            assert with_cot >= without_cot - 1e-6
+
+    def test_fig3_monotone_improvement(self, tiny_scale):
+        series = run_fig3(tiny_scale)
+        assert len(series) == 3
+        for entry in series:
+            assert entry.pass1["vanilla+CoT+KL"] >= entry.pass1["base"]
+            assert entry.pass1["vanilla+KL"] >= entry.pass1["vanilla"] - 1e-6
+
+    def test_fig4_grid_monotone_in_k(self, tiny_scale):
+        grid1, grid5 = run_fig4(tiny_scale, portions=(0, 100))
+        assert set(grid1) == {(0, 0), (0, 100), (100, 0), (100, 100)}
+        assert grid1[(100, 100)] >= grid1[(0, 0)]
+        assert grid5[(100, 100)] >= grid1[(100, 100)] - 1e-6

@@ -1,0 +1,151 @@
+"""Tests for the topic/attribute analyzer (the slang substitute)."""
+
+from __future__ import annotations
+
+from repro.verilog.analyzer import Attribute, ModuleAnalyzer, Topic, analyze_source
+
+
+class TestTopicDetection:
+    def test_counter_detected(self, counter_source):
+        result = analyze_source(counter_source)
+        assert Topic.COUNTER in result.topics
+        assert result.primary_topic is Topic.COUNTER
+
+    def test_fsm_detected(self, fsm_source):
+        result = analyze_source(fsm_source)
+        assert Topic.FSM in result.topics
+        assert result.state_signals  # state/next_state found
+
+    def test_adder_detected(self, adder_source):
+        result = analyze_source(adder_source)
+        assert Topic.ADDER in result.topics
+
+    def test_mux_detected(self, mux_source):
+        result = analyze_source(mux_source)
+        assert Topic.MULTIPLEXER in result.topics
+
+    def test_shift_register_detected_by_structure(self):
+        source = """
+        module sr(input clk, input rst, input din, output reg [7:0] data);
+            always @(posedge clk) begin
+                if (rst) data <= 8'd0;
+                else data <= {data[6:0], din};
+            end
+        endmodule
+        """
+        result = analyze_source(source)
+        assert Topic.SHIFT_REGISTER in result.topics
+
+    def test_alu_detected_by_name_and_structure(self):
+        source = """
+        module my_alu(input [3:0] a, input [3:0] b, input [1:0] op, output reg [3:0] r);
+            always @(*) begin
+                case (op)
+                    2'b00: r = a + b;
+                    2'b01: r = a - b;
+                    default: r = a & b;
+                endcase
+            end
+        endmodule
+        """
+        result = analyze_source(source)
+        assert Topic.ALU in result.topics
+
+    def test_plain_logic_falls_back_to_combinational(self):
+        result = analyze_source("module g(input p, input q, output w); assign w = p ^ q; endmodule")
+        assert result.primary_topic is Topic.COMBINATIONAL
+        assert not result.has_identifiable_topic()
+
+    def test_clock_divider_detected_by_name(self):
+        source = """
+        module clk_div(input clk, input rst, output reg clk_out);
+            reg [3:0] counter;
+            always @(posedge clk) begin
+                if (rst) begin counter <= 4'd0; clk_out <= 1'b0; end
+                else if (counter == 4'd3) begin counter <= 4'd0; clk_out <= ~clk_out; end
+                else counter <= counter + 4'd1;
+            end
+        endmodule
+        """
+        result = analyze_source(source)
+        assert Topic.CLOCK_DIVIDER in result.topics
+
+
+class TestAttributeDetection:
+    def test_sync_reset_posedge_clock(self, counter_source):
+        result = analyze_source(counter_source)
+        assert Attribute.SYNC_RESET in result.attributes
+        assert Attribute.POSEDGE_CLOCK in result.attributes
+        assert Attribute.SEQUENTIAL in result.attributes
+        assert Attribute.PARAMETERIZED in result.attributes
+
+    def test_async_reset_detected(self, fsm_source):
+        result = analyze_source(fsm_source)
+        assert Attribute.ASYNC_RESET in result.attributes
+
+    def test_active_high_enable(self, counter_source):
+        result = analyze_source(counter_source)
+        assert Attribute.ACTIVE_HIGH_ENABLE in result.attributes
+
+    def test_active_low_enable(self):
+        source = """
+        module r(input clk, input rst, input en_n, input d, output reg q);
+            always @(posedge clk) begin
+                if (rst) q <= 1'b0;
+                else if (!en_n) q <= d;
+            end
+        endmodule
+        """
+        result = analyze_source(source)
+        assert Attribute.ACTIVE_LOW_ENABLE in result.attributes
+
+    def test_negedge_clock(self):
+        source = """
+        module d(input clk, input d, output reg q);
+            always @(negedge clk) q <= d;
+        endmodule
+        """
+        result = analyze_source(source)
+        assert Attribute.NEGEDGE_CLOCK in result.attributes
+
+    def test_combinational_only(self, adder_source):
+        result = analyze_source(adder_source)
+        assert Attribute.COMBINATIONAL_ONLY in result.attributes
+        assert Attribute.SEQUENTIAL not in result.attributes
+
+    def test_clock_and_reset_signal_lists(self, counter_source):
+        result = analyze_source(counter_source)
+        assert result.clock_signals == ["clk"]
+        assert result.reset_signals == ["rst"]
+        assert result.enable_signals == ["en"]
+
+    def test_active_low_reset_names(self):
+        source = """
+        module r(input clk, input rst_n, input d, output reg q);
+            always @(posedge clk or negedge rst_n) begin
+                if (!rst_n) q <= 1'b0;
+                else q <= d;
+            end
+        endmodule
+        """
+        result = analyze_source(source)
+        assert "rst_n" in result.reset_signals
+        assert Attribute.ASYNC_RESET in result.attributes
+
+
+class TestAnalyzerOnCorpus:
+    def test_corpus_topics_match_intent(self, small_corpus):
+        """The analyzer recovers the intended topic for most clean corpus samples."""
+        analyzer = ModuleAnalyzer()
+        clean = [sample for sample in small_corpus if not sample.is_flawed]
+        hits = 0
+        for sample in clean:
+            result = analyzer.analyze_source(sample.code)
+            if sample.intended_topic in result.topics or sample.intended_topic is Topic.COMBINATIONAL:
+                hits += 1
+        assert hits >= len(clean) * 0.8
+
+    def test_primary_topic_priority(self, fsm_source):
+        result = analyze_source(fsm_source)
+        # FSM wins over any other co-detected topic.
+        assert result.primary_topic is Topic.FSM

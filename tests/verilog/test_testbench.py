@@ -1,0 +1,142 @@
+"""Tests for the testbench runner (DUT vs Python golden model)."""
+
+from __future__ import annotations
+
+from repro.verilog.simulator.testbench import CombinationalGolden, ResetSpec, run_functional_check
+from repro.verilog.simulator.testbench import TestbenchRunner as Runner
+
+
+class CounterGoldenLocal:
+    """Minimal sequential golden model used by these tests."""
+
+    is_sequential = True
+
+    def __init__(self, width: int = 4):
+        self.width = width
+        self.value = 0
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def step(self, inputs):
+        if inputs.get("rst"):
+            self.value = 0
+        elif inputs.get("en", 1):
+            self.value = (self.value + 1) % (1 << self.width)
+        return {"count": self.value}
+
+    def eval(self, inputs):
+        return {"count": self.value}
+
+
+class TestCombinationalChecks:
+    def test_correct_and_gate_passes(self):
+        source = "module g(input a, input b, output y); assign y = a & b; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"] & ins["b"]})
+        stimulus = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)]
+        result = run_functional_check(source, golden, stimulus)
+        assert result.passed
+        assert result.total_checks == 4
+        assert result.mismatches == []
+
+    def test_wrong_operator_fails(self):
+        source = "module g(input a, input b, output y); assign y = a | b; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"] & ins["b"]})
+        stimulus = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)]
+        result = run_functional_check(source, golden, stimulus)
+        assert not result.passed
+        assert result.mismatches
+        assert "expected" in str(result.mismatches[0])
+
+    def test_non_compiling_code_reports_error(self, broken_source):
+        golden = CombinationalGolden(lambda ins: {"y": 0})
+        result = run_functional_check(broken_source, golden, [{"a": 0}])
+        assert not result.passed
+        assert result.error is not None
+        assert "simulation error" in result.failure_summary
+
+    def test_missing_output_counts_as_mismatch(self):
+        source = "module g(input a, output y); assign y = a; endmodule"
+        golden = CombinationalGolden(lambda ins: {"z": ins["a"]})
+        result = run_functional_check(source, golden, [{"a": 1}])
+        assert not result.passed
+
+    def test_x_output_counts_as_mismatch(self):
+        source = "module g(input a, output reg y); always @(*) if (a) y = 1'b1; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": 1 if ins["a"] else 0})
+        result = run_functional_check(source, golden, [{"a": 0}, {"a": 1}])
+        assert not result.passed  # y is x when a == 0 (missing else branch)
+
+    def test_empty_stimulus_does_not_pass(self):
+        source = "module g(input a, output y); assign y = a; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"]})
+        result = run_functional_check(source, golden, [])
+        assert not result.passed
+        assert result.total_checks == 0
+
+    def test_check_outputs_subset(self):
+        source = "module g(input a, output y, output z); assign y = a; assign z = ~a; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"], "z": 1})  # z model is wrong
+        result = run_functional_check(source, golden, [{"a": 1}], check_outputs=["y"])
+        assert result.passed
+
+
+class TestSequentialChecks:
+    def test_correct_counter_passes(self, counter_source):
+        runner = Runner(clock="clk", reset=ResetSpec(signal="rst"))
+        stimulus = [{"rst": 0, "en": 1} for _ in range(8)]
+        result = runner.run(counter_source, CounterGoldenLocal(), stimulus)
+        assert result.passed
+
+    def test_counter_with_wrong_reset_polarity_fails(self, counter_source):
+        broken = counter_source.replace("if (rst)", "if (!rst)")
+        runner = Runner(clock="clk", reset=ResetSpec(signal="rst"))
+        stimulus = [{"rst": 0, "en": 1} for _ in range(8)]
+        result = runner.run(broken, CounterGoldenLocal(), stimulus)
+        assert not result.passed
+
+    def test_mid_run_reset_checked(self, counter_source):
+        runner = Runner(clock="clk", reset=ResetSpec(signal="rst"))
+        stimulus = [{"rst": 0, "en": 1}] * 4 + [{"rst": 1, "en": 1}] + [{"rst": 0, "en": 1}] * 3
+        result = runner.run(counter_source, CounterGoldenLocal(), stimulus)
+        assert result.passed
+
+    def test_fsm_against_golden(self, fsm_source):
+        class FSMGolden:
+            is_sequential = True
+
+            def __init__(self):
+                self.state = 0
+
+            def reset(self):
+                self.state = 0
+
+            def step(self, inputs):
+                x = inputs.get("x", 0)
+                if self.state == 0:
+                    self.state = 0 if x else 1
+                else:
+                    self.state = 1 if x else 0
+                return {"out": self.state}
+
+            def eval(self, inputs):
+                return {"out": self.state}
+
+        runner = Runner(clock="clk", reset=ResetSpec(signal="rst"))
+        stimulus = [{"x": bit, "rst": 0} for bit in [0, 1, 1, 0, 0, 1, 0]]
+        result = runner.run(fsm_source, FSMGolden(), stimulus)
+        assert result.passed
+
+    def test_mismatch_limit_stops_early(self):
+        source = "module g(input a, output y); assign y = ~a; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"]})
+        runner = Runner(max_mismatches=2)
+        result = runner.run(source, golden, [{"a": 0}] * 10)
+        assert not result.passed
+        assert len(result.mismatches) == 2
+
+    def test_failure_summary_mentions_step(self):
+        source = "module g(input a, output y); assign y = ~a; endmodule"
+        golden = CombinationalGolden(lambda ins: {"y": ins["a"]})
+        result = run_functional_check(source, golden, [{"a": 0}])
+        assert "step 0" in result.failure_summary

@@ -1,0 +1,145 @@
+"""Tests for the four-state LogicVector type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verilog.simulator.values import LogicVector, concat_all
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        value = LogicVector.from_int(0x1FF, 8)
+        assert value.width == 8
+        assert value.to_int() == 0xFF
+
+    def test_from_int_negative_wraps(self):
+        value = LogicVector.from_int(-1, 4)
+        assert value.to_int() == 0xF
+
+    def test_unknown_and_high_impedance(self):
+        assert LogicVector.unknown(4).to_binary_string() == "xxxx"
+        assert LogicVector.high_impedance(4).to_binary_string() == "zzzz"
+
+    def test_from_string(self):
+        value = LogicVector.from_string("10x0")
+        assert value.width == 4
+        assert value.bit(3) == "1"
+        assert value.bit(1) == "x"
+
+    def test_from_string_with_prefix(self):
+        value = LogicVector.from_string("4'b1z01")
+        assert value.width == 4
+        assert value.bit(2) == "z"
+
+    def test_from_string_invalid_char(self):
+        with pytest.raises(ValueError):
+            LogicVector.from_string("10a0")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVector(width=0, value=0)
+
+
+class TestQueries:
+    def test_to_int_raises_on_x(self):
+        with pytest.raises(ValueError):
+            LogicVector.unknown(4).to_int()
+
+    def test_to_int_or_default(self):
+        assert LogicVector.unknown(4).to_int_or(0) == 0
+
+    def test_signed_interpretation(self):
+        assert LogicVector.from_int(0xF, 4).to_signed_int() == -1
+        assert LogicVector.from_int(0x7, 4).to_signed_int() == 7
+
+    def test_is_true_three_valued(self):
+        assert LogicVector.from_int(2, 4).is_true() is True
+        assert LogicVector.from_int(0, 4).is_true() is False
+        assert LogicVector.unknown(4).is_true() is None
+        # A defined 1 bit dominates even with other x bits.
+        mixed = LogicVector(width=2, value=0b01, xz_mask=0b10)
+        assert mixed.is_true() is True
+
+    def test_verilog_literal(self):
+        assert LogicVector.from_int(5, 4).to_verilog_literal() == "4'b0101"
+
+    def test_bit_out_of_range_is_x(self):
+        assert LogicVector.from_int(1, 2).bit(5) == "x"
+
+
+class TestManipulation:
+    def test_resize_truncates_and_extends(self):
+        value = LogicVector.from_int(0b1011, 4)
+        assert value.resized(2).to_int() == 0b11
+        assert value.resized(8).to_int() == 0b1011
+
+    def test_sign_extension(self):
+        value = LogicVector.from_int(0b1000, 4)
+        assert value.sign_extended(8).to_int() == 0b11111000
+
+    def test_slice(self):
+        value = LogicVector.from_int(0b10110010, 8)
+        assert value.slice(7, 4).to_int() == 0b1011
+        assert value.slice(3, 0).to_int() == 0b0010
+
+    def test_slice_reversed_bounds(self):
+        value = LogicVector.from_int(0b1100, 4)
+        assert value.slice(0, 3).to_int() == value.slice(3, 0).to_int()
+
+    def test_slice_out_of_range_bits_are_x(self):
+        value = LogicVector.from_int(0b11, 2)
+        sliced = value.slice(4, 0)
+        assert sliced.bit(4) == "x"
+        assert sliced.bit(0) == "1"
+
+    def test_replaced(self):
+        value = LogicVector.from_int(0, 8)
+        replaced = value.replaced(7, 4, LogicVector.from_int(0b1010, 4))
+        assert replaced.to_int() == 0b10100000
+
+    def test_concat(self):
+        high = LogicVector.from_int(0b10, 2)
+        low = LogicVector.from_int(0b01, 2)
+        assert high.concat(low).to_int() == 0b1001
+
+    def test_concat_all(self):
+        parts = [LogicVector.from_int(1, 1), LogicVector.from_int(0, 1), LogicVector.from_int(3, 2)]
+        assert concat_all(parts).to_binary_string() == "1011"
+
+    def test_concat_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat_all([])
+
+
+# --------------------------------------------------------------------------- property tests
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+def test_int_roundtrip(value):
+    vector = LogicVector.from_int(value, 16)
+    assert vector.to_int() == value
+    assert LogicVector.from_string(vector.to_binary_string()).to_int() == value
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_concat_matches_arithmetic(high, low):
+    vector = LogicVector.from_int(high, 8).concat(LogicVector.from_int(low, 8))
+    assert vector.to_int() == (high << 8) | low
+
+
+@given(
+    st.integers(min_value=0, max_value=2**12 - 1),
+    st.integers(min_value=0, max_value=11),
+    st.integers(min_value=0, max_value=11),
+)
+def test_slice_matches_bit_arithmetic(value, a, b):
+    msb, lsb = max(a, b), min(a, b)
+    vector = LogicVector.from_int(value, 12)
+    expected = (value >> lsb) & ((1 << (msb - lsb + 1)) - 1)
+    assert vector.slice(msb, lsb).to_int() == expected
+
+
+@given(st.text(alphabet="01xz", min_size=1, max_size=24))
+def test_string_roundtrip(bits):
+    vector = LogicVector.from_string(bits)
+    assert vector.to_binary_string() == bits

@@ -1,0 +1,134 @@
+"""Tests for the Verilog writer (AST → source) and parse/write round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verilog import ast_nodes as ast
+from repro.verilog.parser import parse_module, parse_source
+from repro.verilog.writer import VerilogWriter, write_module, write_source
+
+
+def _roundtrip(source: str) -> ast.Module:
+    """Parse → write → parse again and return the re-parsed module."""
+    first = parse_module(source)
+    emitted = write_module(first)
+    return parse_module(emitted)
+
+
+class TestRoundTrip:
+    def test_counter_roundtrip(self, counter_source):
+        module = _roundtrip(counter_source)
+        assert module.name == "counter"
+        assert module.port_names() == ["clk", "rst", "en", "count"]
+        assert "WIDTH" in module.parameters
+
+    def test_fsm_roundtrip(self, fsm_source):
+        module = _roundtrip(fsm_source)
+        assert len(module.find_items(ast.AlwaysBlock)) == 3
+        assert len(module.find_items(ast.ParameterDeclaration)) == 2
+
+    def test_adder_roundtrip(self, adder_source):
+        module = _roundtrip(adder_source)
+        assigns = module.find_items(ast.ContinuousAssign)
+        assert len(assigns) == 1
+
+    def test_mux_roundtrip(self, mux_source):
+        module = _roundtrip(mux_source)
+        assign = module.find_items(ast.ContinuousAssign)[0]
+        assert isinstance(assign.value, ast.Ternary)
+
+    def test_instance_roundtrip(self):
+        source = """
+        module top(input clk, output [7:0] q);
+            counter #(.WIDTH(8)) c0 (.clk(clk), .count(q));
+        endmodule
+        """
+        module = _roundtrip(source)
+        instance = module.find_items(ast.ModuleInstance)[0]
+        assert instance.module_name == "counter"
+        assert instance.parameter_overrides[0].port == "WIDTH"
+
+    def test_source_file_roundtrip(self):
+        source = "module a(input x, output y); assign y = x; endmodule\nmodule b(); endmodule"
+        design = parse_source(source)
+        emitted = write_source(design)
+        reparsed = parse_source(emitted)
+        assert [m.name for m in reparsed.modules] == ["a", "b"]
+
+
+class TestStatementEmission:
+    def test_case_statement_emission(self, fsm_source):
+        emitted = write_module(parse_module(fsm_source))
+        assert "case (state)" in emitted
+        assert "default:" in emitted
+        assert "endcase" in emitted
+
+    def test_if_else_indentation(self, counter_source):
+        emitted = write_module(parse_module(counter_source))
+        assert "if (rst)" in emitted
+        assert "else" in emitted
+
+    def test_for_loop_emission(self):
+        source = """
+        module m(input clk, output reg [7:0] y);
+            integer i;
+            always @(posedge clk)
+                for (i = 0; i < 8; i = i + 1)
+                    y[i] <= 1'b0;
+        endmodule
+        """
+        emitted = write_module(parse_module(source))
+        assert "for (i = 0; i < 8; i = i + 1)" in emitted
+        assert parse_module(emitted).name == "m"
+
+    def test_sensitivity_list_emission(self, fsm_source):
+        emitted = write_module(parse_module(fsm_source))
+        assert "always @(posedge clk or posedge rst)" in emitted
+        assert "always @(*)" in emitted
+
+
+class TestExpressionEmission:
+    def test_number_preserves_original_text(self):
+        module = parse_module("module m(output [7:0] y); assign y = 8'hA5; endmodule")
+        emitted = write_module(module)
+        assert "8'hA5" in emitted
+
+    def test_synthesised_number_formatting(self):
+        writer = VerilogWriter()
+        text = writer.write_expression(ast.Number(value=10, width=4, base="b"))
+        assert text == "4'b1010"
+
+    def test_unsized_number(self):
+        writer = VerilogWriter()
+        assert writer.write_expression(ast.Number(value=7)) == "7"
+
+    def test_nested_binary_parentheses(self):
+        writer = VerilogWriter()
+        expression = ast.BinaryOp(
+            op="|",
+            left=ast.BinaryOp(op="&", left=ast.Identifier("a"), right=ast.Identifier("b")),
+            right=ast.Identifier("c"),
+        )
+        assert writer.write_expression(expression) == "(a & b) | c"
+
+    def test_replication_emission(self):
+        writer = VerilogWriter()
+        expression = ast.Replication(count=ast.Number(value=4), value=ast.Identifier("bit"))
+        assert writer.write_expression(expression) == "{4{bit}}"
+
+    def test_part_select_emission(self):
+        writer = VerilogWriter()
+        expression = ast.PartSelect(
+            target=ast.Identifier("bus"), msb=ast.Number(value=7), lsb=ast.Number(value=4)
+        )
+        assert writer.write_expression(expression) == "bus[7:4]"
+
+    def test_unsupported_expression_raises(self):
+        writer = VerilogWriter()
+
+        class Strange(ast.Expression):
+            pass
+
+        with pytest.raises(TypeError):
+            writer.write_expression(Strange())
