@@ -1,0 +1,21 @@
+PYTHONPATH := src
+
+.PHONY: test bench bench-update perf-tests
+
+# Functional suite only; the perf gate is machine-sensitive, run it via
+# `make bench` / `make perf-tests`.
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m "not perf"
+
+# Gate the tracked microbenchmarks against the committed BENCH_perf.json
+# baseline (fails on a >2x regression).
+bench:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/perf/run_perf.py --check
+
+# Re-measure and rewrite the committed baseline.
+bench-update:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/perf/run_perf.py --update
+
+# Just the perf-marked pytest gate.
+perf-tests:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q -m perf benchmarks/perf

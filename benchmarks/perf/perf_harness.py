@@ -1,0 +1,210 @@
+"""Microbenchmark harness for the bit-parallel truth-table engine.
+
+Times the three tracked hot paths and reports before/after numbers:
+
+* ``truth_table_8var``  — full truth-table extraction (minterms) of an
+  8-variable expression: legacy per-assignment ``evaluate`` walk vs one
+  bit-parallel compile (caches cleared inside the timed region, so the
+  compile cost is really measured).
+* ``qm_minimize_8var``  — Quine–McCluskey prime implicants + cover on an
+  8-variable on-set: the seed all-pairs/per-minterm algorithm (kept here
+  verbatim as the timing baseline) vs the bitset implementation in
+  :mod:`repro.logic.minimize`.
+* ``ldataset_quick_build`` — a quick-scale end-to-end L-dataset build, the
+  workload every layer above the engine feeds into.
+
+``collect_results`` returns the dict committed as ``BENCH_perf.json``; see
+``run_perf.py`` for the CLI and the regression gate.
+"""
+
+from __future__ import annotations
+
+import platform
+import random
+import time
+from typing import Callable
+
+from repro.core.dataset.ldataset import LDatasetConfig, LDatasetGenerator
+from repro.logic import bittable
+from repro.logic.bittable import BitTable
+from repro.logic.expr import RandomExpressionGenerator, reference_minterms
+from repro.logic.minimize import Implicant, minimal_cover, prime_implicants, _cover_mask
+
+#: Benchmark keys whose timings the regression gate tracks (seconds, lower is better).
+TRACKED = (
+    ("truth_table_8var", "bit_parallel_s"),
+    ("qm_minimize_8var", "bitset_s"),
+    ("ldataset_quick_build", "seconds"),
+)
+
+_EIGHT_VARS = ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+
+def expression_8var():
+    """A deterministic 8-variable expression used by the truth-table benchmark."""
+    generator = RandomExpressionGenerator(seed=11)
+    for _ in range(100):
+        candidate = generator.generate(_EIGHT_VARS, max_depth=7)
+        if len(candidate.variables()) == len(_EIGHT_VARS):
+            return candidate
+    raise RuntimeError("seed search failed to produce an 8-variable expression")
+
+
+def onset_8var() -> list[int]:
+    """A deterministic 120-minterm on-set over 8 variables."""
+    return sorted(random.Random(2025).sample(range(256), 120))
+
+
+def measure(fn: Callable[[], object], repeat: int = 5, min_time: float = 0.02) -> float:
+    """Best per-call seconds over ``repeat`` rounds of adaptively batched calls."""
+    number = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time or number >= 1 << 20:
+            break
+        number *= 2
+    best = elapsed / number
+    for _ in range(repeat - 1):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+# --------------------------------------------------------------------------- legacy QM
+# Verbatim copy of the seed (pre-bitset) Quine–McCluskey inner loops, kept only
+# as the timing baseline for the "before" column of BENCH_perf.json.
+def _legacy_combine(a: Implicant, b: Implicant) -> Implicant | None:
+    if a.mask != b.mask:
+        return None
+    differing = (a.values ^ b.values) & ~a.mask
+    if differing == 0 or (differing & (differing - 1)) != 0:
+        return None
+    return Implicant(values=a.values & ~differing, mask=a.mask | differing, width=a.width)
+
+
+def legacy_prime_implicants(minterms, num_variables):
+    current = {Implicant(values=m, mask=0, width=num_variables) for m in set(minterms)}
+    primes = set()
+    while current:
+        combined = set()
+        used = set()
+        current_list = sorted(current, key=lambda imp: (imp.mask, imp.values))
+        for i, a in enumerate(current_list):
+            for b in current_list[i + 1 :]:
+                merged = _legacy_combine(a, b)
+                if merged is not None:
+                    combined.add(merged)
+                    used.add(a)
+                    used.add(b)
+        primes.update(current - used)
+        current = combined
+    return sorted(primes, key=lambda imp: (imp.mask, imp.values))
+
+
+def legacy_minimal_cover(minterms, primes):
+    remaining = set(minterms)
+    if not remaining:
+        return []
+    chosen = []
+    coverage = {m: [p for p in primes if p.covers(m)] for m in remaining}
+    for minterm, covering in sorted(coverage.items()):
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for prime in chosen:
+        remaining = {m for m in remaining if not prime.covers(m)}
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (sum(1 for m in remaining if p.covers(m)), -p.literal_count()),
+        )
+        covered = {m for m in remaining if best.covers(m)}
+        if not covered:
+            break
+        chosen.append(best)
+        remaining -= covered
+    return chosen
+
+
+# --------------------------------------------------------------------------- benchmarks
+def bench_truth_table(repeat: int = 5) -> dict[str, float]:
+    expression = expression_8var()
+
+    def fast() -> list[int]:
+        bittable.clear_caches()
+        return BitTable.from_expr(expression).minterms()
+
+    assert fast() == reference_minterms(expression), "bit-parallel path diverged from oracle"
+    legacy_s = measure(lambda: reference_minterms(expression), repeat=repeat)
+    bit_parallel_s = measure(fast, repeat=repeat)
+    return {
+        "legacy_s": legacy_s,
+        "bit_parallel_s": bit_parallel_s,
+        "speedup": legacy_s / bit_parallel_s,
+    }
+
+
+def bench_qm(repeat: int = 5) -> dict[str, float]:
+    onset = onset_8var()
+
+    def legacy() -> list[Implicant]:
+        primes = legacy_prime_implicants(onset, 8)
+        return legacy_minimal_cover(onset, primes)
+
+    def fast() -> list[Implicant]:
+        _cover_mask.cache_clear()
+        bittable.clear_caches()
+        primes = prime_implicants(onset, 8)
+        return minimal_cover(onset, primes)
+
+    assert fast() == legacy(), "bitset QM diverged from legacy cover"
+    legacy_s = measure(legacy, repeat=repeat)
+    bitset_s = measure(fast, repeat=repeat)
+    return {"legacy_s": legacy_s, "bitset_s": bitset_s, "speedup": legacy_s / bitset_s}
+
+
+def bench_ldataset(repeat: int = 3) -> dict[str, float]:
+    config = LDatasetConfig(num_concise=12, num_faithful=8, seed=7)
+
+    def build() -> int:
+        return len(LDatasetGenerator(config).generate().l_dataset)
+
+    assert build() > 0
+    return {"seconds": measure(build, repeat=repeat, min_time=0.0)}
+
+
+def collect_results(repeat: int = 5) -> dict:
+    """Run every benchmark and assemble the BENCH_perf.json payload."""
+    return {
+        "schema": 1,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "benchmarks": {
+            "truth_table_8var": bench_truth_table(repeat=repeat),
+            "qm_minimize_8var": bench_qm(repeat=repeat),
+            "ldataset_quick_build": bench_ldataset(),
+        },
+    }
+
+
+def regressions(current: dict, baseline: dict, threshold: float = 2.0) -> list[str]:
+    """Tracked metrics that regressed more than ``threshold``x versus baseline."""
+    problems = []
+    for bench, key in TRACKED:
+        base = baseline.get("benchmarks", {}).get(bench, {}).get(key)
+        now = current.get("benchmarks", {}).get(bench, {}).get(key)
+        if base is None or now is None:
+            problems.append(f"{bench}.{key}: missing from baseline or current run")
+            continue
+        if now > base * threshold:
+            problems.append(
+                f"{bench}.{key}: {now:.6f}s vs baseline {base:.6f}s (>{threshold:g}x)"
+            )
+    return problems

@@ -1,0 +1,77 @@
+"""Perf runner: record or gate the tracked microbenchmarks.
+
+Usage (from the repository root, ``PYTHONPATH=src``):
+
+    python benchmarks/perf/run_perf.py            # print current numbers
+    python benchmarks/perf/run_perf.py --update   # rewrite BENCH_perf.json
+    python benchmarks/perf/run_perf.py --check    # exit 1 on a >2x regression
+
+``make bench`` runs ``--check``; ``make bench-update`` refreshes the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_harness import collect_results, regressions
+
+BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+
+
+def _render(results: dict) -> str:
+    lines = ["benchmark                 before (s)    after (s)     speedup"]
+    benches = results["benchmarks"]
+    tt = benches["truth_table_8var"]
+    qm = benches["qm_minimize_8var"]
+    ld = benches["ldataset_quick_build"]
+    lines.append(
+        f"truth_table_8var          {tt['legacy_s']:<13.6f} {tt['bit_parallel_s']:<13.6f} {tt['speedup']:.1f}x"
+    )
+    lines.append(
+        f"qm_minimize_8var          {qm['legacy_s']:<13.6f} {qm['bitset_s']:<13.6f} {qm['speedup']:.1f}x"
+    )
+    lines.append(f"ldataset_quick_build      {'-':<13} {ld['seconds']:<13.6f}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true", help="rewrite the committed baseline")
+    parser.add_argument("--check", action="store_true", help="fail on >threshold regression vs baseline")
+    parser.add_argument("--threshold", type=float, default=2.0, help="regression factor (default 2.0)")
+    parser.add_argument("--repeat", type=int, default=5, help="measurement rounds per benchmark")
+    args = parser.parse_args(argv)
+
+    results = collect_results(repeat=args.repeat)
+    print(_render(results))
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run with --update first", file=sys.stderr)
+            return 2
+        try:
+            baseline = json.loads(BASELINE_PATH.read_text())
+        except json.JSONDecodeError as error:
+            print(f"unreadable baseline {BASELINE_PATH}: {error}; rerun --update", file=sys.stderr)
+            return 2
+        problems = regressions(results, baseline, threshold=args.threshold)
+        if problems:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression vs baseline (threshold {args.threshold:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

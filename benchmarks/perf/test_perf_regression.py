@@ -1,0 +1,74 @@
+"""Perf regression gate: tracked microbenchmarks vs the committed baseline.
+
+Marked ``perf`` so the gate can be selected (``-m perf``) or skipped
+(``-m "not perf"``) independently of the functional suite.  Two kinds of
+assertion:
+
+* machine-independent: the bit-parallel engine must keep its speedup over the
+  legacy per-assignment path measured on the *same* machine in the same run
+  (>=10x on 8-variable truth-table extraction, >=3x on QM minimisation);
+* baseline-relative: no tracked timing may regress more than 2x versus the
+  committed ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from perf_harness import bench_qm, bench_truth_table, regressions
+
+BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+
+
+@pytest.fixture(scope="module")
+def current():
+    return {
+        "benchmarks": {
+            "truth_table_8var": bench_truth_table(repeat=3),
+            "qm_minimize_8var": bench_qm(repeat=3),
+        }
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert BASELINE_PATH.exists(), "BENCH_perf.json baseline missing; run make bench-update"
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.mark.perf
+def test_truth_table_speedup_holds(current):
+    result = current["benchmarks"]["truth_table_8var"]
+    assert result["speedup"] >= 10.0, (
+        f"bit-parallel truth-table extraction only {result['speedup']:.1f}x "
+        f"faster than the legacy evaluate walk (need >=10x)"
+    )
+
+
+@pytest.mark.perf
+def test_qm_speedup_holds(current):
+    result = current["benchmarks"]["qm_minimize_8var"]
+    assert result["speedup"] >= 3.0, (
+        f"bitset QM only {result['speedup']:.1f}x faster than the legacy "
+        f"per-minterm cover (need >=3x)"
+    )
+
+
+@pytest.mark.perf
+def test_no_regression_vs_committed_baseline(current, baseline):
+    tracked_now = {
+        "benchmarks": {
+            name: dict(values) for name, values in current["benchmarks"].items()
+        }
+    }
+    # The dataset build is tracked by the runner script, not re-timed here: it
+    # is too coarse for a quick per-test measurement.  Copy the baseline value
+    # through so `regressions` only gates what this test measured.
+    tracked_now["benchmarks"]["ldataset_quick_build"] = baseline["benchmarks"][
+        "ldataset_quick_build"
+    ]
+    problems = regressions(tracked_now, baseline, threshold=2.0)
+    assert not problems, "; ".join(problems)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from ..logic.bittable import BitTable
 from ..logic.expr import BoolExpr
 
 
@@ -21,17 +22,24 @@ def _mask(width: int) -> int:
 # --------------------------------------------------------------------------- combinational
 @dataclass
 class ExpressionGolden:
-    """Golden model for a single-output combinational boolean expression."""
+    """Golden model for a single-output combinational boolean expression.
+
+    The expression is compiled once into a packed truth table; every testbench
+    cycle is then an index build plus a list lookup instead of a tree walk.
+    """
 
     expression: BoolExpr
     output: str = "out"
     is_sequential: bool = False
 
+    def __post_init__(self) -> None:
+        self._table = BitTable.from_expr(self.expression)
+
     def reset(self) -> None:
         """Stateless."""
 
     def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
-        return {self.output: self.expression.evaluate(inputs)}
+        return {self.output: self._table.evaluate(inputs)}
 
     def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
         return self.eval(inputs)

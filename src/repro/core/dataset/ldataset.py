@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ...logic.bittable import BitTable
 from ...logic.expr import BoolExpr, RandomExpressionGenerator, expr_from_minterms
 from ...logic.kmap import KarnaughMap
 from ...logic.minimize import literal_cost, minimize_minterms
@@ -128,6 +129,12 @@ class LDatasetGenerator:
         stats.generated_expressions += 1
         minimal = minimize_minterms(variables, minterms)
         if not minimal.variables():
+            return None
+        # Bit-exact safety net: the minimised cover must reproduce the sampled
+        # on-set, or the instruction and the code would silently disagree.
+        if BitTable.from_expr(minimal, variables=variables) != BitTable.from_minterms(
+            variables, minterms
+        ):
             return None
 
         table = TruthTable.from_function(

@@ -59,8 +59,11 @@ class SimulatedDescriptionWriter:
         try:
             module = parse_module(code)
         except VerilogError:
-            return self._describe_unparsable(code)
-        analysis = self.analyzer.analyze(module)
+            return self.describe_unparsable(code)
+        return self.describe_module(module, self.analyzer.analyze(module))
+
+    def describe_module(self, module, analysis) -> str:
+        """Describe an already parsed and analysed module (avoids re-parsing)."""
         thing = _TOPIC_PHRASES.get(analysis.primary_topic, "some logic")
         inputs = [port.name for port in module.ports if port.direction and port.direction.value == "input"]
         outputs = [port.name for port in module.ports if port.direction and port.direction.value == "output"]
@@ -76,7 +79,8 @@ class SimulatedDescriptionWriter:
             parts.append("outputs " + ", ".join(outputs))
         return " and ".join(parts) if parts else "no ports"
 
-    def _describe_unparsable(self, code: str) -> str:
+    def describe_unparsable(self, code: str) -> str:
+        """Best-effort description for code that does not parse."""
         first_line = next((line.strip() for line in code.splitlines() if line.strip()), "a module")
         return f"Write Verilog code similar to the snippet starting with '{first_line[:60]}'."
 
@@ -88,23 +92,33 @@ class VanillaDatasetGenerator:
     seed: int = 0
 
     def generate(self, samples: list[CorpusSample]) -> InstructionDataset:
-        """Generate one vanilla pair per corpus sample (no filtering yet)."""
+        """Generate one vanilla pair per corpus sample (no filtering yet).
+
+        Each sample is parsed and analysed exactly once; the describer and the
+        topic/attribute tagging share the result instead of re-parsing.
+        """
         writer = SimulatedDescriptionWriter(seed=self.seed)
-        analyzer = ModuleAnalyzer()
+        analyzer = writer.analyzer
         dataset = InstructionDataset(name="vanilla")
         for sample in samples:
-            instruction = writer.describe(sample.code)
+            try:
+                module = parse_module(sample.code)
+            except VerilogError:
+                module = None
+            if module is None:
+                analysis = None
+                instruction = writer.describe_unparsable(sample.code)
+            else:
+                analysis = analyzer.analyze(module)
+                instruction = writer.describe_module(module, analysis)
             pair = InstructionCodePair(
                 instruction=instruction,
                 code=sample.code,
                 origin=PairOrigin.VANILLA,
                 metadata={"path": sample.path},
             )
-            try:
-                analysis = analyzer.analyze_source(sample.code)
+            if analysis is not None:
                 pair.topics = set(analysis.topics)
                 pair.attributes = set(analysis.attributes)
-            except VerilogError:
-                pass
             dataset.add(pair)
         return dataset

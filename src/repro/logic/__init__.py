@@ -1,5 +1,6 @@
 """Boolean-logic substrate: expressions, minimisation, Karnaugh maps, synthesis."""
 
+from .bittable import BitTable, iter_bits, variable_column
 from .expr import (
     And,
     BoolExpr,
@@ -12,6 +13,8 @@ from .expr import (
     and_all,
     expr_from_minterms,
     or_all,
+    reference_equivalent,
+    reference_minterms,
 )
 from .kmap import KarnaughMap, random_kmap
 from .minimize import (
@@ -26,7 +29,12 @@ from .synth import STYLES, SynthesisRequest, expression_to_module, truth_table_t
 
 __all__ = [
     "And",
+    "BitTable",
     "BoolExpr",
+    "iter_bits",
+    "variable_column",
+    "reference_equivalent",
+    "reference_minterms",
     "Const",
     "Not",
     "Or",

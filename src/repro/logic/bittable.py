@@ -1,0 +1,251 @@
+"""Bit-parallel truth-table engine.
+
+Every layer of the reproduction — L-dataset generation, Quine–McCluskey
+minimisation, K-map rendering, golden-model equivalence checks — bottoms out in
+evaluating a :class:`~repro.logic.expr.BoolExpr` over all ``2**n`` assignments.
+The legacy path walks the expression tree once per row with a freshly allocated
+``dict`` per row: O(2**n * tree) with heavy allocator churn.
+
+This module computes the *entire* truth table in a single bottom-up pass.  Each
+variable's full column is materialised as one Python integer bitmask (bit ``i``
+holds the variable's value on minterm index ``i``); gates then combine whole
+columns with word-wide ``&``/``|``/``^``/``~`` operations, so the per-row cost
+collapses to one machine word per 64 rows.
+
+Conventions match the rest of :mod:`repro.logic`:
+
+* the *first* variable name is the most-significant bit of the minterm index;
+* bit ``i`` of :attr:`BitTable.bits` is the function value on minterm ``i``.
+
+Compilation is memoised on the expression node itself: ``BoolExpr`` nodes are
+frozen dataclasses, so structurally equal subtrees hash alike (hash-consing by
+construction) and shared subexpressions compile once per variable ordering.
+The legacy per-assignment ``BoolExpr.evaluate`` path is deliberately kept in
+:mod:`repro.logic.expr` as the differential-testing oracle for this engine.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .expr import And, BoolExpr, Const, Not, Or, Var, Xor
+
+_WORD = 64
+_WORD_MASK = (1 << _WORD) - 1
+
+
+@lru_cache(maxsize=512)
+def variable_column(bit_position: int, width: int) -> int:
+    """Truth-table column of the index bit ``bit_position`` over ``2**width`` rows.
+
+    Bit ``i`` of the result is ``(i >> bit_position) & 1``: a periodic pattern of
+    ``2**bit_position`` zeros followed by as many ones.  Built by doubling, so
+    the cost is O(width) big-int operations rather than O(2**width) row writes.
+    """
+    if not 0 <= bit_position < width:
+        raise ValueError(f"bit position {bit_position} out of range for width {width}")
+    step = 1 << bit_position
+    column = ((1 << step) - 1) << step
+    span = step << 1
+    size = 1 << width
+    while span < size:
+        column |= column << span
+        span <<= 1
+    return column
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order (word-chunked).
+
+    Raises:
+        ValueError: on negative input (an infinite two's-complement bit string;
+            mask with ``full_mask`` first, e.g. ``iter_bits(~bits & full)``).
+    """
+    if bits < 0:
+        raise ValueError("iter_bits requires a non-negative integer")
+    offset = 0
+    while bits:
+        word = bits & _WORD_MASK
+        while word:
+            low = word & -word
+            yield offset + low.bit_length() - 1
+            word ^= low
+        bits >>= _WORD
+        offset += _WORD
+
+
+@lru_cache(maxsize=4096)
+def _compile(expression: BoolExpr, names: tuple[str, ...]) -> int:
+    """Compile ``expression`` into its packed truth-table column over ``names``."""
+    node_type = type(expression)
+    if node_type is Var:
+        try:
+            position = names.index(expression.name)
+        except ValueError:
+            raise KeyError(expression.name) from None
+        return variable_column(len(names) - 1 - position, len(names))
+    full = (1 << (1 << len(names))) - 1
+    if node_type is Const:
+        return full if expression.value else 0
+    if node_type is Not:
+        return full ^ _compile(expression.operand, names)
+    if node_type is And:
+        return _compile(expression.left, names) & _compile(expression.right, names)
+    if node_type is Or:
+        return _compile(expression.left, names) | _compile(expression.right, names)
+    if node_type is Xor:
+        return _compile(expression.left, names) ^ _compile(expression.right, names)
+    # Unknown BoolExpr subclass: fall back to the per-assignment oracle so the
+    # engine stays total over user-defined nodes.
+    return _evaluate_rows(expression, names)
+
+
+def _evaluate_rows(expression: BoolExpr, names: tuple[str, ...]) -> int:
+    """Per-assignment oracle: pack ``evaluate`` over every row into a bitmask."""
+    bits = 0
+    for index in range(1 << len(names)):
+        assignment = {
+            name: (index >> (len(names) - 1 - position)) & 1
+            for position, name in enumerate(names)
+        }
+        if expression.evaluate(assignment):
+            bits |= 1 << index
+    return bits
+
+
+def clear_caches() -> None:
+    """Drop all memoised columns/compilations (used by the perf harness)."""
+    _compile.cache_clear()
+    variable_column.cache_clear()
+
+
+class BitTable:
+    """A complete truth table packed into a single integer bitmask.
+
+    Attributes:
+        names: variable names; the first name is the most-significant index bit.
+        bits: bit ``i`` is the function value on minterm index ``i``.
+    """
+
+    __slots__ = ("names", "bits")
+
+    def __init__(self, names: Sequence[str], bits: int):
+        self.names = tuple(names)
+        self.bits = bits & ((1 << (1 << len(self.names))) - 1)
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def from_expr(
+        cls, expression: BoolExpr, variables: Sequence[str] | None = None
+    ) -> "BitTable":
+        """Compile an expression; ``variables`` may widen the table to a superset.
+
+        Raises:
+            KeyError: if the expression references a variable not in ``variables``.
+        """
+        names = tuple(variables) if variables is not None else tuple(expression.variables())
+        try:
+            bits = _compile(expression, names)
+        except TypeError:
+            # Unhashable custom BoolExpr subclass: the memo cannot key on it,
+            # so compile uncached via the per-assignment oracle.
+            bits = _evaluate_rows(expression, names)
+        return cls(names, bits)
+
+    @classmethod
+    def from_minterms(cls, variables: Sequence[str], minterms: Iterable[int]) -> "BitTable":
+        """Build a table that is 1 exactly on the given minterm indices.
+
+        Raises:
+            ValueError: if a minterm index is outside ``[0, 2**len(variables))``
+                (silent truncation would defeat equivalence checks built on it).
+        """
+        size = 1 << len(tuple(variables))
+        bits = 0
+        for minterm in minterms:
+            if not 0 <= minterm < size:
+                raise ValueError(
+                    f"minterm {minterm} out of range for {len(tuple(variables))} variables"
+                )
+            bits |= 1 << minterm
+        return cls(variables, bits)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+    @property
+    def size(self) -> int:
+        """Number of truth-table rows."""
+        return 1 << len(self.names)
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.size) - 1
+
+    def ones(self) -> int:
+        """Population count of the on-set."""
+        return self.bits.bit_count()
+
+    def minterms(self) -> list[int]:
+        """Ascending minterm indices of the on-set."""
+        return list(iter_bits(self.bits))
+
+    def values(self) -> list[int]:
+        """All row values in minterm-index order (length ``2**width``)."""
+        out = [0] * self.size
+        for index in iter_bits(self.bits):
+            out[index] = 1
+        return out
+
+    def value_at(self, index: int) -> int:
+        """Function value on a minterm index."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"minterm index {index} out of range")
+        return (self.bits >> index) & 1
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Row lookup from a variable assignment (first name = MSB)."""
+        index = 0
+        for name in self.names:
+            index = (index << 1) | (1 if assignment[name] else 0)
+        return (self.bits >> index) & 1
+
+    # ------------------------------------------------------------------ algebra
+    def expanded(self, variables: Sequence[str]) -> "BitTable":
+        """Re-express the table over a superset (or reordering) of its variables."""
+        names = tuple(variables)
+        if names == self.names:
+            return self
+        missing = set(self.names) - set(names)
+        if missing:
+            raise KeyError(sorted(missing)[0])
+        positions = [names.index(name) for name in self.names]
+        bits = 0
+        for index in range(1 << len(names)):
+            own = 0
+            for position in positions:
+                own = (own << 1) | ((index >> (len(names) - 1 - position)) & 1)
+            if (self.bits >> own) & 1:
+                bits |= 1 << index
+        return BitTable(names, bits)
+
+    def equivalent(self, other: "BitTable") -> bool:
+        """Logical equivalence over the union of both variable sets."""
+        if self.names == other.names:
+            return self.bits == other.bits
+        union = tuple(sorted(set(self.names) | set(other.names)))
+        return self.expanded(union).bits == other.expanded(union).bits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitTable):
+            return NotImplemented
+        return self.names == other.names and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.bits))
+
+    def __repr__(self) -> str:
+        return f"BitTable(names={self.names!r}, ones={self.ones()}/{self.size})"

@@ -19,7 +19,15 @@ class BoolExpr:
     """Base class for boolean expression nodes."""
 
     def evaluate(self, assignment: Mapping[str, int]) -> int:
-        """Evaluate under a variable assignment (values are 0/1)."""
+        """Evaluate under a variable assignment (values are 0/1).
+
+        This per-assignment tree walk is the *legacy* path.  Whole-table
+        queries (:meth:`truth_table_rows`, :meth:`minterms`,
+        :meth:`equivalent_to`) run on the bit-parallel engine in
+        :mod:`repro.logic.bittable`; ``evaluate`` is kept as the
+        differential-testing oracle for that engine (see
+        :func:`reference_minterms` / :func:`reference_equivalent`).
+        """
         raise NotImplementedError
 
     def variables(self) -> list[str]:
@@ -46,31 +54,29 @@ class BoolExpr:
     # ------------------------------------------------------------------ conveniences
     def truth_table_rows(self) -> list[tuple[dict[str, int], int]]:
         """Enumerate all assignments with the resulting output value."""
+        from .bittable import BitTable
+
         names = self.variables()
-        rows: list[tuple[dict[str, int], int]] = []
-        for bits in itertools.product((0, 1), repeat=len(names)):
-            assignment = dict(zip(names, bits))
-            rows.append((assignment, self.evaluate(assignment)))
-        return rows
+        values = BitTable.from_expr(self, variables=names).values()
+        return [
+            (dict(zip(names, bits)), value)
+            for bits, value in zip(itertools.product((0, 1), repeat=len(names)), values)
+        ]
 
     def minterms(self) -> list[int]:
         """Return the minterm indices (first variable is the most-significant bit)."""
-        names = self.variables()
-        result: list[int] = []
-        for index, bits in enumerate(itertools.product((0, 1), repeat=len(names))):
-            assignment = dict(zip(names, bits))
-            if self.evaluate(assignment):
-                result.append(index)
-        return result
+        from .bittable import BitTable
+
+        return BitTable.from_expr(self).minterms()
 
     def equivalent_to(self, other: "BoolExpr") -> bool:
         """Exhaustively check logical equivalence over the union of variables."""
-        names = sorted(set(self.variables()) | set(other.variables()))
-        for bits in itertools.product((0, 1), repeat=len(names)):
-            assignment = dict(zip(names, bits))
-            if self.evaluate(assignment) != other.evaluate(assignment):
-                return False
-        return True
+        from .bittable import BitTable
+
+        names = tuple(sorted(set(self.variables()) | set(other.variables())))
+        left = BitTable.from_expr(self, variables=names)
+        right = BitTable.from_expr(other, variables=names)
+        return left.bits == right.bits
 
 
 @dataclass(frozen=True)
@@ -196,24 +202,31 @@ class Xor(BinaryBoolOp):
         return self.left.evaluate(assignment) ^ self.right.evaluate(assignment)
 
 
+def _balanced(terms: Sequence[BoolExpr], node_type: type) -> BoolExpr:
+    """Combine ``terms`` into a balanced binary tree (depth ``ceil(log2(k))``).
+
+    Left-deep chains made ``expr_from_minterms`` on dense on-sets produce
+    depth-O(2**n) ASTs — quadratic ``depth()``/render cost and a recursion-limit
+    hazard for every tree walk downstream.
+    """
+    if len(terms) == 1:
+        return terms[0]
+    mid = len(terms) // 2
+    return node_type(_balanced(terms[:mid], node_type), _balanced(terms[mid:], node_type))
+
+
 def and_all(terms: Sequence[BoolExpr]) -> BoolExpr:
     """AND together a sequence of expressions (empty sequence yields constant 1)."""
     if not terms:
         return Const(1)
-    result = terms[0]
-    for term in terms[1:]:
-        result = And(result, term)
-    return result
+    return _balanced(list(terms), And)
 
 
 def or_all(terms: Sequence[BoolExpr]) -> BoolExpr:
     """OR together a sequence of expressions (empty sequence yields constant 0)."""
     if not terms:
         return Const(0)
-    result = terms[0]
-    for term in terms[1:]:
-        result = Or(result, term)
-    return result
+    return _balanced(list(terms), Or)
 
 
 def expr_from_minterms(variables: Sequence[str], minterms: Sequence[int]) -> BoolExpr:
@@ -231,6 +244,30 @@ def expr_from_minterms(variables: Sequence[str], minterms: Sequence[int]) -> Boo
             literals.append(Var(name) if bit else Not(Var(name)))
         terms.append(and_all(literals))
     return or_all(terms)
+
+
+# --------------------------------------------------------------------------- legacy oracle
+def reference_minterms(expression: BoolExpr, variables: Sequence[str] | None = None) -> list[int]:
+    """Minterms via the legacy per-assignment ``evaluate`` walk.
+
+    Differential-testing oracle for the bit-parallel engine; O(2**n * tree).
+    """
+    names = list(variables) if variables is not None else expression.variables()
+    result: list[int] = []
+    for index, bits in enumerate(itertools.product((0, 1), repeat=len(names))):
+        if expression.evaluate(dict(zip(names, bits))):
+            result.append(index)
+    return result
+
+
+def reference_equivalent(left: BoolExpr, right: BoolExpr) -> bool:
+    """Equivalence via the legacy per-assignment walk (differential oracle)."""
+    names = sorted(set(left.variables()) | set(right.variables()))
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        assignment = dict(zip(names, bits))
+        if left.evaluate(assignment) != right.evaluate(assignment):
+            return False
+    return True
 
 
 class RandomExpressionGenerator:
@@ -263,15 +300,25 @@ class RandomExpressionGenerator:
     def generate_nontrivial(
         self, variables: Sequence[str], max_depth: int = 3, attempts: int = 50
     ) -> BoolExpr:
-        """Generate an expression that is neither constant-0 nor constant-1."""
-        for _ in range(attempts):
-            candidate = self.generate(variables, max_depth)
-            minterms = candidate.minterms()
-            if 0 < len(minterms) < 2 ** len(candidate.variables() or ["a"]):
-                if candidate.variables():
-                    return candidate
-        # Fall back to a simple but valid expression.
+        """Generate an expression that is neither constant-0 nor constant-1.
+
+        Non-triviality is judged over the *declared* ``variables`` (a candidate
+        whose function collapses to a constant is rejected no matter how many
+        variable names its tree mentions).  The fallback is total: it never
+        raises for any non-empty ``variables``, even with ``attempts=0``.
+        """
+        from .bittable import BitTable
+
         names = list(variables)
+        if not names:
+            raise ValueError("at least one variable is required")
+        size = 1 << len(names)
+        for _ in range(attempts):
+            candidate = self.generate(names, max_depth)
+            ones = BitTable.from_expr(candidate, variables=names).ones()
+            if 0 < ones < size:
+                return candidate
+        # Fall back to a simple but valid expression.
         if len(names) >= 2:
             return And(Var(names[0]), Var(names[1]))
         return Var(names[0])

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from .bittable import BitTable
 from .expr import BoolExpr
 from .minimize import minimize_minterms
 
@@ -106,18 +107,22 @@ class KarnaughMap:
         return baseline
 
     def _consistent(self, expression: BoolExpr) -> bool:
-        """Check the expression matches every defined (non don't-care) cell."""
-        names = self.variables
+        """Check the expression matches every defined (non don't-care) cell.
+
+        One bit-parallel compile of the expression over the map's variables,
+        then two mask comparisons — no per-cell tree walks.
+        """
+        table = BitTable.from_expr(expression, variables=self.variables)
+        on_mask = 0
+        off_mask = 0
         for index, value in self.cells.items():
             if value == "d":
                 continue
-            assignment = {
-                name: (index >> (len(names) - 1 - position)) & 1
-                for position, name in enumerate(names)
-            }
-            if expression.evaluate(assignment) != value:
-                return False
-        return True
+            if value:
+                on_mask |= 1 << index
+            else:
+                off_mask |= 1 << index
+        return (on_mask & ~table.bits) == 0 and (off_mask & table.bits) == 0
 
     # ------------------------------------------------------------------ rendering
     def render(self) -> str:

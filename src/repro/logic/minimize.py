@@ -11,8 +11,10 @@ sum-of-products expression.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
+from .bittable import iter_bits, variable_column
 from .expr import BoolExpr, Const, Not, Var, and_all, or_all
 
 
@@ -34,6 +36,15 @@ class Implicant:
         """Whether this implicant covers the given minterm index."""
         return (minterm & ~self.mask) == (self.values & ~self.mask)
 
+    def cover_mask(self) -> int:
+        """Bitmask over all ``2**width`` minterm indices this implicant covers.
+
+        Computed bit-parallel from the precomputed index-bit columns, so the
+        cover set of the whole cube costs O(width) big-int operations instead of
+        one :meth:`covers` call per minterm.
+        """
+        return _cover_mask(self.values, self.mask, self.width)
+
     def literal_count(self) -> int:
         """Number of literals in the product term."""
         return self.width - bin(self.mask & ((1 << self.width) - 1)).count("1")
@@ -54,29 +65,48 @@ class Implicant:
         return and_all(literals)
 
 
-def _combine(a: Implicant, b: Implicant) -> Implicant | None:
-    """Combine two implicants differing in exactly one defined bit, if possible."""
-    if a.mask != b.mask:
-        return None
-    differing = (a.values ^ b.values) & ~a.mask
-    if differing == 0 or (differing & (differing - 1)) != 0:
-        return None
-    return Implicant(values=a.values & ~differing, mask=a.mask | differing, width=a.width)
+@lru_cache(maxsize=16384)
+def _cover_mask(values: int, mask: int, width: int) -> int:
+    covered = (1 << (1 << width)) - 1
+    for bit in range(width):
+        if (mask >> bit) & 1:
+            continue
+        column = variable_column(bit, width)
+        if (values >> bit) & 1:
+            covered &= column
+        else:
+            covered &= ~column
+    return covered & ((1 << (1 << width)) - 1)
 
 
 def prime_implicants(minterms: Sequence[int], num_variables: int) -> list[Implicant]:
-    """Compute all prime implicants of the given on-set."""
+    """Compute all prime implicants of the given on-set.
+
+    Each generation is bucketed by ``(mask, popcount(values))``; two implicants
+    merge only when they share a mask and their defined values differ in exactly
+    one bit, which forces adjacent popcount buckets — so only adjacent buckets
+    are paired instead of the full O(k^2) all-pairs sweep.
+    """
     current = {Implicant(values=m, mask=0, width=num_variables) for m in set(minterms)}
     primes: set[Implicant] = set()
     while current:
+        groups: dict[tuple[int, int], list[Implicant]] = {}
+        for implicant in sorted(current, key=lambda imp: (imp.mask, imp.values)):
+            groups.setdefault((implicant.mask, implicant.values.bit_count()), []).append(implicant)
         combined: set[Implicant] = set()
         used: set[Implicant] = set()
-        current_list = sorted(current, key=lambda imp: (imp.mask, imp.values))
-        for i, a in enumerate(current_list):
-            for b in current_list[i + 1 :]:
-                merged = _combine(a, b)
-                if merged is not None:
-                    combined.add(merged)
+        for (mask, ones), group in groups.items():
+            partners = groups.get((mask, ones + 1))
+            if not partners:
+                continue
+            for a in group:
+                for b in partners:
+                    differing = a.values ^ b.values
+                    if differing & (differing - 1):
+                        continue
+                    combined.add(
+                        Implicant(values=a.values & ~differing, mask=mask | differing, width=a.width)
+                    )
                     used.add(a)
                     used.add(b)
         primes.update(current - used)
@@ -85,33 +115,49 @@ def prime_implicants(minterms: Sequence[int], num_variables: int) -> list[Implic
 
 
 def minimal_cover(minterms: Sequence[int], primes: list[Implicant]) -> list[Implicant]:
-    """Select a small set of primes covering all minterms (essential + greedy)."""
-    remaining = set(minterms)
-    if not remaining:
+    """Select a small set of primes covering all minterms (essential + greedy).
+
+    The cover table is held as integer bitmasks: essential primes fall out of a
+    covered-once/covered-twice accumulator sweep, and the greedy phase scores
+    candidates with a single ``&`` + popcount per prime instead of one
+    ``covers()`` call per (prime, minterm) pair.
+    """
+    onset = 0
+    for minterm in set(minterms):
+        onset |= 1 << minterm
+    if not onset:
         return []
     chosen: list[Implicant] = []
+    covers = [prime.cover_mask() & onset for prime in primes]
 
     # Essential primes: minterms covered by exactly one prime.
-    coverage: dict[int, list[Implicant]] = {
-        m: [p for p in primes if p.covers(m)] for m in remaining
-    }
-    for minterm, covering in sorted(coverage.items()):
-        if len(covering) == 1 and covering[0] not in chosen:
-            chosen.append(covering[0])
-    for prime in chosen:
-        remaining = {m for m in remaining if not prime.covers(m)}
+    covered_once = 0
+    covered_twice = 0
+    for cover in covers:
+        covered_twice |= covered_once & cover
+        covered_once |= cover
+    for minterm in iter_bits(covered_once & ~covered_twice):
+        for prime, cover in zip(primes, covers):
+            if (cover >> minterm) & 1:
+                if prime not in chosen:
+                    chosen.append(prime)
+                break
+    remaining = onset
+    for prime, cover in zip(primes, covers):
+        if prime in chosen:
+            remaining &= ~cover
 
     # Greedy cover of whatever is left.
     while remaining:
-        best = max(
-            primes,
-            key=lambda p: (sum(1 for m in remaining if p.covers(m)), -p.literal_count()),
+        best_index = max(
+            range(len(primes)),
+            key=lambda i: ((covers[i] & remaining).bit_count(), -primes[i].literal_count()),
         )
-        covered = {m for m in remaining if best.covers(m)}
+        covered = covers[best_index] & remaining
         if not covered:
             break
-        chosen.append(best)
-        remaining -= covered
+        chosen.append(primes[best_index])
+        remaining &= ~covered
     return chosen
 
 

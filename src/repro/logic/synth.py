@@ -107,10 +107,9 @@ def _assign_style(expression: BoolExpr, variables: Sequence[str], request: Synth
 
 
 def _case_style(expression: BoolExpr, variables: Sequence[str], request: SynthesisRequest) -> str:
-    rows = {
-        index: value
-        for index, (_, value) in enumerate(expression.truth_table_rows())
-    }
+    from .bittable import BitTable
+
+    rows = dict(enumerate(BitTable.from_expr(expression, variables=variables).values()))
     return truth_table_to_module(variables, rows, SynthesisRequest(
         module_name=request.module_name,
         output_name=request.output_name,

@@ -1,0 +1,263 @@
+"""Differential tests: the bit-parallel engine vs the legacy evaluate oracle.
+
+The legacy per-assignment ``BoolExpr.evaluate`` walk is the ground truth; every
+whole-table result produced by :mod:`repro.logic.bittable` must be bit-exact
+against it, for random expressions over 1-8 variables.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.bittable import BitTable, clear_caches, iter_bits, variable_column
+from repro.logic.expr import (
+    And,
+    BoolExpr,
+    Const,
+    Not,
+    Or,
+    RandomExpressionGenerator,
+    Var,
+    Xor,
+    and_all,
+    expr_from_minterms,
+    or_all,
+    reference_equivalent,
+    reference_minterms,
+)
+from repro.logic.minimize import Implicant, minimize_minterms, prime_implicants
+
+import pytest
+
+_NAMES = ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+
+def _expressions(num_variables: int, max_leaves: int = 20):
+    names = _NAMES[:num_variables]
+    leaves = st.one_of(
+        st.sampled_from([Var(name) for name in names]),
+        st.builds(Const, st.integers(min_value=0, max_value=1)),
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Xor, children, children),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+# --------------------------------------------------------------------------- primitives
+class TestPrimitives:
+    def test_variable_column_matches_definition(self):
+        for width in range(1, 9):
+            for bit in range(width):
+                expected = sum(
+                    1 << index for index in range(1 << width) if (index >> bit) & 1
+                )
+                assert variable_column(bit, width) == expected
+
+    def test_variable_column_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            variable_column(3, 3)
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+        sparse = (1 << 200) | (1 << 64) | 1
+        assert list(iter_bits(sparse)) == [0, 64, 200]
+
+    def test_iter_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(iter_bits(-1))
+
+    def test_from_minterms_roundtrip(self):
+        table = BitTable.from_minterms(["a", "b", "c"], [0, 5, 7])
+        assert table.minterms() == [0, 5, 7]
+        assert table.ones() == 3
+        assert table.values() == [1, 0, 0, 0, 0, 1, 0, 1]
+        assert table.value_at(5) == 1
+        assert table.value_at(1) == 0
+
+    def test_evaluate_msb_convention(self):
+        # First name is the most-significant index bit, like BoolExpr.minterms.
+        table = BitTable.from_expr(And(Var("a"), Not(Var("b"))))
+        assert table.evaluate({"a": 1, "b": 0}) == 1
+        assert table.evaluate({"a": 0, "b": 1}) == 0
+        assert table.minterms() == [2]
+
+    def test_unknown_variable_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            BitTable.from_expr(Var("z"), variables=["a", "b"])
+
+    def test_constant_tables(self):
+        assert BitTable.from_expr(Const(1)).bits == 1
+        assert BitTable.from_expr(Const(0)).bits == 0
+        assert BitTable.from_expr(Const(1), variables=["a", "b"]).ones() == 4
+
+    def test_fallback_for_custom_nodes(self):
+        class Nand(BoolExpr):
+            def __init__(self, left, right):
+                self.left, self.right = left, right
+
+            def evaluate(self, assignment):
+                return 1 - (self.left.evaluate(assignment) & self.right.evaluate(assignment))
+
+            def _collect_variables(self, accumulator):
+                self.left._collect_variables(accumulator)
+                self.right._collect_variables(accumulator)
+
+            def __hash__(self):
+                return hash((Nand, self.left, self.right))
+
+            def __eq__(self, other):
+                return self is other
+
+        nand = Nand(Var("a"), Var("b"))
+        assert BitTable.from_expr(nand, variables=["a", "b"]).minterms() == [0, 1, 2]
+
+    def test_fallback_for_unhashable_custom_nodes(self):
+        class UnhashableNot(BoolExpr):
+            __hash__ = None  # e.g. a non-frozen dataclass subclass
+
+            def __init__(self, operand):
+                self.operand = operand
+
+            def evaluate(self, assignment):
+                return 1 - self.operand.evaluate(assignment)
+
+            def _collect_variables(self, accumulator):
+                self.operand._collect_variables(accumulator)
+
+        table = BitTable.from_expr(UnhashableNot(Var("a")), variables=["a", "b"])
+        assert table.minterms() == [0, 1]
+
+    def test_from_minterms_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitTable.from_minterms(["a"], [0, 4])
+        with pytest.raises(ValueError):
+            BitTable.from_minterms(["a", "b"], [-1])
+
+    def test_expanded_and_equivalent_across_variable_sets(self):
+        narrow = BitTable.from_expr(Var("a"))
+        wide = narrow.expanded(["a", "b"])
+        assert wide.minterms() == [2, 3]
+        assert narrow.equivalent(wide)
+        assert not narrow.equivalent(BitTable.from_expr(Var("b")))
+
+    def test_clear_caches_keeps_results_stable(self):
+        expression = Xor(Var("a"), Var("b"))
+        before = BitTable.from_expr(expression).bits
+        clear_caches()
+        assert BitTable.from_expr(expression).bits == before
+
+
+# --------------------------------------------------------------------------- differential
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.data())
+def test_minterms_match_legacy_oracle(num_variables, data):
+    expression = data.draw(_expressions(num_variables))
+    names = _NAMES[:num_variables]
+    assert BitTable.from_expr(expression, variables=names).minterms() == reference_minterms(
+        expression, names
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_equivalence_matches_legacy_oracle(num_variables, data):
+    left = data.draw(_expressions(num_variables, max_leaves=12))
+    right = data.draw(_expressions(num_variables, max_leaves=12))
+    assert left.equivalent_to(right) == reference_equivalent(left, right)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_truth_table_rows_match_evaluate(num_variables, data):
+    expression = data.draw(_expressions(num_variables, max_leaves=12))
+    for assignment, value in expression.truth_table_rows():
+        assert value == expression.evaluate(assignment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.data())
+def test_minimization_preserves_onset_bit_exact(num_variables, data):
+    """minimize_minterms output must stay equivalent to its input on-set."""
+    size = 1 << num_variables
+    minterms = data.draw(
+        st.lists(st.integers(min_value=0, max_value=size - 1), min_size=1, max_size=size, unique=True)
+    )
+    names = _NAMES[:num_variables]
+    minimized = minimize_minterms(names, minterms)
+    assert BitTable.from_expr(minimized, variables=names) == BitTable.from_minterms(
+        names, minterms
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_cover_mask_matches_covers(num_variables, data):
+    size = 1 << num_variables
+    minterms = data.draw(
+        st.lists(st.integers(min_value=0, max_value=size - 1), min_size=1, max_size=size, unique=True)
+    )
+    for prime in prime_implicants(minterms, num_variables):
+        expected = sum(1 << m for m in range(size) if prime.covers(m))
+        assert prime.cover_mask() == expected
+
+
+def test_implicant_cover_mask_explicit():
+    implicant = Implicant(values=0b10, mask=0b01, width=2)  # "1-"
+    assert implicant.cover_mask() == (1 << 0b10) | (1 << 0b11)
+
+
+# --------------------------------------------------------------------------- combinators
+class TestBalancedCombinators:
+    def test_depth_is_logarithmic(self):
+        terms = [Var(f"v{i}") for i in range(64)]
+        assert and_all(terms).depth() == 6
+        assert or_all(terms).depth() == 6
+
+    def test_semantics_unchanged(self):
+        terms = [Var("a"), Var("b"), Var("c"), Var("d"), Var("e")]
+        chain_and = terms[0]
+        chain_or = terms[0]
+        for term in terms[1:]:
+            chain_and = And(chain_and, term)
+            chain_or = Or(chain_or, term)
+        assert and_all(terms).equivalent_to(chain_and)
+        assert or_all(terms).equivalent_to(chain_or)
+
+    def test_empty_identities(self):
+        assert and_all([]).evaluate({}) == 1
+        assert or_all([]).evaluate({}) == 0
+
+    def test_dense_minterm_expression_stays_shallow(self):
+        names = _NAMES  # 8 variables, dense on-set of 255 minterms
+        dense = expr_from_minterms(names, list(range(255)))
+        assert dense.depth() <= 4 + 8 + 1  # ceil(log2(255)) + per-term literals + slack
+        assert dense.minterms() == list(range(255))
+
+
+# --------------------------------------------------------------------------- generator fix
+class TestGenerateNontrivial:
+    def test_nontrivial_over_declared_variables(self):
+        for seed in range(20):
+            generator = RandomExpressionGenerator(seed=seed)
+            names = ["a", "b", "c"]
+            expression = generator.generate_nontrivial(names)
+            ones = BitTable.from_expr(expression, variables=names).ones()
+            assert 0 < ones < 8
+
+    def test_fallback_total_with_zero_attempts(self):
+        generator = RandomExpressionGenerator(seed=0)
+        assert generator.generate_nontrivial(["a"], attempts=0).equivalent_to(Var("a"))
+        fallback = generator.generate_nontrivial(["a", "b"], attempts=0)
+        assert fallback.equivalent_to(And(Var("a"), Var("b")))
+
+    def test_empty_variables_raise(self):
+        with pytest.raises(ValueError):
+            RandomExpressionGenerator(seed=0).generate_nontrivial([], attempts=0)
