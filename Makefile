@@ -1,11 +1,21 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-update perf-tests
+.PHONY: test test-fast coverage bench bench-update perf-tests
 
 # Functional suite only; the perf gate is machine-sensitive, run it via
 # `make bench` / `make perf-tests`.
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m "not perf"
+
+# Quick inner-loop run: unit/property suites only (skips the perf marker and
+# the paper-reproduction suites under benchmarks/).
+test-fast:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m "not perf" tests
+
+# Line-coverage report over src/repro (uses the `coverage` package when
+# installed, a stdlib settrace collector otherwise).
+coverage:
+	PYTHONPATH=$(PYTHONPATH) python tools/coverage_report.py
 
 # Gate the tracked microbenchmarks against the committed BENCH_perf.json
 # baseline (fails on a >2x regression).

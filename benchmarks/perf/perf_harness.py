@@ -1,6 +1,6 @@
-"""Microbenchmark harness for the bit-parallel truth-table engine.
+"""Microbenchmark harness for the bit-parallel engines.
 
-Times the three tracked hot paths and reports before/after numbers:
+Times the tracked hot paths and reports before/after numbers:
 
 * ``truth_table_8var``  — full truth-table extraction (minterms) of an
   8-variable expression: legacy per-assignment ``evaluate`` walk vs one
@@ -10,6 +10,12 @@ Times the three tracked hot paths and reports before/after numbers:
   8-variable on-set: the seed all-pairs/per-minterm algorithm (kept here
   verbatim as the timing baseline) vs the bitset implementation in
   :mod:`repro.logic.minimize`.
+* ``batch_sim``         — batched functional-equivalence checking of a
+  combinational ALU against its golden model over 256 stimuli: the scalar
+  per-vector ``TestbenchRunner`` loop vs one column-parallel
+  ``BatchTestbenchRunner`` pass (the differential check that both agree runs
+  before timing, so ``make bench`` always exercises the batch engine against
+  the scalar oracle).
 * ``ldataset_quick_build`` — a quick-scale end-to-end L-dataset build, the
   workload every layer above the engine feeds into.
 
@@ -24,18 +30,48 @@ import random
 import time
 from typing import Callable
 
+from repro.bench.golden import VectorFunctionGolden
 from repro.core.dataset.ldataset import LDatasetConfig, LDatasetGenerator
 from repro.logic import bittable
 from repro.logic.bittable import BitTable
 from repro.logic.expr import RandomExpressionGenerator, reference_minterms
 from repro.logic.minimize import Implicant, minimal_cover, prime_implicants, _cover_mask
+from repro.verilog.simulator.testbench import BatchTestbenchRunner, TestbenchRunner
 
 #: Benchmark keys whose timings the regression gate tracks (seconds, lower is better).
 TRACKED = (
     ("truth_table_8var", "bit_parallel_s"),
     ("qm_minimize_8var", "bitset_s"),
+    ("batch_sim", "batch_s"),
     ("ldataset_quick_build", "seconds"),
 )
+
+#: Stimulus count for the batched functional-equivalence benchmark (the
+#: acceptance bar is a >=4x speedup at 64+ stimuli; 256 shows the scaling).
+BATCH_SIM_STIMULI = 256
+
+#: Combinational ALU used as the equivalence-check DUT (case statement, adders,
+#: comparisons, concatenation — the constructs the bench families exercise).
+BATCH_SIM_SOURCE = """
+module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    input [1:0] op,
+    output reg [7:0] result,
+    output reg [3:0] flags
+);
+    always @(*) begin
+        case (op)
+            2'b00: result = a + b;
+            2'b01: result = a - b;
+            2'b10: result = a ^ b;
+            2'b11: result = ~a;
+            default: result = 8'd0;
+        endcase
+        flags = {result == 8'd0, result[7], a > b, a == b};
+    end
+endmodule
+"""
 
 _EIGHT_VARS = ["a", "b", "c", "d", "e", "f", "g", "h"]
 
@@ -167,6 +203,49 @@ def bench_qm(repeat: int = 5) -> dict[str, float]:
     return {"legacy_s": legacy_s, "bitset_s": bitset_s, "speedup": legacy_s / bitset_s}
 
 
+def _batch_sim_workload() -> tuple[VectorFunctionGolden, list[dict[str, int]]]:
+    rng = random.Random(77)
+
+    def alu(inputs):
+        a, b, op = inputs["a"], inputs["b"], inputs["op"]
+        result = {0: a + b, 1: a - b, 2: a ^ b, 3: ~a}[op] & 0xFF
+        flags = ((result == 0) << 3) | ((result >> 7) << 2) | ((a > b) << 1) | (a == b)
+        return {"result": result, "flags": flags}
+
+    stimulus = [
+        {"a": rng.randrange(256), "b": rng.randrange(256), "op": rng.randrange(4)}
+        for _ in range(BATCH_SIM_STIMULI)
+    ]
+    return VectorFunctionGolden(alu), stimulus
+
+
+def bench_batch_sim(repeat: int = 5) -> dict[str, float]:
+    """Scalar per-vector equivalence checking vs one column-parallel pass."""
+    golden, stimulus = _batch_sim_workload()
+    scalar_runner = TestbenchRunner()
+    batch_runner = BatchTestbenchRunner()
+
+    def scalar() -> bool:
+        return scalar_runner.run(BATCH_SIM_SOURCE, golden, stimulus).passed
+
+    def batched() -> bool:
+        return batch_runner.run(BATCH_SIM_SOURCE, golden, stimulus).passed
+
+    # Differential gate: the batch engine must agree with the scalar oracle
+    # (and both must pass) before any timing is recorded.
+    assert BatchTestbenchRunner(differential=True).run(BATCH_SIM_SOURCE, golden, stimulus).passed, (
+        "batch_sim workload failed its own functional check"
+    )
+    scalar_s = measure(scalar, repeat=repeat)
+    batch_s = measure(batched, repeat=repeat)
+    return {
+        "stimuli": float(BATCH_SIM_STIMULI),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
 def bench_ldataset(repeat: int = 3) -> dict[str, float]:
     config = LDatasetConfig(num_concise=12, num_faithful=8, seed=7)
 
@@ -189,6 +268,7 @@ def collect_results(repeat: int = 5) -> dict:
         "benchmarks": {
             "truth_table_8var": bench_truth_table(repeat=repeat),
             "qm_minimize_8var": bench_qm(repeat=repeat),
+            "batch_sim": bench_batch_sim(repeat=repeat),
             "ldataset_quick_build": bench_ldataset(),
         },
     }

@@ -28,12 +28,17 @@ def _render(results: dict) -> str:
     benches = results["benchmarks"]
     tt = benches["truth_table_8var"]
     qm = benches["qm_minimize_8var"]
+    bs = benches["batch_sim"]
     ld = benches["ldataset_quick_build"]
     lines.append(
         f"truth_table_8var          {tt['legacy_s']:<13.6f} {tt['bit_parallel_s']:<13.6f} {tt['speedup']:.1f}x"
     )
     lines.append(
         f"qm_minimize_8var          {qm['legacy_s']:<13.6f} {qm['bitset_s']:<13.6f} {qm['speedup']:.1f}x"
+    )
+    lines.append(
+        f"batch_sim                 {bs['scalar_s']:<13.6f} {bs['batch_s']:<13.6f} {bs['speedup']:.1f}x"
+        f"  ({int(bs['stimuli'])} stimuli)"
     )
     lines.append(f"ldataset_quick_build      {'-':<13} {ld['seconds']:<13.6f}")
     return "\n".join(lines)

@@ -6,9 +6,14 @@ assertion:
 
 * machine-independent: the bit-parallel engine must keep its speedup over the
   legacy per-assignment path measured on the *same* machine in the same run
-  (>=10x on 8-variable truth-table extraction, >=3x on QM minimisation);
+  (>=10x on 8-variable truth-table extraction, >=3x on QM minimisation, >=4x on
+  batched functional-equivalence checking at 64+ stimuli);
 * baseline-relative: no tracked timing may regress more than 2x versus the
   committed ``BENCH_perf.json``.
+
+The ``batch_sim`` fixture runs the batched testbench with the differential
+oracle enabled, so every ``make bench`` / ``make perf-tests`` invocation also
+re-validates the batch engine against the scalar simulator.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from perf_harness import bench_qm, bench_truth_table, regressions
+from perf_harness import bench_batch_sim, bench_qm, bench_truth_table, regressions
 
 BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
 
@@ -29,6 +34,7 @@ def current():
         "benchmarks": {
             "truth_table_8var": bench_truth_table(repeat=3),
             "qm_minimize_8var": bench_qm(repeat=3),
+            "batch_sim": bench_batch_sim(repeat=3),
         }
     }
 
@@ -54,6 +60,16 @@ def test_qm_speedup_holds(current):
     assert result["speedup"] >= 3.0, (
         f"bitset QM only {result['speedup']:.1f}x faster than the legacy "
         f"per-minterm cover (need >=3x)"
+    )
+
+
+@pytest.mark.perf
+def test_batch_sim_speedup_holds(current):
+    result = current["benchmarks"]["batch_sim"]
+    assert result["stimuli"] >= 64, "batch_sim must measure at 64+ stimuli"
+    assert result["speedup"] >= 4.0, (
+        f"batched equivalence checking only {result['speedup']:.1f}x faster than "
+        f"the scalar per-vector loop at {int(result['stimuli'])} stimuli (need >=4x)"
     )
 
 

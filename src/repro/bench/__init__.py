@@ -5,8 +5,10 @@ from .evaluator import (
     EvaluationConfig,
     SuiteResult,
     TaskResult,
+    check_reference_designs,
     evaluate_models,
 )
+from .golden import VerilogGolden, batch_equivalence_check
 from .passk import PassAtKResult, compute_pass_at_k, mean_pass_at_k, pass_at_k
 from .reporting import (
     AblationSeries,
@@ -39,7 +41,10 @@ __all__ = [
     "EvaluationConfig",
     "SuiteResult",
     "TaskResult",
+    "check_reference_designs",
     "evaluate_models",
+    "VerilogGolden",
+    "batch_equivalence_check",
     "PassAtKResult",
     "compute_pass_at_k",
     "mean_pass_at_k",

@@ -20,7 +20,7 @@ from typing import Sequence
 from ..core.llm.base import GenerationConfig
 from ..core.pipeline import HaVenPipeline
 from ..verilog.syntax_checker import SyntaxChecker
-from ..verilog.simulator.testbench import TestbenchRunner
+from ..verilog.simulator.testbench import BatchTestbenchRunner, TestbenchResult
 from .passk import compute_pass_at_k
 from .task import BenchmarkSuite, BenchmarkTask
 
@@ -35,6 +35,11 @@ class EvaluationConfig:
     seed: int = 0
     stimulus_seed: int = 1234
     max_tasks: int | None = None
+    #: Batch combinational functional checks into one column-parallel pass
+    #: (sequential designs always keep the cycle-serial scalar oracle).
+    use_batch_simulator: bool = True
+    #: Re-check every batched run against the scalar oracle (slow; CI use).
+    differential_oracle: bool = False
 
     def single_temperature(self) -> "EvaluationConfig":
         """A copy that only evaluates the first temperature (for quick runs)."""
@@ -45,6 +50,8 @@ class EvaluationConfig:
             seed=self.seed,
             stimulus_seed=self.stimulus_seed,
             max_tasks=self.max_tasks,
+            use_batch_simulator=self.use_batch_simulator,
+            differential_oracle=self.differential_oracle,
         )
 
 
@@ -116,6 +123,23 @@ class BenchmarkEvaluator:
         self.config = config or EvaluationConfig()
         self.checker = SyntaxChecker()
 
+    def _make_runner(self, task: BenchmarkTask) -> BatchTestbenchRunner:
+        """Build the functional-check runner for one task.
+
+        The batched runner sweeps combinational checks column-parallel and
+        transparently falls back to the scalar cycle-serial path for sequential
+        designs, so it is safe as the single entry point.
+        """
+        if not self.config.use_batch_simulator:
+            from ..verilog.simulator.testbench import TestbenchRunner
+
+            return TestbenchRunner(clock=task.clock, reset=task.reset)  # type: ignore[return-value]
+        return BatchTestbenchRunner(
+            clock=task.clock,
+            reset=task.reset,
+            differential=self.config.differential_oracle,
+        )
+
     # ------------------------------------------------------------------ public API
     def evaluate(self, pipeline: HaVenPipeline, suite: BenchmarkSuite) -> SuiteResult:
         """Evaluate ``pipeline`` on ``suite`` with the configured sampling plan."""
@@ -154,11 +178,14 @@ class BenchmarkEvaluator:
             task_id=task.task_id,
         )
         stimulus = task.stimulus(self.config.stimulus_seed)
-        runner = TestbenchRunner(clock=task.clock, reset=task.reset)
+        runner = self._make_runner(task)
 
         functional_passes = 0
         syntax_passes = 0
         failures: list[str] = []
+        # Identical samples (common at low temperature) are checked once: the
+        # golden model is rebuilt per run, so results are deterministic per code.
+        checked: dict[str, TestbenchResult] = {}
         for sample in generation.samples:
             compile_result = self.checker.check(sample.code)
             if compile_result.ok:
@@ -167,12 +194,16 @@ class BenchmarkEvaluator:
                 if len(failures) < 3:
                     failures.append("; ".join(compile_result.error_messages[:1]))
                 continue
-            check = runner.run(
-                sample.code,
-                task.golden(),
-                stimulus,
-                check_outputs=task.check_outputs,
-            )
+            if sample.code in checked:
+                check = checked[sample.code]
+            else:
+                check = runner.run(
+                    sample.code,
+                    task.golden(),
+                    stimulus,
+                    check_outputs=task.check_outputs,
+                )
+                checked[sample.code] = check
             if check.passed:
                 functional_passes += 1
             elif len(failures) < 3:
@@ -200,3 +231,45 @@ def evaluate_models(
         for suite in suites:
             results[(pipeline.name, suite.name)] = evaluator.evaluate(pipeline, suite)
     return results
+
+
+def check_reference_designs(
+    suite: BenchmarkSuite,
+    stimulus_seed: int = 1234,
+    max_tasks: int | None = None,
+    use_batch: bool = True,
+    differential: bool = False,
+) -> dict[str, str]:
+    """Check every task's golden Verilog reference against its Python golden model.
+
+    This is the suite self-consistency sweep the benchmark builders expose
+    (``verilogeval.validate_references`` etc.): the reference design must pass
+    its own functional testbench.  Combinational tasks run column-parallel via
+    :class:`BatchTestbenchRunner`; pass ``differential=True`` to re-check every
+    batched run against the scalar oracle.
+
+    Returns:
+        task_id → failure summary for every failing task (empty == all passed).
+    """
+    from ..verilog.simulator.testbench import TestbenchRunner
+
+    failures: dict[str, str] = {}
+    tasks = list(suite)
+    if max_tasks is not None:
+        tasks = tasks[:max_tasks]
+    for task in tasks:
+        if use_batch:
+            runner: TestbenchRunner = BatchTestbenchRunner(
+                clock=task.clock, reset=task.reset, differential=differential
+            )
+        else:
+            runner = TestbenchRunner(clock=task.clock, reset=task.reset)
+        result = runner.run(
+            task.reference_source,
+            task.golden(),
+            task.stimulus(stimulus_seed),
+            check_outputs=task.check_outputs,
+        )
+        if not result.passed:
+            failures[task.task_id] = result.failure_summary or "no checks executed"
+    return failures

@@ -19,6 +19,21 @@ def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
+def _checked(name: str, value: object, width: int) -> int:
+    """Validate that a stimulus value fits the declared input width.
+
+    Golden models used to truncate out-of-range values with ``& _mask(width)``,
+    which silently scored a DUT against a *different* stimulus than the one it
+    was driven with.  Out-of-range inputs are a harness bug: fail loudly.
+    """
+    value = int(value)
+    if not 0 <= value < (1 << width):
+        raise ValueError(
+            f"stimulus value {value} for input {name!r} does not fit in {width} bit(s)"
+        )
+    return value
+
+
 # --------------------------------------------------------------------------- combinational
 @dataclass
 class ExpressionGolden:
@@ -39,6 +54,8 @@ class ExpressionGolden:
         """Stateless."""
 
     def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        for name in self._table.names:
+            _checked(name, inputs[name], 1)
         return {self.output: self._table.evaluate(inputs)}
 
     def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
@@ -60,7 +77,7 @@ class TableGolden:
     def eval(self, values: Mapping[str, int]) -> dict[str, int]:
         index = 0
         for name in self.inputs:
-            index = (index << 1) | (int(values[name]) & 1)
+            index = (index << 1) | _checked(name, values[name], 1)
         return {self.output: self.rows.get(index, 0)}
 
     def step(self, values: Mapping[str, int]) -> dict[str, int]:
@@ -141,7 +158,7 @@ class ShiftRegisterGolden:
         if int(inputs.get(self.reset_input, 0)):
             self.value = 0
             return {self.output: self.value}
-        bit = int(inputs.get(self.serial_input, 0)) & 1
+        bit = _checked(self.serial_input, inputs.get(self.serial_input, 0), 1)
         if self.shift_left:
             self.value = ((self.value << 1) | bit) & _mask(self.width)
         else:
@@ -178,7 +195,7 @@ class RegisterGolden:
             enable = int(inputs.get(self.enable_input, 0))
             load = (enable == 0) if self.enable_active_low else (enable == 1)
         if load:
-            self.value = int(inputs.get(self.data_input, 0)) & _mask(self.width)
+            self.value = _checked(self.data_input, inputs.get(self.data_input, 0), self.width)
         return {self.output: self.value}
 
     def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
@@ -235,7 +252,7 @@ class SequenceDetectorGolden:
         if int(inputs.get(self.reset_input, 0)):
             self.history = []
             return {self.output: 0}
-        self.history.append(int(inputs.get(self.serial_input, 0)) & 1)
+        self.history.append(_checked(self.serial_input, inputs.get(self.serial_input, 0), 1))
         window = self.history[-len(self.pattern):]
         detected = 1 if tuple(window) == self.pattern else 0
         if detected and not self.overlapping:
@@ -267,7 +284,7 @@ class EdgeDetectorGolden:
             self.previous = 0
             self.out = 0
             return {self.output: self.out}
-        current = int(inputs.get(self.data_input, 0)) & 1
+        current = _checked(self.data_input, inputs.get(self.data_input, 0), 1)
         self.out = 1 if (current == 1 and self.previous == 0) else 0
         self.previous = current
         return {self.output: self.out}
@@ -306,6 +323,105 @@ class InvertedInputsGolden:
 
     def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
         return self.inner.step(self._transform(inputs))
+
+
+# --------------------------------------------------------------------------- Verilog-backed golden
+@dataclass
+class VerilogGolden:
+    """Golden model backed by simulating a reference Verilog design.
+
+    Lets a task be scored against its golden *Verilog* (``reference_source``)
+    when no hand-written Python model exists: :meth:`eval` drives a scalar
+    :class:`~repro.verilog.simulator.ModuleSimulator`, :meth:`step` runs one
+    clock cycle.  Outputs that settle to ``x``/``z`` are omitted from the
+    expected dict (an undefined reference bit constrains nothing).
+    """
+
+    source: str
+    module_name: str | None = None
+    clock: str = "clk"
+    outputs: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        from ..verilog.simulator import ModuleSimulator
+
+        self._simulator = ModuleSimulator.from_source(self.source, self.module_name)
+        self.is_sequential = any(
+            process.kind.value == "sequential" for process in self._simulator.design.processes
+        )
+
+    def reset(self) -> None:
+        from ..verilog.simulator import ModuleSimulator
+
+        self._simulator = ModuleSimulator.from_source(self.source, self.module_name)
+
+    def _observed(self) -> dict[str, int]:
+        names = self.outputs if self.outputs is not None else self._simulator.output_names()
+        observed: dict[str, int] = {}
+        for name in names:
+            value = self._simulator.get(name)
+            if not value.has_unknown:
+                observed[name] = value.to_int()
+        return observed
+
+    def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        self._simulator.apply_inputs(dict(inputs))
+        return self._observed()
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        self._simulator.clock_cycle(self.clock, dict(inputs))
+        return self._observed()
+
+
+def batch_equivalence_check(
+    dut_source: str,
+    reference_source: str,
+    input_vectors: Sequence[Mapping[str, int]],
+    outputs: Sequence[str] | None = None,
+    module_name: str | None = None,
+    reference_module_name: str | None = None,
+) -> list[int]:
+    """Batched combinational equivalence sweep: DUT vs reference Verilog.
+
+    Both designs are elaborated once and evaluated over every stimulus vector in
+    a single column-parallel pass.  Returns the indices of mismatching vectors
+    (empty list == equivalent on the sweep).  An output that is ``x``/``z`` in
+    the *reference* constrains nothing; an ``x``/``z`` DUT output mismatches any
+    defined reference value.
+    """
+    from ..verilog.simulator.batch import BatchSimulator
+
+    if not input_vectors:
+        return []
+    names = set(input_vectors[0])
+    if any(set(vector) != names for vector in input_vectors):
+        raise ValueError("equivalence sweeps require a consistent input-name set")
+    lanes = len(input_vectors)
+    dut = BatchSimulator.from_source(dut_source, lanes=lanes, module_name=module_name)
+    reference = BatchSimulator.from_source(
+        reference_source, lanes=lanes, module_name=reference_module_name
+    )
+    inputs = {name: [vector[name] for vector in input_vectors] for name in names}
+    dut.apply_inputs(inputs)
+    reference.apply_inputs(dict(inputs))
+    checked = list(outputs) if outputs is not None else reference.output_names()
+    mismatched: set[int] = set()
+    for name in checked:
+        expected = reference.get(name)
+        actual = dut.get(name) if name in dut.signals else None
+        for lane in range(lanes):
+            expected_lane = expected.lane(lane)
+            if expected_lane.has_unknown:
+                continue
+            if actual is None:
+                mismatched.add(lane)
+                continue
+            actual_lane = actual.lane(lane)
+            if actual_lane.has_unknown or actual_lane.to_int() != (
+                expected_lane.to_int() & _mask(actual_lane.width)
+            ):
+                mismatched.add(lane)
+    return sorted(mismatched)
 
 
 # --------------------------------------------------------------------------- stimulus helpers

@@ -38,8 +38,16 @@ def pass_at_k(num_samples: int, num_correct: int, k: int) -> float:
 
 
 def mean_pass_at_k(results: Iterable[tuple[int, int]], k: int) -> float:
-    """Average pass@k over problems given ``(num_samples, num_correct)`` pairs."""
-    values = [pass_at_k(n, c, k) for n, c in results]
+    """Average pass@k over problems given ``(num_samples, num_correct)`` pairs.
+
+    Aggregation is robust to the degenerate shapes a partial or truncated run
+    produces (while :func:`pass_at_k` itself stays strict):
+
+    * zero-sample problems contribute no evidence and are skipped;
+    * a problem with ``0 < n < k`` is scored at ``pass@n`` — the best unbiased
+      estimate the drawn samples support.
+    """
+    values = [pass_at_k(n, c, min(k, n)) for n, c in results if n > 0]
     if not values:
         return 0.0
     return sum(values) / len(values)

@@ -186,3 +186,40 @@ def build_symbolic_subset(human_suite: BenchmarkSuite | None = None, config: Sui
         tasks=symbolic,
         description="Symbolic-modality subset of VerilogEval-Human (truth tables, waveforms, state diagrams).",
     )
+
+
+def validate_references(
+    config: SuiteConfig | None = None,
+    splits: tuple[str, ...] = ("machine", "human"),
+    max_tasks: int | None = None,
+    use_batch: bool = True,
+    differential: bool = False,
+) -> dict[str, str]:
+    """Self-consistency sweep: every reference design must pass its own testbench.
+
+    Combinational references are checked in one column-parallel batched pass per
+    task (see :mod:`repro.verilog.simulator.batch`); sequential references keep
+    the scalar cycle-serial oracle.  Returns task_id → failure summary.
+    """
+    from .evaluator import check_reference_designs
+
+    failures: dict[str, str] = {}
+    if "machine" in splits:
+        failures.update(
+            check_reference_designs(
+                build_verilogeval_machine(config),
+                max_tasks=max_tasks,
+                use_batch=use_batch,
+                differential=differential,
+            )
+        )
+    if "human" in splits:
+        failures.update(
+            check_reference_designs(
+                build_verilogeval_human(config),
+                max_tasks=max_tasks,
+                use_batch=use_batch,
+                differential=differential,
+            )
+        )
+    return failures

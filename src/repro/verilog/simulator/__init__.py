@@ -1,10 +1,33 @@
 """Event-free functional Verilog simulator used for functional pass@k scoring."""
 
-from .values import LogicVector, concat_all
-from .eval import EvalContext, ExpressionEvaluator
-from .scheduler import Process, ProcessKind, SignalStore, StatementExecutor
-from .simulator import ModuleSimulator, simulate_combinational
+from .values import BatchVector, LogicVector, batch_concat_all, concat_all
+from .eval import (
+    BatchEvalContext,
+    BatchExpressionEvaluator,
+    EvalContext,
+    ExpressionEvaluator,
+)
+from .scheduler import (
+    BatchSignalStore,
+    BatchStatementExecutor,
+    Process,
+    ProcessKind,
+    SignalStore,
+    StatementExecutor,
+)
+from .simulator import (
+    ModuleSimulator,
+    elaborate_module,
+    resolve_parameters,
+    simulate_combinational,
+)
+from .batch import (
+    BatchSimulator,
+    differential_combinational,
+    simulate_combinational_batch,
+)
 from .testbench import (
+    BatchTestbenchRunner,
     CombinationalGolden,
     GoldenModel,
     Mismatch,
@@ -15,16 +38,28 @@ from .testbench import (
 )
 
 __all__ = [
+    "BatchVector",
     "LogicVector",
+    "batch_concat_all",
     "concat_all",
+    "BatchEvalContext",
+    "BatchExpressionEvaluator",
     "EvalContext",
     "ExpressionEvaluator",
+    "BatchSignalStore",
+    "BatchStatementExecutor",
     "Process",
     "ProcessKind",
     "SignalStore",
     "StatementExecutor",
     "ModuleSimulator",
+    "elaborate_module",
+    "resolve_parameters",
     "simulate_combinational",
+    "BatchSimulator",
+    "differential_combinational",
+    "simulate_combinational_batch",
+    "BatchTestbenchRunner",
     "CombinationalGolden",
     "GoldenModel",
     "Mismatch",

@@ -58,6 +58,134 @@ class ElaboratedModule:
         return [port for port in self.ports if port.direction is ast.PortDirection.OUTPUT]
 
 
+def resolve_parameters(module: ast.Module, overrides: dict[str, int]) -> dict[str, int]:
+    """Resolve module parameters to integers, honouring ``overrides``."""
+    parameters: dict[str, int] = {}
+    evaluator = ExpressionEvaluator(EvalContext(parameters=parameters))
+    for name, expression in module.parameters.items():
+        if name in overrides:
+            parameters[name] = overrides[name]
+        else:
+            parameters[name] = evaluator.evaluate_constant(expression)
+    for item in module.items:
+        if isinstance(item, ast.ParameterDeclaration):
+            for name, expression in item.names.items():
+                if not item.local and name in overrides:
+                    parameters[name] = overrides[name]
+                else:
+                    parameters[name] = evaluator.evaluate_constant(expression)
+    return parameters
+
+
+def elaborate_module(
+    module: ast.Module, parameter_overrides: dict[str, int] | None = None
+) -> ElaboratedModule:
+    """Resolve parameters, widths and processes for one module.
+
+    Shared by the scalar :class:`ModuleSimulator` and the batched
+    :class:`~repro.verilog.simulator.batch.BatchSimulator` so both start from
+    exactly the same elaborated design (initial-block execution and settling
+    are the simulators' responsibility).
+    """
+    parameters = resolve_parameters(module, {} if parameter_overrides is None else parameter_overrides)
+    store = SignalStore()
+    functions: dict[str, ast.FunctionDeclaration] = {}
+
+    constant_evaluator = ExpressionEvaluator(EvalContext(parameters=parameters))
+
+    def range_width(rng: ast.Range | None) -> int:
+        if rng is None:
+            return 1
+        msb = constant_evaluator.evaluate_constant(rng.msb)
+        lsb = constant_evaluator.evaluate_constant(rng.lsb)
+        return abs(msb - lsb) + 1
+
+    # Ports (merge header info with body declarations).
+    port_ranges: dict[str, ast.Range | None] = {port.name: port.range for port in module.ports}
+    port_directions: dict[str, ast.PortDirection | None] = {
+        port.name: port.direction for port in module.ports
+    }
+    for item in module.items:
+        if isinstance(item, ast.PortDeclaration):
+            for name in item.names:
+                if name in port_directions:
+                    if port_directions[name] is None:
+                        port_directions[name] = item.direction
+                    if port_ranges.get(name) is None:
+                        port_ranges[name] = item.range
+
+    ports: list[PortInfo] = []
+    for port in module.ports:
+        direction = port_directions[port.name]
+        if direction is None:
+            raise ElaborationError(
+                f"port {port.name!r} of module {module.name!r} has no direction"
+            )
+        width = range_width(port_ranges.get(port.name))
+        ports.append(PortInfo(name=port.name, direction=direction, width=width))
+        store.declare(port.name, width)
+
+    # Internal declarations.
+    for item in module.items:
+        if isinstance(item, ast.NetDeclaration):
+            width = 32 if item.net_type is ast.NetType.INTEGER else range_width(item.range)
+            if item.array_range is not None:
+                raise ElaborationError(
+                    f"memory arrays are not supported by the functional simulator "
+                    f"(signal {item.names[0]!r} in module {module.name!r})"
+                )
+            for name in item.names:
+                if name not in store.values:
+                    store.declare(name, width)
+                if name in item.initial_values:
+                    value = constant_evaluator.evaluate(item.initial_values[name])
+                    store.set(name, value)
+        elif isinstance(item, ast.PortDeclaration):
+            for name in item.names:
+                if name not in store.values:
+                    store.declare(name, range_width(item.range))
+        elif isinstance(item, ast.GenvarDeclaration):
+            for name in item.names:
+                store.declare(name, 32)
+        elif isinstance(item, ast.FunctionDeclaration):
+            functions[item.name] = item
+        elif isinstance(item, ast.ModuleInstance):
+            raise ElaborationError(
+                f"module instantiation ({item.module_name!r}) is not supported by the "
+                "single-module functional simulator"
+            )
+
+    design = ElaboratedModule(
+        name=module.name,
+        ports=ports,
+        parameters=parameters,
+        store=store,
+        functions=functions,
+    )
+
+    # Processes.
+    for item in module.items:
+        if isinstance(item, ast.ContinuousAssign):
+            body = ast.BlockingAssign(target=item.target, value=item.value)
+            design.processes.append(
+                Process(kind=ProcessKind.COMBINATIONAL, body=body, label="assign")
+            )
+        elif isinstance(item, ast.AlwaysBlock):
+            has_edge = any(
+                entry.edge in (ast.EdgeKind.POSEDGE, ast.EdgeKind.NEGEDGE)
+                for entry in item.sensitivity
+            )
+            kind = ProcessKind.SEQUENTIAL if has_edge else ProcessKind.COMBINATIONAL
+            design.processes.append(
+                Process(kind=kind, body=item.body, sensitivity=item.sensitivity, label="always")
+            )
+        elif isinstance(item, ast.InitialBlock):
+            design.processes.append(
+                Process(kind=ProcessKind.INITIAL, body=item.body, label="initial")
+            )
+    return design
+
+
 class ModuleSimulator:
     """Elaborate and simulate a single Verilog module."""
 
@@ -68,7 +196,7 @@ class ModuleSimulator:
     ):
         self.module = module
         self.parameter_overrides = dict(parameter_overrides or {})
-        self.design = self._elaborate(module)
+        self.design = elaborate_module(module, self.parameter_overrides)
         self.executor = StatementExecutor(
             self.design.store, self.design.parameters, self.design.functions
         )
@@ -85,122 +213,6 @@ class ModuleSimulator:
     ) -> "ModuleSimulator":
         """Parse ``source`` and build a simulator for the selected module."""
         return cls(parse_module(source, module_name), parameter_overrides)
-
-    def _elaborate(self, module: ast.Module) -> ElaboratedModule:
-        parameters = self._resolve_parameters(module)
-        store = SignalStore()
-        functions: dict[str, ast.FunctionDeclaration] = {}
-
-        constant_evaluator = ExpressionEvaluator(EvalContext(parameters=parameters))
-
-        def range_width(rng: ast.Range | None) -> int:
-            if rng is None:
-                return 1
-            msb = constant_evaluator.evaluate_constant(rng.msb)
-            lsb = constant_evaluator.evaluate_constant(rng.lsb)
-            return abs(msb - lsb) + 1
-
-        # Ports (merge header info with body declarations).
-        port_ranges: dict[str, ast.Range | None] = {port.name: port.range for port in module.ports}
-        port_directions: dict[str, ast.PortDirection | None] = {
-            port.name: port.direction for port in module.ports
-        }
-        for item in module.items:
-            if isinstance(item, ast.PortDeclaration):
-                for name in item.names:
-                    if name in port_directions:
-                        if port_directions[name] is None:
-                            port_directions[name] = item.direction
-                        if port_ranges.get(name) is None:
-                            port_ranges[name] = item.range
-
-        ports: list[PortInfo] = []
-        for port in module.ports:
-            direction = port_directions[port.name]
-            if direction is None:
-                raise ElaborationError(
-                    f"port {port.name!r} of module {module.name!r} has no direction"
-                )
-            width = range_width(port_ranges.get(port.name))
-            ports.append(PortInfo(name=port.name, direction=direction, width=width))
-            store.declare(port.name, width)
-
-        # Internal declarations.
-        for item in module.items:
-            if isinstance(item, ast.NetDeclaration):
-                width = 32 if item.net_type is ast.NetType.INTEGER else range_width(item.range)
-                if item.array_range is not None:
-                    raise ElaborationError(
-                        f"memory arrays are not supported by the functional simulator "
-                        f"(signal {item.names[0]!r} in module {module.name!r})"
-                    )
-                for name in item.names:
-                    if name not in store.values:
-                        store.declare(name, width)
-                    if name in item.initial_values:
-                        value = constant_evaluator.evaluate(item.initial_values[name])
-                        store.set(name, value)
-            elif isinstance(item, ast.PortDeclaration):
-                for name in item.names:
-                    if name not in store.values:
-                        store.declare(name, range_width(item.range))
-            elif isinstance(item, ast.GenvarDeclaration):
-                for name in item.names:
-                    store.declare(name, 32)
-            elif isinstance(item, ast.FunctionDeclaration):
-                functions[item.name] = item
-            elif isinstance(item, ast.ModuleInstance):
-                raise ElaborationError(
-                    f"module instantiation ({item.module_name!r}) is not supported by the "
-                    "single-module functional simulator"
-                )
-
-        design = ElaboratedModule(
-            name=module.name,
-            ports=ports,
-            parameters=parameters,
-            store=store,
-            functions=functions,
-        )
-
-        # Processes.
-        for item in module.items:
-            if isinstance(item, ast.ContinuousAssign):
-                body = ast.BlockingAssign(target=item.target, value=item.value)
-                design.processes.append(
-                    Process(kind=ProcessKind.COMBINATIONAL, body=body, label="assign")
-                )
-            elif isinstance(item, ast.AlwaysBlock):
-                has_edge = any(
-                    entry.edge in (ast.EdgeKind.POSEDGE, ast.EdgeKind.NEGEDGE)
-                    for entry in item.sensitivity
-                )
-                kind = ProcessKind.SEQUENTIAL if has_edge else ProcessKind.COMBINATIONAL
-                design.processes.append(
-                    Process(kind=kind, body=item.body, sensitivity=item.sensitivity, label="always")
-                )
-            elif isinstance(item, ast.InitialBlock):
-                design.processes.append(
-                    Process(kind=ProcessKind.INITIAL, body=item.body, label="initial")
-                )
-        return design
-
-    def _resolve_parameters(self, module: ast.Module) -> dict[str, int]:
-        parameters: dict[str, int] = {}
-        evaluator = ExpressionEvaluator(EvalContext(parameters=parameters))
-        for name, expression in module.parameters.items():
-            if name in self.parameter_overrides:
-                parameters[name] = self.parameter_overrides[name]
-            else:
-                parameters[name] = evaluator.evaluate_constant(expression)
-        for item in module.items:
-            if isinstance(item, ast.ParameterDeclaration):
-                for name, expression in item.names.items():
-                    if not item.local and name in self.parameter_overrides:
-                        parameters[name] = self.parameter_overrides[name]
-                    else:
-                        parameters[name] = evaluator.evaluate_constant(expression)
-        return parameters
 
     def _run_initial_blocks(self) -> None:
         for process in self.design.processes:

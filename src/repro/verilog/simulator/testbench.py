@@ -223,6 +223,130 @@ class TestbenchRunner:
         return actual.to_int() == (expected & mask)
 
 
+class BatchTestbenchRunner(TestbenchRunner):
+    """Testbench runner that checks combinational DUTs in one batched pass.
+
+    For a purely combinational design and golden model, all stimulus vectors
+    become lanes of one :class:`~repro.verilog.simulator.batch.BatchSimulator`
+    pass — removing the per-vector Python dispatch that dominates functional
+    pass@k scoring.  Sequential designs (or stimulus sequences with inconsistent
+    key sets, whose vectors inherit values from prior steps) keep the scalar
+    cycle-serial path, which also remains the differential oracle: with
+    ``differential=True`` every batched run is re-checked against
+    :class:`TestbenchRunner` and a divergence raises ``AssertionError``.
+    """
+
+    def __init__(
+        self,
+        clock: str = "clk",
+        reset: ResetSpec | None = None,
+        max_mismatches: int = 32,
+        differential: bool = False,
+    ):
+        super().__init__(clock=clock, reset=reset, max_mismatches=max_mismatches)
+        self.differential = differential
+
+    def run(
+        self,
+        dut_source: str,
+        golden: GoldenModel,
+        stimulus: list[dict[str, int]],
+        module_name: str | None = None,
+        check_outputs: list[str] | None = None,
+    ) -> TestbenchResult:
+        if not self._batchable(golden, stimulus):
+            return super().run(
+                dut_source, golden, stimulus, module_name=module_name, check_outputs=check_outputs
+            )
+        result = self._run_batched(dut_source, golden, stimulus, module_name, check_outputs)
+        if result is None:
+            # The DUT turned out to contain sequential processes (e.g. a wrongly
+            # clocked answer to a combinational task): scalar semantics apply.
+            return super().run(
+                dut_source, golden, stimulus, module_name=module_name, check_outputs=check_outputs
+            )
+        if self.differential:
+            golden.reset()
+            scalar = super().run(
+                dut_source, golden, stimulus, module_name=module_name, check_outputs=check_outputs
+            )
+            if scalar.passed != result.passed:
+                raise AssertionError(
+                    f"batched testbench diverged from the scalar oracle: "
+                    f"batch passed={result.passed}, scalar passed={scalar.passed}"
+                )
+        return result
+
+    # ------------------------------------------------------------------ helpers
+    def _batchable(self, golden: GoldenModel, stimulus: list[dict[str, int]]) -> bool:
+        if golden.is_sequential or not stimulus:
+            return False
+        names = set(stimulus[0])
+        return all(set(vector) == names for vector in stimulus)
+
+    def _run_batched(
+        self,
+        dut_source: str,
+        golden: GoldenModel,
+        stimulus: list[dict[str, int]],
+        module_name: str | None,
+        check_outputs: list[str] | None,
+    ) -> TestbenchResult | None:
+        from .batch import BatchSimulator
+
+        try:
+            simulator = BatchSimulator.from_source(dut_source, lanes=len(stimulus), module_name=module_name)
+        except VerilogError as exc:
+            return TestbenchResult(passed=False, error=str(exc))
+        if simulator.has_sequential_processes() or simulator.has_latch_risk():
+            # Edge-triggered registers and inferred latches carry history across
+            # serially-applied vectors; independent lanes cannot reproduce that.
+            return None
+
+        golden.reset()
+        mismatches: list[Mismatch] = []
+        total_checks = 0
+        try:
+            expected_per_lane = [golden.eval(dict(vector)) for vector in stimulus]
+            inputs = {
+                name: [vector[name] for vector in stimulus] for name in stimulus[0]
+            }
+            simulator.apply_inputs(inputs)
+            for index, vector in enumerate(stimulus):
+                expected = expected_per_lane[index]
+                outputs_to_check = check_outputs if check_outputs is not None else sorted(expected)
+                for output in outputs_to_check:
+                    total_checks += 1
+                    expected_value = expected[output]
+                    if output in simulator.signals:
+                        actual = simulator.get_lane(output, index)
+                    else:
+                        actual = None
+                    if not self._matches(actual, expected_value):
+                        mismatches.append(
+                            Mismatch(
+                                step_index=index,
+                                output=output,
+                                expected=expected_value,
+                                actual=actual.to_verilog_literal() if actual is not None else "<missing>",
+                                inputs=dict(vector),
+                            )
+                        )
+                        if len(mismatches) >= self.max_mismatches:
+                            raise _EarlyStop()
+        except _EarlyStop:
+            pass
+        except VerilogError as exc:
+            return TestbenchResult(
+                passed=False, total_checks=total_checks, mismatches=mismatches, error=str(exc)
+            )
+        return TestbenchResult(
+            passed=not mismatches and total_checks > 0,
+            total_checks=total_checks,
+            mismatches=mismatches,
+        )
+
+
 class _EarlyStop(Exception):
     """Internal signal used to stop checking after too many mismatches."""
 

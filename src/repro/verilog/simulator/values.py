@@ -6,11 +6,19 @@ are kept: ``value`` holds the 0/1 payload and ``xz_mask`` marks bits that are
 ``x``/``z`` (for such bits the corresponding ``value`` bit distinguishes ``x``
 (0) from ``z`` (1)).  This mirrors the common two-plane encoding used by real
 event-driven simulators.
+
+:class:`BatchVector` is the column-packed batch counterpart used by the batched
+simulator (:mod:`repro.verilog.simulator.batch`): one signal value per *lane*
+(stimulus), stored transposed so that bit ``j`` of column ``b`` is bit ``b`` of
+the signal on lane ``j``.  Word-wide integer operations over columns then
+evaluate all lanes at once — the :class:`~repro.logic.bittable.BitTable` trick
+lifted to stateful multi-bit RTL.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 
 def _mask(width: int) -> int:
@@ -216,6 +224,212 @@ class LogicVector:
 
 def concat_all(parts: list[LogicVector]) -> LogicVector:
     """Concatenate parts MSB-first (``parts[0]`` ends up most significant)."""
+    if not parts:
+        raise ValueError("cannot concatenate an empty list")
+    result = parts[0]
+    for part in parts[1:]:
+        result = result.concat(part)
+    return result
+
+
+# --------------------------------------------------------------------------- batch values
+@dataclass(frozen=True)
+class BatchVector:
+    """A four-state bit vector replicated over ``lanes`` independent stimuli.
+
+    Storage is *transposed* relative to a list of :class:`LogicVector`: column
+    ``b`` packs bit ``b`` of every lane into one integer (bit ``j`` of
+    ``value_cols[b]`` is the 0/1 payload of lane ``j``; ``xz_cols[b]`` marks the
+    lanes whose bit ``b`` is ``x``/``z``, with the value bit distinguishing x(0)
+    from z(1) exactly as in :class:`LogicVector`).
+    """
+
+    width: int
+    lanes: int
+    value_cols: tuple[int, ...]
+    xz_cols: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("BatchVector width must be >= 1")
+        if self.lanes < 1:
+            raise ValueError("BatchVector must have at least one lane")
+        if len(self.value_cols) != self.width or len(self.xz_cols) != self.width:
+            raise ValueError("column count must equal the vector width")
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def from_vectors(cls, vectors: Sequence[LogicVector], width: int | None = None) -> "BatchVector":
+        """Pack one :class:`LogicVector` per lane into columns."""
+        if not vectors:
+            raise ValueError("cannot build a BatchVector from zero lanes")
+        if width is None:
+            width = max(vector.width for vector in vectors)
+        resized = [vector.resized(width) for vector in vectors]
+        value_cols = []
+        xz_cols = []
+        for bit in range(width):
+            value = 0
+            xz = 0
+            for lane, vector in enumerate(resized):
+                value |= ((vector.value >> bit) & 1) << lane
+                xz |= ((vector.xz_mask >> bit) & 1) << lane
+            value_cols.append(value)
+            xz_cols.append(xz)
+        return cls(width=width, lanes=len(vectors), value_cols=tuple(value_cols), xz_cols=tuple(xz_cols))
+
+    @classmethod
+    def from_ints(cls, values: Iterable[int], width: int) -> "BatchVector":
+        """Pack one fully-defined integer per lane (two's complement wrap)."""
+        return cls.from_vectors([LogicVector.from_int(value, width) for value in values], width)
+
+    @classmethod
+    def broadcast(cls, vector: LogicVector, lanes: int) -> "BatchVector":
+        """Replicate one scalar value across every lane."""
+        if lanes < 1:
+            raise ValueError("BatchVector must have at least one lane")
+        lane_mask = _mask(lanes)
+        value_cols = tuple(lane_mask if (vector.value >> bit) & 1 else 0 for bit in range(vector.width))
+        xz_cols = tuple(lane_mask if (vector.xz_mask >> bit) & 1 else 0 for bit in range(vector.width))
+        return cls(width=vector.width, lanes=lanes, value_cols=value_cols, xz_cols=xz_cols)
+
+    @classmethod
+    def unknown(cls, width: int, lanes: int) -> "BatchVector":
+        """An all-``x`` batch (every bit of every lane unknown)."""
+        return cls.broadcast(LogicVector.unknown(width), lanes)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def lane_mask(self) -> int:
+        """Mask with one bit set per lane."""
+        return _mask(self.lanes)
+
+    def lane(self, index: int) -> LogicVector:
+        """Extract lane ``index`` back into a scalar :class:`LogicVector`."""
+        if not 0 <= index < self.lanes:
+            raise IndexError(f"lane {index} out of range for {self.lanes} lanes")
+        value = 0
+        xz = 0
+        for bit in range(self.width):
+            value |= ((self.value_cols[bit] >> index) & 1) << bit
+            xz |= ((self.xz_cols[bit] >> index) & 1) << bit
+        return LogicVector(width=self.width, value=value, xz_mask=xz)
+
+    def to_vectors(self) -> list[LogicVector]:
+        """Unpack every lane (inverse of :meth:`from_vectors`)."""
+        return [self.lane(index) for index in range(self.lanes)]
+
+    def unknown_lanes(self) -> int:
+        """Mask of lanes holding at least one ``x``/``z`` bit."""
+        mask = 0
+        for column in self.xz_cols:
+            mask |= column
+        return mask
+
+    def uniform_value(self) -> LogicVector | None:
+        """The shared scalar value if every lane is identical, else ``None``."""
+        full = self.lane_mask
+        value = 0
+        xz = 0
+        for bit in range(self.width):
+            v, x = self.value_cols[bit], self.xz_cols[bit]
+            if v not in (0, full) or x not in (0, full):
+                return None
+            value |= (1 if v else 0) << bit
+            xz |= (1 if x else 0) << bit
+        return LogicVector(width=self.width, value=value, xz_mask=xz)
+
+    # ------------------------------------------------------------------ manipulation
+    def resized(self, width: int) -> "BatchVector":
+        """Zero-extend or truncate every lane to ``width`` bits."""
+        if width == self.width:
+            return self
+        if width < self.width:
+            return BatchVector(
+                width=width,
+                lanes=self.lanes,
+                value_cols=self.value_cols[:width],
+                xz_cols=self.xz_cols[:width],
+            )
+        pad = (0,) * (width - self.width)
+        return BatchVector(
+            width=width,
+            lanes=self.lanes,
+            value_cols=self.value_cols + pad,
+            xz_cols=self.xz_cols + pad,
+        )
+
+    def select_lanes(self, mask: int, other: "BatchVector") -> "BatchVector":
+        """Per-lane merge: this value on lanes in ``mask``, ``other`` elsewhere.
+
+        Both operands must share width and lane count (resize first).
+        """
+        if other.width != self.width or other.lanes != self.lanes:
+            raise ValueError("select_lanes requires matching width and lane count")
+        keep = ~mask
+        value_cols = tuple(
+            (self.value_cols[bit] & mask) | (other.value_cols[bit] & keep) for bit in range(self.width)
+        )
+        xz_cols = tuple(
+            (self.xz_cols[bit] & mask) | (other.xz_cols[bit] & keep) for bit in range(self.width)
+        )
+        return BatchVector(width=self.width, lanes=self.lanes, value_cols=value_cols, xz_cols=xz_cols)
+
+    def slice(self, msb: int, lsb: int) -> "BatchVector":
+        """Bits ``[msb:lsb]`` of every lane (out-of-range bits become x)."""
+        if msb < lsb:
+            msb, lsb = lsb, msb
+        full = self.lane_mask
+        value_cols = []
+        xz_cols = []
+        for index in range(lsb, msb + 1):
+            if 0 <= index < self.width:
+                value_cols.append(self.value_cols[index])
+                xz_cols.append(self.xz_cols[index])
+            else:
+                value_cols.append(0)
+                xz_cols.append(full)
+        return BatchVector(
+            width=msb - lsb + 1, lanes=self.lanes, value_cols=tuple(value_cols), xz_cols=tuple(xz_cols)
+        )
+
+    def replaced(self, msb: int, lsb: int, replacement: "BatchVector", mask: int | None = None) -> "BatchVector":
+        """Copy with bits ``[msb:lsb]`` replaced by ``replacement`` on ``mask`` lanes."""
+        if msb < lsb:
+            msb, lsb = lsb, msb
+        if mask is None:
+            mask = self.lane_mask
+        replacement = replacement.resized(msb - lsb + 1)
+        value_cols = list(self.value_cols)
+        xz_cols = list(self.xz_cols)
+        for offset in range(replacement.width):
+            index = lsb + offset
+            if index < 0 or index >= self.width:
+                continue
+            keep = ~mask
+            value_cols[index] = (value_cols[index] & keep) | (replacement.value_cols[offset] & mask)
+            xz_cols[index] = (xz_cols[index] & keep) | (replacement.xz_cols[offset] & mask)
+        return BatchVector(width=self.width, lanes=self.lanes, value_cols=tuple(value_cols), xz_cols=tuple(xz_cols))
+
+    def concat(self, other: "BatchVector") -> "BatchVector":
+        """Per-lane ``{self, other}`` (self occupies the most-significant bits)."""
+        if other.lanes != self.lanes:
+            raise ValueError("concat requires matching lane counts")
+        return BatchVector(
+            width=self.width + other.width,
+            lanes=self.lanes,
+            value_cols=other.value_cols + self.value_cols,
+            xz_cols=other.xz_cols + self.xz_cols,
+        )
+
+    def __str__(self) -> str:
+        shown = ", ".join(str(self.lane(index)) for index in range(min(self.lanes, 4)))
+        more = f", ... {self.lanes - 4} more" if self.lanes > 4 else ""
+        return f"BatchVector[{shown}{more}]"
+
+
+def batch_concat_all(parts: Sequence[BatchVector]) -> BatchVector:
+    """Concatenate batch parts MSB-first (``parts[0]`` most significant)."""
     if not parts:
         raise ValueError("cannot concatenate an empty list")
     result = parts[0]

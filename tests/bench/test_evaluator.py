@@ -129,3 +129,67 @@ class TestEvaluator:
     def test_single_temperature_config_helper(self):
         config = EvaluationConfig(temperatures=(0.2, 0.5, 0.8))
         assert config.single_temperature().temperatures == (0.2,)
+
+    def test_batch_and_scalar_runners_agree(self, tiny_human_suite):
+        batched = EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,), use_batch_simulator=True)
+        scalar = EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,), use_batch_simulator=False)
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"])
+        fast = BenchmarkEvaluator(batched).evaluate(HaVenPipeline(backend, use_sicot=False), tiny_human_suite)
+        slow = BenchmarkEvaluator(scalar).evaluate(HaVenPipeline(backend, use_sicot=False), tiny_human_suite)
+        for fast_task, slow_task in zip(fast.task_results, slow.task_results):
+            assert fast_task.num_functional_passes == slow_task.num_functional_passes, fast_task.task_id
+            assert fast_task.num_syntax_passes == slow_task.num_syntax_passes
+
+    def test_differential_oracle_mode_runs_clean(self, tiny_human_suite):
+        config = EvaluationConfig(
+            num_samples=1, ks=(1,), temperatures=(0.2,), max_tasks=4, differential_oracle=True
+        )
+        evaluator = BenchmarkEvaluator(config)
+        result = evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
+        assert result.functional_pass_at_k()[1] == pytest.approx(1.0)
+
+
+class TestAggregationEdgeCases:
+    """SuiteResult aggregation over degenerate per-task shapes."""
+
+    def _result(self, counts, ks=(1, 5)):
+        from repro.bench.evaluator import SuiteResult, TaskResult
+
+        return SuiteResult(
+            suite_name="edge",
+            model_name="edge",
+            ks=ks,
+            task_results=[
+                TaskResult(
+                    task_id=f"t{i}",
+                    category=category,
+                    num_samples=n,
+                    num_functional_passes=c,
+                    num_syntax_passes=c,
+                    temperature=0.2,
+                )
+                for i, (n, c, category) in enumerate(counts)
+            ],
+        )
+
+    def test_k_exceeding_samples_does_not_raise(self):
+        result = self._result([(2, 1, "a"), (2, 2, "b")], ks=(1, 5))
+        values = result.functional_pass_at_k()
+        assert 0.0 <= values[1] <= values[5] <= 1.0
+
+    def test_zero_sample_tasks_do_not_poison_suite(self):
+        result = self._result([(0, 0, "a"), (10, 10, "b")])
+        assert result.functional_pass_at_k()[1] == pytest.approx(1.0)
+
+    def test_category_pass_at_1_with_zero_sample_category(self):
+        # A category whose only task drew zero samples reports 0.0, not a crash.
+        result = self._result([(0, 0, "empty"), (10, 5, "full")])
+        per_category = result.category_pass_at_1()
+        assert per_category["empty"] == 0.0
+        assert per_category["full"] == pytest.approx(0.5)
+
+    def test_empty_suite_aggregates_to_empty(self):
+        result = self._result([])
+        assert result.functional_pass_at_k() == {1: 0.0, 5: 0.0}
+        assert result.category_pass_at_1() == {}
+        assert result.by_category() == {}

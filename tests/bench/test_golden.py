@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench.golden import (
     ClockDividerGolden,
     CounterGolden,
@@ -13,6 +15,8 @@ from repro.bench.golden import (
     ShiftRegisterGolden,
     TableGolden,
     VectorFunctionGolden,
+    VerilogGolden,
+    batch_equivalence_check,
     exhaustive_vectors,
     random_vectors,
 )
@@ -108,6 +112,129 @@ class TestSequentialGoldens:
         assert wrapped.step({"rst_n": 1, "d": 5})["q"] == 5
         assert wrapped.step({"rst_n": 0, "d": 7})["q"] == 0
         assert wrapped.is_sequential
+
+
+class TestOutOfRangeInputsRejected:
+    """Regression: _mask-based stepping silently truncated oversized stimulus.
+
+    An out-of-range value means the harness drove the DUT and the golden model
+    with *different* stimuli; the goldens must fail loudly instead of scoring
+    against the truncation.
+    """
+
+    def test_register_rejects_oversized_data(self):
+        golden = RegisterGolden(width=4)
+        golden.reset()
+        with pytest.raises(ValueError, match="does not fit"):
+            golden.step({"rst": 0, "d": 16})
+        # In-range values still work, including the maximum.
+        assert golden.step({"rst": 0, "d": 15})["q"] == 15
+
+    def test_shift_register_rejects_wide_serial_bit(self):
+        golden = ShiftRegisterGolden(width=4)
+        golden.reset()
+        with pytest.raises(ValueError, match="din"):
+            golden.step({"rst": 0, "din": 2})
+
+    def test_sequence_detector_rejects_wide_serial_bit(self):
+        golden = SequenceDetectorGolden(pattern=(1, 0))
+        golden.reset()
+        with pytest.raises(ValueError, match="din"):
+            golden.step({"rst": 0, "din": 3})
+
+    def test_edge_detector_rejects_wide_input(self):
+        golden = EdgeDetectorGolden()
+        golden.reset()
+        with pytest.raises(ValueError, match="din"):
+            golden.step({"rst": 0, "din": 2})
+
+    def test_table_golden_rejects_multibit_input(self):
+        golden = TableGolden(["a", "b"], {3: 1})
+        with pytest.raises(ValueError, match="'a'"):
+            golden.eval({"a": 2, "b": 1})
+
+    def test_expression_golden_rejects_multibit_input(self):
+        golden = ExpressionGolden(And(Var("a"), Var("b")))
+        with pytest.raises(ValueError, match="does not fit"):
+            golden.eval({"a": 2, "b": 1})
+
+    def test_negative_values_rejected(self):
+        golden = RegisterGolden(width=4)
+        golden.reset()
+        with pytest.raises(ValueError, match="does not fit"):
+            golden.step({"rst": 0, "d": -1})
+
+
+class TestVerilogGolden:
+    ADDER = (
+        "module ref(input [3:0] a, input [3:0] b, output [3:0] sum, output cout);\n"
+        "    assign {cout, sum} = a + b;\n"
+        "endmodule\n"
+    )
+    COUNTER = (
+        "module ref(input clk, input rst, output reg [3:0] count);\n"
+        "    always @(posedge clk) begin\n"
+        "        if (rst) count <= 4'd0; else count <= count + 1'b1;\n"
+        "    end\n"
+        "endmodule\n"
+    )
+
+    def test_combinational_reference_as_golden(self):
+        golden = VerilogGolden(self.ADDER)
+        assert not golden.is_sequential
+        assert golden.eval({"a": 9, "b": 8}) == {"sum": 1, "cout": 1}
+
+    def test_sequential_reference_as_golden(self):
+        golden = VerilogGolden(self.COUNTER)
+        assert golden.is_sequential
+        golden.step({"rst": 1})
+        assert golden.step({"rst": 0})["count"] == 1
+        assert golden.step({"rst": 0})["count"] == 2
+        golden.reset()
+        golden.step({"rst": 1})
+        assert golden.step({"rst": 0})["count"] == 1
+
+    def test_undefined_outputs_are_omitted(self):
+        source = "module ref(input a, output y, output z); assign y = a; endmodule"
+        golden = VerilogGolden(source)
+        observed = golden.eval({"a": 1})
+        assert observed == {"y": 1}  # z never driven -> stays x -> unconstrained
+
+
+class TestBatchEquivalenceCheck:
+    REFERENCE = (
+        "module ref(input [3:0] a, input [3:0] b, output gt, output eq);\n"
+        "    assign gt = a > b;\n"
+        "    assign eq = a == b;\n"
+        "endmodule\n"
+    )
+
+    def test_equivalent_designs_report_no_mismatches(self):
+        dut = (
+            "module dut(input [3:0] a, input [3:0] b, output gt, output eq);\n"
+            "    assign eq = ~(a < b) & ~(a > b);\n"
+            "    assign gt = (a > b);\n"
+            "endmodule\n"
+        )
+        vectors = [{"a": a, "b": b} for a in range(8) for b in range(8)]
+        assert batch_equivalence_check(dut, self.REFERENCE, vectors) == []
+
+    def test_inequivalent_designs_report_mismatching_vectors(self):
+        dut = (
+            "module dut(input [3:0] a, input [3:0] b, output gt, output eq);\n"
+            "    assign gt = a >= b;\n"  # wrong on a == b
+            "    assign eq = a == b;\n"
+            "endmodule\n"
+        )
+        vectors = [{"a": a, "b": b} for a in range(4) for b in range(4)]
+        mismatched = batch_equivalence_check(dut, self.REFERENCE, vectors)
+        expected = [index for index, v in enumerate(vectors) if v["a"] == v["b"]]
+        assert mismatched == expected
+
+    def test_missing_output_counts_as_mismatch(self):
+        dut = "module dut(input [3:0] a, input [3:0] b, output gt); assign gt = a > b; endmodule"
+        vectors = [{"a": 1, "b": 2}]
+        assert batch_equivalence_check(dut, self.REFERENCE, vectors) == [0]
 
 
 class TestStimulusHelpers:

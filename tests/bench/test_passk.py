@@ -54,6 +54,43 @@ class TestPassAtK:
         assert percentages[1] == 25.0
 
 
+class TestAggregationEdgeCases:
+    """Degenerate shapes from partial/truncated runs must aggregate gracefully."""
+
+    def test_k_larger_than_num_samples_clamps_to_pass_at_n(self):
+        # A task with 2 samples scored at k=5 contributes its pass@2 estimate
+        # instead of raising (pass_at_k itself stays strict).
+        assert mean_pass_at_k([(2, 1)], 5) == pytest.approx(pass_at_k(2, 1, 2))
+        assert mean_pass_at_k([(2, 2)], 5) == pytest.approx(1.0)
+        assert mean_pass_at_k([(2, 0)], 5) == pytest.approx(0.0)
+
+    def test_mixed_sample_counts_blend_clamped_and_exact(self):
+        # (10, 5) is scored at the requested k=5; (3, 3) clamps to pass@3 = 1.0.
+        expected = (pass_at_k(10, 5, 5) + 1.0) / 2
+        assert mean_pass_at_k([(10, 5), (3, 3)], 5) == pytest.approx(expected)
+
+    def test_zero_sample_tasks_are_skipped(self):
+        assert mean_pass_at_k([(0, 0)], 1) == 0.0
+        assert mean_pass_at_k([(0, 0), (10, 10)], 1) == pytest.approx(1.0)
+
+    def test_all_zero_sample_tasks_yield_zero(self):
+        result = compute_pass_at_k([(0, 0), (0, 0)], ks=(1, 5))
+        assert result[1] == 0.0
+        assert result[5] == 0.0
+        assert result.num_problems == 2
+
+    def test_compute_pass_at_k_with_small_n(self):
+        result = compute_pass_at_k([(1, 1), (1, 0)], ks=(1, 5))
+        assert result[1] == pytest.approx(0.5)
+        assert result[5] == pytest.approx(0.5)
+
+    def test_strict_pass_at_k_still_raises(self):
+        with pytest.raises(ValueError):
+            pass_at_k(0, 0, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(2, 1, 5)
+
+
 @given(
     st.integers(min_value=1, max_value=20),
     st.data(),

@@ -132,3 +132,40 @@ class TestSuiteOperations:
         for task in build_rtllm(RTLLMConfig(num_tasks=3)):
             suite.add(task)
         assert len(suite) == 3
+
+
+class TestReferenceValidation:
+    """The suite builders' reference designs must pass their own testbenches.
+
+    Runs on small scaled suites via the batched runner with the differential
+    oracle on, so the batch engine is cross-checked against the scalar
+    simulator on real task families (combinational and sequential).
+    """
+
+    def test_verilogeval_references_self_consistent(self):
+        from repro.bench.verilogeval import validate_references
+
+        failures = validate_references(
+            SuiteConfig(num_tasks=10, seed=5), max_tasks=10, differential=True
+        )
+        assert failures == {}
+
+    def test_verilogeval_v2_references_self_consistent(self):
+        from repro.bench.verilogeval_v2 import validate_references
+
+        failures = validate_references(V2Config(num_tasks=8, seed=9), differential=True)
+        assert failures == {}
+
+    def test_rtllm_references_self_consistent(self):
+        from repro.bench.rtllm import validate_references
+
+        failures = validate_references(RTLLMConfig(num_tasks=12, seed=3), differential=True)
+        assert failures == {}
+
+    def test_scalar_and_batched_validation_agree(self):
+        from repro.bench.evaluator import check_reference_designs
+
+        suite = build_verilogeval_machine(SuiteConfig(num_tasks=8, seed=21))
+        batched = check_reference_designs(suite, use_batch=True)
+        scalar = check_reference_designs(suite, use_batch=False)
+        assert set(batched) == set(scalar) == set()
