@@ -1,16 +1,20 @@
 PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench bench-update perf-tests
+.PHONY: test test-fast coverage bench bench-update perf-tests formal
 
 # Functional suite only; the perf gate is machine-sensitive, run it via
 # `make bench` / `make perf-tests`.
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m "not perf"
 
-# Quick inner-loop run: unit/property suites only (skips the perf marker and
-# the paper-reproduction suites under benchmarks/).
+# Quick inner-loop run: unit/property suites only (skips the perf marker, the
+# slower formal SAT proofs and the paper-reproduction suites under benchmarks/).
 test-fast:
-	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m "not perf" tests
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m "not perf and not formal" tests
+
+# The slower SAT equivalence proofs only (also part of `make test` and CI).
+formal:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m formal
 
 # Line-coverage report over src/repro (uses the `coverage` package when
 # installed, a stdlib settrace collector otherwise).

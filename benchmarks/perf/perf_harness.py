@@ -18,6 +18,13 @@ Times the tracked hot paths and reports before/after numbers:
   the scalar oracle).
 * ``ldataset_quick_build`` — a quick-scale end-to-end L-dataset build, the
   workload every layer above the engine feeds into.
+* ``formal_eq``         — complete SAT equivalence proof of a 24-input
+  combinational miter (carry-select adder vs behavioural ``a + b``), where the
+  exhaustive ``2**24``-lane sweep is infeasible for the simulation engines; the
+  sampled 1024-lane batch sweep is recorded as the (incomplete) comparison
+  column.  Differential gates run before timing: the proof must be a real SAT
+  verdict, a mutated DUT must be refuted, and the refutation's counterexample
+  must replay as an actual mismatch on the batched simulator.
 
 ``collect_results`` returns the dict committed as ``BENCH_perf.json``; see
 ``run_perf.py`` for the CLI and the regression gate.
@@ -44,6 +51,7 @@ TRACKED = (
     ("qm_minimize_8var", "bitset_s"),
     ("batch_sim", "batch_s"),
     ("ldataset_quick_build", "seconds"),
+    ("formal_eq", "prove_s"),
 )
 
 #: Stimulus count for the batched functional-equivalence benchmark (the
@@ -246,6 +254,75 @@ def bench_batch_sim(repeat: int = 5) -> dict[str, float]:
     }
 
 
+#: 24 primary inputs: a carry-select adder vs the behavioural `a + b`.  The
+#: exhaustive sweep would need 2**24 (~16.7M) lanes — gated out of the
+#: simulation engines — while the SAT miter proves equivalence outright.
+FORMAL_EQ_INPUT_BITS = 24
+
+FORMAL_EQ_DUT = """
+module top_module(input [11:0] a, input [11:0] b, output [12:0] s);
+    wire [6:0] lo_sum;
+    wire [6:0] hi_sum0, hi_sum1;
+    assign lo_sum = a[5:0] + b[5:0];
+    assign hi_sum0 = a[11:6] + b[11:6];
+    assign hi_sum1 = a[11:6] + b[11:6] + 6'd1;
+    assign s = {(lo_sum[6] ? hi_sum1 : hi_sum0), lo_sum[5:0]};
+endmodule
+"""
+
+FORMAL_EQ_REFERENCE = """
+module top_module(input [11:0] a, input [11:0] b, output [12:0] s);
+    assign s = a + b;
+endmodule
+"""
+
+#: Lanes for the sampled-sweep comparison column (covers 1024 of the 2**24
+#: assignments — fast but incomplete, which is exactly the gap `formal_eq`
+#: closes).
+FORMAL_EQ_SWEEP_LANES = 1024
+
+
+def bench_formal_eq(repeat: int = 3) -> dict[str, float]:
+    """Complete SAT equivalence proof of a 24-input miter vs a sampled sweep."""
+    from repro.bench.golden import (
+        batch_equivalence_check,
+        batch_equivalence_mismatches,
+        random_vectors,
+    )
+    from repro.formal import prove_combinational_equivalence
+
+    # Differential gates before timing: the proof must go through the SAT
+    # engine (not a structural fold), a mutated DUT must be refuted, and its
+    # counterexample must replay as a real mismatch on the batched simulator.
+    proof = prove_combinational_equivalence(FORMAL_EQ_DUT, FORMAL_EQ_REFERENCE)
+    assert proof.equivalent and proof.method == "sat", (
+        "formal_eq workload no longer exercises the SAT engine"
+    )
+    buggy = FORMAL_EQ_DUT.replace("+ 6'd1", "+ 6'd2")
+    refutation = prove_combinational_equivalence(buggy, FORMAL_EQ_REFERENCE)
+    assert not refutation.equivalent
+    assert batch_equivalence_mismatches(
+        buggy, FORMAL_EQ_REFERENCE, [refutation.counterexample.inputs]
+    ), "SAT counterexample failed to replay on the batched simulator"
+
+    stimulus = random_vectors({"a": 12, "b": 12}, FORMAL_EQ_SWEEP_LANES, seed=5)
+    sweep_s = measure(
+        lambda: batch_equivalence_check(FORMAL_EQ_DUT, FORMAL_EQ_REFERENCE, stimulus),
+        repeat=repeat,
+    )
+    prove_s = measure(
+        lambda: prove_combinational_equivalence(FORMAL_EQ_DUT, FORMAL_EQ_REFERENCE),
+        repeat=repeat,
+    )
+    return {
+        "input_bits": float(FORMAL_EQ_INPUT_BITS),
+        "sweep_lanes": float(FORMAL_EQ_SWEEP_LANES),
+        "sampled_sweep_s": sweep_s,
+        "prove_s": prove_s,
+        "conflicts": float(proof.stats.conflicts),
+    }
+
+
 def bench_ldataset(repeat: int = 3) -> dict[str, float]:
     config = LDatasetConfig(num_concise=12, num_faithful=8, seed=7)
 
@@ -270,6 +347,7 @@ def collect_results(repeat: int = 5) -> dict:
             "qm_minimize_8var": bench_qm(repeat=repeat),
             "batch_sim": bench_batch_sim(repeat=repeat),
             "ldataset_quick_build": bench_ldataset(),
+            "formal_eq": bench_formal_eq(),
         },
     }
 

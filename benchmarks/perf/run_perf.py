@@ -41,6 +41,13 @@ def _render(results: dict) -> str:
         f"  ({int(bs['stimuli'])} stimuli)"
     )
     lines.append(f"ldataset_quick_build      {'-':<13} {ld['seconds']:<13.6f}")
+    fe = benches.get("formal_eq")
+    if fe is not None:
+        lines.append(
+            f"formal_eq                 {fe['sampled_sweep_s']:<13.6f} {fe['prove_s']:<13.6f} "
+            f"({int(fe['input_bits'])}-input miter: sampled {int(fe['sweep_lanes'])}-lane "
+            f"sweep vs complete SAT proof)"
+        )
     return "\n".join(lines)
 
 

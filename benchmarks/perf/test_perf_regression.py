@@ -23,7 +23,13 @@ from pathlib import Path
 
 import pytest
 
-from perf_harness import bench_batch_sim, bench_qm, bench_truth_table, regressions
+from perf_harness import (
+    bench_batch_sim,
+    bench_formal_eq,
+    bench_qm,
+    bench_truth_table,
+    regressions,
+)
 
 BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
 
@@ -35,6 +41,7 @@ def current():
             "truth_table_8var": bench_truth_table(repeat=3),
             "qm_minimize_8var": bench_qm(repeat=3),
             "batch_sim": bench_batch_sim(repeat=3),
+            "formal_eq": bench_formal_eq(repeat=3),
         }
     }
 
@@ -70,6 +77,18 @@ def test_batch_sim_speedup_holds(current):
     assert result["speedup"] >= 4.0, (
         f"batched equivalence checking only {result['speedup']:.1f}x faster than "
         f"the scalar per-vector loop at {int(result['stimuli'])} stimuli (need >=4x)"
+    )
+
+
+@pytest.mark.perf
+def test_formal_eq_proves_wide_miter(current):
+    result = current["benchmarks"]["formal_eq"]
+    assert result["input_bits"] >= 20, "formal_eq must prove a >=20-input miter"
+    # A complete proof of a space 16384x larger than the sampled sweep must
+    # stay within interactive budgets (the gate vs baseline bounds drift).
+    assert result["prove_s"] < 5.0, (
+        f"SAT proof of the {int(result['input_bits'])}-input miter took "
+        f"{result['prove_s']:.2f}s"
     )
 
 

@@ -40,6 +40,14 @@ class EvaluationConfig:
     use_batch_simulator: bool = True
     #: Re-check every batched run against the scalar oracle (slow; CI use).
     differential_oracle: bool = False
+    #: ``"simulation"`` scores with stimulus sweeps; ``"formal"`` upgrades
+    #: combinational tasks to complete SAT equivalence proofs against the
+    #: reference design (sequential tasks and unprovable constructs fall back
+    #: to the simulation path transparently).
+    mode: str = "simulation"
+    #: Conflict budget per SAT proof in formal mode (None = unbounded); an
+    #: exhausted budget falls back to the simulation path for that sample.
+    formal_conflict_limit: int | None = 50_000
 
     def single_temperature(self) -> "EvaluationConfig":
         """A copy that only evaluates the first temperature (for quick runs)."""
@@ -52,6 +60,8 @@ class EvaluationConfig:
             max_tasks=self.max_tasks,
             use_batch_simulator=self.use_batch_simulator,
             differential_oracle=self.differential_oracle,
+            mode=self.mode,
+            formal_conflict_limit=self.formal_conflict_limit,
         )
 
 
@@ -197,12 +207,7 @@ class BenchmarkEvaluator:
             if sample.code in checked:
                 check = checked[sample.code]
             else:
-                check = runner.run(
-                    sample.code,
-                    task.golden(),
-                    stimulus,
-                    check_outputs=task.check_outputs,
-                )
+                check = self._functional_check(runner, task, sample.code, stimulus)
                 checked[sample.code] = check
             if check.passed:
                 functional_passes += 1
@@ -216,6 +221,77 @@ class BenchmarkEvaluator:
             num_syntax_passes=syntax_passes,
             temperature=temperature,
             failure_examples=failures,
+        )
+
+    # ------------------------------------------------------------------ functional checks
+    def _functional_check(
+        self,
+        runner: BatchTestbenchRunner,
+        task: BenchmarkTask,
+        code: str,
+        stimulus: list[dict[str, int]],
+    ) -> TestbenchResult:
+        """Score one compiled sample: formal proof when configured, else sweep."""
+        if self.config.mode == "formal":
+            result = self._formal_check(task, code)
+            if result is not None:
+                return result
+        return runner.run(code, task.golden(), stimulus, check_outputs=task.check_outputs)
+
+    def _formal_check(self, task: BenchmarkTask, code: str) -> TestbenchResult | None:
+        """Complete SAT equivalence proof against the task's reference design.
+
+        Returns ``None`` (→ simulation fallback) for sequential tasks, designs
+        outside the provable subset, or an exhausted SAT conflict budget.
+        """
+        from ..formal import ConflictLimitExceeded, FormalEncodingError, FormalError
+        from ..verilog.errors import VerilogError
+        from .golden import formal_equivalence_check
+
+        if task.golden().is_sequential:
+            return None
+        try:
+            proof = formal_equivalence_check(
+                code,
+                task.reference_source,
+                outputs=task.check_outputs,
+                conflict_limit=self.config.formal_conflict_limit,
+            )
+        except (FormalEncodingError, ConflictLimitExceeded):
+            return None  # outside the provable subset / budget: simulate instead
+        except (FormalError, VerilogError) as exc:
+            return TestbenchResult(passed=False, error=str(exc))
+        if proof.equivalent:
+            return TestbenchResult(passed=True, total_checks=len(proof.checked_outputs))
+        counterexample = proof.counterexample
+        mismatches = []
+        if counterexample is not None:
+            from ..verilog.simulator.testbench import Mismatch
+
+            for name in counterexample.missing_outputs:
+                mismatches.append(
+                    Mismatch(
+                        step_index=0,
+                        output=name,
+                        expected=0,
+                        actual="<missing>",
+                        inputs=dict(counterexample.inputs),
+                    )
+                )
+            for step, name in counterexample.mismatching_outputs:
+                mismatches.append(
+                    Mismatch(
+                        step_index=step,
+                        output=name,
+                        expected=counterexample.reference_outputs[step][name],
+                        actual=str(counterexample.dut_outputs[step][name]),
+                        inputs=dict(counterexample.steps[step]),
+                    )
+                )
+        return TestbenchResult(
+            passed=False,
+            total_checks=len(proof.checked_outputs),
+            mismatches=mismatches,
         )
 
 

@@ -372,22 +372,89 @@ class VerilogGolden:
         self._simulator.clock_cycle(self.clock, dict(inputs))
         return self._observed()
 
+    def prove_equivalent(
+        self,
+        dut_source: str,
+        dut_module_name: str | None = None,
+        sequential_steps: int | None = None,
+        reset: str | None = None,
+        reset_active_low: bool = False,
+        conflict_limit: int | None = None,
+    ):
+        """SAT-prove a DUT equivalent to this golden reference design.
 
-def batch_equivalence_check(
+        Combinational references get a complete proof; sequential references
+        need ``sequential_steps`` (bounded equivalence from reset).  SAT
+        counterexamples are replayed on the simulators before being returned
+        (see :func:`formal_equivalence_check`).
+        """
+        if sequential_steps is None and self.is_sequential:
+            raise ValueError(
+                "sequential reference: pass sequential_steps for a bounded proof"
+            )
+        return formal_equivalence_check(
+            dut_source,
+            self.source,
+            outputs=list(self.outputs) if self.outputs is not None else None,
+            module_name=dut_module_name,
+            reference_module_name=self.module_name,
+            sequential_steps=sequential_steps,
+            clock=self.clock,
+            reset=reset,
+            reset_active_low=reset_active_low,
+            conflict_limit=conflict_limit,
+        )
+
+
+@dataclass
+class LaneMismatch:
+    """Structured counterexample for one mismatching stimulus lane.
+
+    Attributes:
+        lane: index of the stimulus vector in the sweep.
+        inputs: the full input assignment driven on that lane.
+        expected: reference value per mismatching output (defined outputs only).
+        actual: DUT value per mismatching output — an ``int`` when defined, the
+            Verilog literal string (e.g. ``"4'bxx10"``) when the DUT output has
+            ``x``/``z`` bits, absent when the output is missing entirely.
+        missing_outputs: checked outputs the DUT does not declare at all.
+    """
+
+    lane: int
+    inputs: dict[str, int]
+    expected: dict[str, int] = field(default_factory=dict)
+    actual: dict[str, int | str] = field(default_factory=dict)
+    missing_outputs: list[str] = field(default_factory=list)
+
+    @property
+    def has_missing_output(self) -> bool:
+        return bool(self.missing_outputs)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name} expected {self.expected[name]} got {self.actual.get(name, '<missing>')}"
+            for name in self.expected
+        ]
+        for name in self.missing_outputs:
+            parts.append(f"{name} missing from DUT")
+        return f"lane {self.lane} (inputs {self.inputs}): " + "; ".join(parts)
+
+
+def batch_equivalence_mismatches(
     dut_source: str,
     reference_source: str,
     input_vectors: Sequence[Mapping[str, int]],
     outputs: Sequence[str] | None = None,
     module_name: str | None = None,
     reference_module_name: str | None = None,
-) -> list[int]:
-    """Batched combinational equivalence sweep: DUT vs reference Verilog.
+) -> list[LaneMismatch]:
+    """Batched combinational equivalence sweep with structured counterexamples.
 
     Both designs are elaborated once and evaluated over every stimulus vector in
-    a single column-parallel pass.  Returns the indices of mismatching vectors
-    (empty list == equivalent on the sweep).  An output that is ``x``/``z`` in
-    the *reference* constrains nothing; an ``x``/``z`` DUT output mismatches any
-    defined reference value.
+    a single column-parallel pass.  Returns one :class:`LaneMismatch` per
+    mismatching vector, ordered by lane (empty list == equivalent on the
+    sweep).  An output that is ``x``/``z`` in the *reference* constrains
+    nothing; an ``x``/``z`` DUT output mismatches any defined reference value.
     """
     from ..verilog.simulator.batch import BatchSimulator
 
@@ -405,7 +472,15 @@ def batch_equivalence_check(
     dut.apply_inputs(inputs)
     reference.apply_inputs(dict(inputs))
     checked = list(outputs) if outputs is not None else reference.output_names()
-    mismatched: set[int] = set()
+    mismatches: dict[int, LaneMismatch] = {}
+
+    def lane_record(lane: int) -> LaneMismatch:
+        record = mismatches.get(lane)
+        if record is None:
+            record = LaneMismatch(lane=lane, inputs=dict(input_vectors[lane]))
+            mismatches[lane] = record
+        return record
+
     for name in checked:
         expected = reference.get(name)
         actual = dut.get(name) if name in dut.signals else None
@@ -414,14 +489,188 @@ def batch_equivalence_check(
             if expected_lane.has_unknown:
                 continue
             if actual is None:
-                mismatched.add(lane)
+                lane_record(lane).missing_outputs.append(name)
                 continue
             actual_lane = actual.lane(lane)
-            if actual_lane.has_unknown or actual_lane.to_int() != (
+            if actual_lane.has_unknown:
+                record = lane_record(lane)
+                record.expected[name] = expected_lane.to_int()
+                record.actual[name] = actual_lane.to_verilog_literal()
+            elif actual_lane.to_int() != (
                 expected_lane.to_int() & _mask(actual_lane.width)
             ):
-                mismatched.add(lane)
-    return sorted(mismatched)
+                record = lane_record(lane)
+                record.expected[name] = expected_lane.to_int()
+                record.actual[name] = actual_lane.to_int()
+    return [mismatches[lane] for lane in sorted(mismatches)]
+
+
+def batch_equivalence_check(
+    dut_source: str,
+    reference_source: str,
+    input_vectors: Sequence[Mapping[str, int]],
+    outputs: Sequence[str] | None = None,
+    module_name: str | None = None,
+    reference_module_name: str | None = None,
+) -> list[int]:
+    """Index-list view of :func:`batch_equivalence_mismatches` (legacy API).
+
+    Returns the indices of mismatching vectors (empty list == equivalent on
+    the sweep); use :func:`batch_equivalence_mismatches` for the input
+    assignment and expected/actual values behind each index.
+    """
+    return [
+        mismatch.lane
+        for mismatch in batch_equivalence_mismatches(
+            dut_source,
+            reference_source,
+            input_vectors,
+            outputs=outputs,
+            module_name=module_name,
+            reference_module_name=reference_module_name,
+        )
+    ]
+
+
+# --------------------------------------------------------------------------- formal equivalence
+def formal_equivalence_check(
+    dut_source: str,
+    reference_source: str,
+    outputs: Sequence[str] | None = None,
+    module_name: str | None = None,
+    reference_module_name: str | None = None,
+    sequential_steps: int | None = None,
+    clock: str = "clk",
+    reset: str | None = None,
+    reset_active_low: bool = False,
+    conflict_limit: int | None = None,
+    replay: bool = True,
+):
+    """SAT equivalence proof of DUT vs reference, with simulation replay.
+
+    The combinational form is a *complete* proof (every input assignment, not a
+    sampled sweep); pass ``sequential_steps=k`` for k-step bounded sequential
+    equivalence from the reset state.  When the proof fails, the SAT
+    counterexample is replayed on the simulation engines
+    (:func:`batch_equivalence_mismatches` for combinational designs, the scalar
+    simulator cycle-by-cycle for sequential ones) as a differential oracle: a
+    counterexample that does not reproduce as a real mismatch raises
+    ``FormalError`` instead of being reported.
+
+    Returns:
+        A :class:`repro.formal.EquivalenceResult`.
+
+    Raises:
+        repro.formal.FormalEncodingError: when a design falls outside the
+            provable subset — callers should fall back to simulation sweeps.
+    """
+    from ..formal import (
+        FormalError,
+        prove_combinational_equivalence,
+        prove_sequential_equivalence,
+    )
+
+    if sequential_steps is None:
+        result = prove_combinational_equivalence(
+            dut_source,
+            reference_source,
+            outputs=outputs,
+            module_name=module_name,
+            reference_module_name=reference_module_name,
+            conflict_limit=conflict_limit,
+        )
+    else:
+        result = prove_sequential_equivalence(
+            dut_source,
+            reference_source,
+            steps=sequential_steps,
+            clock=clock,
+            reset=reset,
+            reset_active_low=reset_active_low,
+            outputs=outputs,
+            module_name=module_name,
+            reference_module_name=reference_module_name,
+            conflict_limit=conflict_limit,
+        )
+    counterexample = result.counterexample
+    if not replay or result.equivalent or counterexample is None:
+        return result
+    if counterexample.missing_outputs:
+        return result  # nothing to replay: the DUT lacks the output entirely
+    if sequential_steps is None:
+        replayed = batch_equivalence_mismatches(
+            dut_source,
+            reference_source,
+            [counterexample.inputs],
+            outputs=result.checked_outputs,
+            module_name=module_name,
+            reference_module_name=reference_module_name,
+        )
+        if not replayed:
+            raise FormalError(
+                "SAT counterexample did not reproduce on the batched simulator: "
+                + counterexample.describe()
+            )
+    else:
+        if not _replay_sequential_counterexample(
+            dut_source,
+            reference_source,
+            counterexample.steps,
+            result.checked_outputs,
+            clock=clock,
+            reset=reset,
+            reset_active_low=reset_active_low,
+            module_name=module_name,
+            reference_module_name=reference_module_name,
+        ):
+            raise FormalError(
+                "SAT counterexample did not reproduce on the scalar simulator: "
+                + counterexample.describe()
+            )
+    return result
+
+
+def _replay_sequential_counterexample(
+    dut_source: str,
+    reference_source: str,
+    steps: Sequence[Mapping[str, int]],
+    checked_outputs: Sequence[str],
+    clock: str,
+    reset: str | None,
+    reset_active_low: bool,
+    module_name: str | None,
+    reference_module_name: str | None,
+) -> bool:
+    """Drive both designs cycle-by-cycle; ``True`` iff some output mismatches."""
+    from ..formal.cone import apply_reset_pulse
+    from ..verilog.simulator import ModuleSimulator
+
+    def prepared(source: str, name: str | None) -> ModuleSimulator:
+        # The same pulse the sequential unroller used to compute the initial
+        # state of the proof, so the replay starts from the proven state.
+        simulator = ModuleSimulator.from_source(source, name)
+        apply_reset_pulse(
+            simulator, clock=clock, reset=reset, reset_active_low=reset_active_low
+        )
+        return simulator
+
+    dut = prepared(dut_source, module_name)
+    reference = prepared(reference_source, reference_module_name)
+    for step_inputs in steps:
+        dut.clock_cycle(clock, dict(step_inputs))
+        reference.clock_cycle(clock, dict(step_inputs))
+        for name in checked_outputs:
+            expected = reference.get(name)
+            if expected.has_unknown:
+                continue
+            if name not in dut.signals:
+                return True
+            actual = dut.get(name)
+            if actual.has_unknown or actual.to_int() != (
+                expected.to_int() & _mask(actual.width)
+            ):
+                return True
+    return False
 
 
 # --------------------------------------------------------------------------- stimulus helpers

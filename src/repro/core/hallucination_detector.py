@@ -75,6 +75,7 @@ class HallucinationDetector:
         prompt: str,
         generated_code: str,
         functional_passed: bool | None = None,
+        counterexample: object | None = None,
     ) -> DetectionReport:
         """Classify defects in ``generated_code`` produced for ``prompt``.
 
@@ -83,9 +84,20 @@ class HallucinationDetector:
             generated_code: the Verilog emitted by the model.
             functional_passed: outcome of the functional check when known;
                 ``None`` means "not run".
+            counterexample: optional concrete failing assignment — a
+                :class:`repro.formal.Counterexample` (or anything with the same
+                ``inputs``/``dut_outputs``/``reference_outputs`` attributes).
+                Supplying one both marks the functional check as failed and
+                sharpens the symbolic-vs-logical subtype split: for truth-table
+                prompts, the mismatching row is looked up in the prompt's own
+                table to decide whether the table was *misread* (symbolic
+                subtype) or correctly read but wrongly *implemented* (logical
+                subtype).
         """
         requirements = self.extract_requirements(prompt)
         report = DetectionReport(requirements=requirements)
+        if counterexample is not None and functional_passed is None:
+            functional_passed = False
 
         compile_result = self.checker.check(generated_code)
         if not compile_result.ok:
@@ -121,7 +133,9 @@ class HallucinationDetector:
 
         # Behavioural mismatches: symbolic or logical depending on the prompt.
         if functional_passed is False and not report.records:
-            report.records.append(self._classify_functional_failure(requirements))
+            report.records.append(
+                self._classify_functional_failure(prompt, requirements, counterexample)
+            )
 
         return report
 
@@ -227,31 +241,129 @@ class HallucinationDetector:
                 )
         return None
 
-    def _classify_functional_failure(self, requirements: PromptRequirements) -> HallucinationRecord:
+    def _classify_functional_failure(
+        self,
+        prompt: str,
+        requirements: PromptRequirements,
+        counterexample: object | None = None,
+    ) -> HallucinationRecord:
+        evidence = self._counterexample_evidence(counterexample)
         if requirements.modality is SymbolicModality.STATE_DIAGRAM:
             return HallucinationRecord(
                 subtype=HallucinationSubtype.STATE_DIAGRAM_MISINTERPRETATION,
                 description="output mismatches the behaviour specified by the state diagram",
+                evidence=evidence,
             )
         if requirements.modality is SymbolicModality.WAVEFORM:
             return HallucinationRecord(
                 subtype=HallucinationSubtype.WAVEFORM_MISINTERPRETATION,
                 description="output mismatches the behaviour specified by the waveform chart",
+                evidence=evidence,
             )
         if requirements.modality is SymbolicModality.TRUTH_TABLE:
+            sharpened = self._classify_truth_table_failure(prompt, counterexample)
+            if sharpened is not None:
+                return sharpened
             return HallucinationRecord(
                 subtype=HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION,
                 description="output mismatches the behaviour specified by the truth table",
+                evidence=evidence,
             )
         if requirements.has_instructional_logic:
             return HallucinationRecord(
                 subtype=HallucinationSubtype.INSTRUCTIONAL_LOGIC_FAILURE,
                 description="generated logic does not follow the instruction's if/else structure",
+                evidence=evidence,
             )
         return HallucinationRecord(
             subtype=HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION,
             description="generated logic expression does not match the required behaviour",
+            evidence=evidence,
         )
+
+    # ------------------------------------------------------------------ counterexample support
+    def _counterexample_evidence(self, counterexample: object | None) -> str:
+        if counterexample is None:
+            return ""
+        describe = getattr(counterexample, "describe", None)
+        if callable(describe):
+            return str(describe())
+        return str(counterexample)
+
+    def _classify_truth_table_failure(
+        self, prompt: str, counterexample: object | None
+    ) -> HallucinationRecord | None:
+        """Sharpen the symbolic-vs-logical split using the failing assignment.
+
+        The counterexample row is looked up in the *prompt's own* truth table:
+
+        * the DUT value disagrees with the table's row → the model misread the
+          table (symbolic subtype, with the row as evidence);
+        * the DUT value *matches* the table but still fails the reference → the
+          table was interpreted correctly and the defect is in the surrounding
+          logic (logical subtype).
+
+        Returns ``None`` when no counterexample/table/row is available, leaving
+        the coarse modality-based classification in place.
+        """
+        from ..symbolic.truth_table import TruthTableError, parse_truth_table
+
+        inputs = getattr(counterexample, "inputs", None)
+        dut_outputs_steps = getattr(counterexample, "dut_outputs", None)
+        if not isinstance(inputs, dict) or not dut_outputs_steps:
+            return None
+        dut_outputs = dict(dut_outputs_steps[0])
+        # Judge only the outputs that actually failed the reference check:
+        # a correct (table-agreeing) sibling output must not short-circuit the
+        # classification of the genuinely mismatching one.
+        mismatching = getattr(counterexample, "mismatching_outputs", None)
+        if mismatching:
+            failing = {name for step, name in mismatching if step == 0}
+            if failing:
+                dut_outputs = {
+                    name: value for name, value in dut_outputs.items() if name in failing
+                }
+        try:
+            table = parse_truth_table(prompt)
+        except TruthTableError:
+            return None
+        if not set(table.inputs) <= set(inputs):
+            return None
+        assignment = {name: inputs[name] for name in table.inputs}
+        for output, actual in sorted(dut_outputs.items()):
+            column = output if output in table.outputs else None
+            if column is None and len(table.outputs) == 1:
+                column = table.outputs[0]
+            if column is None:
+                continue
+            expected = table.output_for(assignment, column)
+            if expected is None:
+                continue  # row not listed in a partial table
+            row_text = ", ".join(f"{name}={assignment[name]}" for name in table.inputs)
+            if int(actual) != expected:
+                return HallucinationRecord(
+                    subtype=HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION,
+                    description=(
+                        "generated code contradicts a row of the prompt's truth table"
+                    ),
+                    evidence=(
+                        f"table row ({row_text}) specifies {column}={expected}, "
+                        f"the generated code produces {actual}"
+                    ),
+                )
+            return HallucinationRecord(
+                subtype=HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION,
+                description=(
+                    "generated code follows the prompt's truth table on the failing "
+                    "row; the defect is in the surrounding logic, not the table "
+                    "interpretation"
+                ),
+                evidence=(
+                    f"table row ({row_text}) gives {column}={expected} and the "
+                    "generated code agrees, yet the reference check still fails"
+                ),
+            )
+        return None
 
     # ------------------------------------------------------------------ AST helpers
     def _declared_names(self, module: ast.Module) -> list[str]:
@@ -312,7 +424,12 @@ def _range_width(rng: ast.Range | None) -> int | None:
 
 
 def classify_generation(
-    prompt: str, generated_code: str, functional_passed: bool | None = None
+    prompt: str,
+    generated_code: str,
+    functional_passed: bool | None = None,
+    counterexample: object | None = None,
 ) -> DetectionReport:
     """Module-level convenience wrapper around :class:`HallucinationDetector`."""
-    return HallucinationDetector().classify(prompt, generated_code, functional_passed)
+    return HallucinationDetector().classify(
+        prompt, generated_code, functional_passed, counterexample=counterexample
+    )

@@ -1,0 +1,98 @@
+"""Tseitin transformation: AIG cones to CNF for the CDCL solver.
+
+The encoding is the textbook one: every AIG node in the cone of the requested
+roots becomes one CNF variable; an AND gate ``c = a & b`` contributes the three
+clauses ``(¬c ∨ a)``, ``(¬c ∨ b)`` and ``(c ∨ ¬a ∨ ¬b)``.  Only the cone of the
+roots is encoded, so proving one output of a large design never pays for the
+rest of the netlist.
+
+CNF literals use the DIMACS convention: variable ``v`` (1-based) appears as
+``+v`` or ``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .aig import AIG, FALSE, TRUE
+
+
+@dataclass
+class CNF:
+    """A CNF formula plus the bookkeeping to map models back onto the AIG.
+
+    Attributes:
+        num_vars: number of CNF variables (1-based, DIMACS style).
+        clauses: clauses as tuples of signed variable indices.
+        node_vars: AIG node index → CNF variable.
+        input_vars: AIG input name → CNF variable (inputs inside the cone only).
+    """
+
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+    node_vars: dict[int, int] = field(default_factory=dict)
+    input_vars: dict[str, int] = field(default_factory=dict)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add(self, *literals: int) -> None:
+        self.clauses.append(tuple(literals))
+
+    def to_dimacs(self) -> str:
+        """Render in DIMACS format (for debugging / external cross-checks)."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(literal) for literal in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def decode_inputs(self, model: Mapping[int, bool]) -> dict[str, int]:
+        """Extract a 0/1 assignment of the AIG input names from a SAT model."""
+        return {
+            name: 1 if model.get(var, False) else 0
+            for name, var in self.input_vars.items()
+        }
+
+
+def tseitin(aig: AIG, roots: Sequence[int]) -> tuple[CNF, list[int]]:
+    """Encode the cone of ``roots`` and return ``(cnf, root_cnf_literals)``.
+
+    The returned literals are the DIMACS literals equivalent to each root AIG
+    literal; constrain them (e.g. with a unit clause) to assert a root.
+    Constant roots map to a dedicated always-true variable so callers can
+    uniformly add unit clauses.
+    """
+    cnf = CNF()
+    const_var: int | None = None
+
+    def constant_var() -> int:
+        nonlocal const_var
+        if const_var is None:
+            const_var = cnf.new_var()
+            cnf.add(const_var)  # fixed true
+        return const_var
+
+    for node in aig.cone(roots):
+        var = cnf.new_var()
+        cnf.node_vars[node] = var
+        if aig.is_input(node):
+            cnf.input_vars[aig.input_name(node)] = var
+        else:
+            left, right = aig.fanin(node)
+            a = _cnf_literal(cnf, left, constant_var)
+            b = _cnf_literal(cnf, right, constant_var)
+            cnf.add(-var, a)
+            cnf.add(-var, b)
+            cnf.add(var, -a, -b)
+    root_literals = [_cnf_literal(cnf, literal, constant_var) for literal in roots]
+    return cnf, root_literals
+
+
+def _cnf_literal(cnf: CNF, aig_literal: int, constant_var) -> int:
+    if aig_literal in (TRUE, FALSE):
+        var = constant_var()
+        return var if aig_literal == TRUE else -var
+    var = cnf.node_vars[aig_literal >> 1]
+    return -var if aig_literal & 1 else var

@@ -1,0 +1,398 @@
+"""A pure-Python CDCL SAT solver.
+
+MiniSat-family architecture, sized for the equivalence miters the formal
+subsystem produces:
+
+* **two-watched-literal** propagation (clauses are only touched when one of
+  their two watched literals becomes false);
+* **first-UIP conflict analysis** with clause learning and non-chronological
+  backjumping;
+* **VSIDS-style decision heuristic** — per-variable activity bumped on every
+  conflict, geometrically decayed, served from a lazy max-heap — plus phase
+  saving;
+* **Luby restarts** to escape unlucky decision prefixes.
+
+The solver is deliberately dependency-free and deterministic: given the same
+clauses and assumptions it always returns the same model, which the test-suite
+relies on when replaying counterexamples through the simulators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .aig import FormalError
+from .cnf import CNF
+
+#: Sentinel for "variable unassigned" in the assignment array.
+UNASSIGNED = -1
+
+#: Conflicts before the first restart; subsequent restarts follow Luby * this.
+RESTART_BASE = 128
+
+
+class ConflictLimitExceeded(FormalError):
+    """The search hit its conflict budget before reaching a verdict.
+
+    A distinct type (rather than a bare ``RuntimeError``) so that callers
+    falling back to simulation on an exhausted budget cannot accidentally
+    swallow genuine engine defects.
+    """
+
+
+@dataclass
+class SatStats:
+    """Search statistics of one :meth:`SatSolver.solve` call."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT query."""
+
+    satisfiable: bool
+    model: dict[int, bool] = field(default_factory=dict)
+    stats: SatStats = field(default_factory=SatStats)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-based ``index``)."""
+    if index < 1:
+        raise ValueError("luby index is 1-based")
+    while True:
+        if (index + 1) & index == 0:  # index == 2**k - 1
+            return (index + 1) >> 1
+        index = index - (1 << (index.bit_length() - 1)) + 1
+
+
+class SatSolver:
+    """CDCL solver over DIMACS-style clauses (signed 1-based variables)."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assign: list[int] = []
+        self.level: list[int] = []
+        self.reason: list[int | None] = []
+        self.trail: list[int] = []
+        self.trail_limits: list[int] = []
+        self.qhead = 0
+        self.activity: list[float] = []
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.heap: list[tuple[float, int]] = []
+        self.saved_phase: list[bool] = []
+        self.unsat = False
+        self._pending_units: list[int] = []
+        self.ensure_vars(num_vars)
+
+    # ------------------------------------------------------------------ problem setup
+    def ensure_vars(self, num_vars: int) -> None:
+        while self.num_vars < num_vars:
+            self.assign.append(UNASSIGNED)
+            self.level.append(0)
+            self.reason.append(None)
+            self.activity.append(0.0)
+            self.saved_phase.append(False)
+            self.num_vars += 1
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Add a clause of signed DIMACS literals (0 is not a terminator here)."""
+        literals: list[int] = []
+        seen: set[int] = set()
+        for signed in clause:
+            if signed == 0:
+                raise ValueError("0 is not a valid literal")
+            var = abs(signed)
+            self.ensure_vars(var)
+            lit = (var - 1) << 1 | (1 if signed < 0 else 0)
+            if lit ^ 1 in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            literals.append(lit)
+        if not literals:
+            self.unsat = True
+            return
+        if len(literals) == 1:
+            self._pending_units.append(literals[0])
+            return
+        index = len(self.clauses)
+        self.clauses.append(literals)
+        self.watches.setdefault(literals[0], []).append(index)
+        self.watches.setdefault(literals[1], []).append(index)
+
+    @classmethod
+    def from_cnf(cls, cnf: CNF) -> "SatSolver":
+        solver = cls(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        return solver
+
+    # ------------------------------------------------------------------ assignment plumbing
+    def _lit_value(self, lit: int) -> int:
+        value = self.assign[lit >> 1]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int | None) -> None:
+        var = lit >> 1
+        self.assign[var] = 1 - (lit & 1)
+        self.level[var] = len(self.trail_limits)
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_limits)
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        limit = self.trail_limits[target_level]
+        for lit in self.trail[limit:]:
+            var = lit >> 1
+            self.saved_phase[var] = not (lit & 1)
+            self.assign[var] = UNASSIGNED
+            self.reason[var] = None
+            heapq.heappush(self.heap, (-self.activity[var], var))
+        del self.trail[limit:]
+        del self.trail_limits[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------ propagation
+    def _propagate(self, stats: SatStats) -> int | None:
+        """Unit propagation; returns a conflicting clause index or ``None``."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            stats.propagations += 1
+            false_lit = lit ^ 1
+            watchers = self.watches.get(false_lit)
+            if not watchers:
+                continue
+            self.watches[false_lit] = kept = []
+            position = 0
+            total = len(watchers)
+            while position < total:
+                index = watchers[position]
+                position += 1
+                clause = self.clauses[index]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first_value = self._lit_value(clause[0])
+                if first_value == 1:
+                    kept.append(index)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(index)
+                        break
+                else:
+                    kept.append(index)
+                    if first_value == 0:
+                        kept.extend(watchers[position:])
+                        return index
+                    self._enqueue(clause[0], index)
+        return None
+
+    # ------------------------------------------------------------------ conflict analysis
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for index in range(self.num_vars):
+                self.activity[index] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self.heap, (-self.activity[var], var))
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        """First-UIP learning: returns ``(learnt_clause, backjump_level)``.
+
+        ``learnt_clause[0]`` is the asserting literal.
+        """
+        current_level = self._decision_level()
+        learnt: list[int] = []
+        seen = [False] * self.num_vars
+        counter = 0
+        lit: int | None = None
+        clause = self.clauses[conflict_index]
+        index = len(self.trail) - 1
+        while True:
+            # For reason clauses the asserted literal sits at position 0 (the
+            # propagation and learning code maintain that invariant); the
+            # conflict clause on the first iteration is examined in full.
+            for position, q in enumerate(clause):
+                if lit is not None and position == 0:
+                    continue
+                var = q >> 1
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            seen[lit >> 1] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[lit >> 1]
+            assert reason is not None, "UIP search walked past a decision"
+            clause = self.clauses[reason]
+        learnt.insert(0, lit ^ 1)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest decision level in the clause.
+        levels = sorted((self.level[q >> 1] for q in learnt[1:]), reverse=True)
+        backjump = levels[0]
+        # Move a literal of the backjump level into the second watch position.
+        for position in range(1, len(learnt)):
+            if self.level[learnt[position] >> 1] == backjump:
+                learnt[1], learnt[position] = learnt[position], learnt[1]
+                break
+        return learnt, backjump
+
+    def _record_learnt(self, learnt: list[int], stats: SatStats) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        index = len(self.clauses)
+        self.clauses.append(learnt)
+        self.watches.setdefault(learnt[0], []).append(index)
+        self.watches.setdefault(learnt[1], []).append(index)
+        stats.learned_clauses += 1
+        self._enqueue(learnt[0], index)
+
+    # ------------------------------------------------------------------ decisions
+    def _decide(self) -> int | None:
+        while self.heap:
+            negative_activity, var = heapq.heappop(self.heap)
+            if self.assign[var] == UNASSIGNED and -negative_activity == self.activity[var]:
+                return var << 1 | (0 if self.saved_phase[var] else 1)
+        for var in range(self.num_vars):
+            if self.assign[var] == UNASSIGNED:
+                return var << 1 | (0 if self.saved_phase[var] else 1)
+        return None
+
+    # ------------------------------------------------------------------ main loop
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> SatResult:
+        """Solve under optional assumptions (signed DIMACS literals).
+
+        Raises:
+            ConflictLimitExceeded: when ``conflict_limit`` is exhausted (the
+                formal callers treat this as "unknown → fall back to
+                simulation").
+        """
+        stats = SatStats()
+        if self.unsat:
+            return SatResult(satisfiable=False, stats=stats)
+        self._backtrack(0)
+        for lit in self._pending_units:
+            if self._lit_value(lit) == 0:
+                return SatResult(satisfiable=False, stats=stats)
+            if self._lit_value(lit) == UNASSIGNED:
+                self._enqueue(lit, None)
+        self._pending_units.clear()
+        if self._propagate(stats) is not None:
+            self.unsat = True
+            return SatResult(satisfiable=False, stats=stats)
+
+        assumption_lits = []
+        for signed in assumptions:
+            var = abs(signed)
+            self.ensure_vars(var)
+            assumption_lits.append((var - 1) << 1 | (1 if signed < 0 else 0))
+
+        restart_count = 0
+        conflicts_until_restart = RESTART_BASE * luby(1)
+        while True:
+            conflict = self._propagate(stats)
+            if conflict is not None:
+                stats.conflicts += 1
+                if self._decision_level() == 0:
+                    self.unsat = True
+                    return SatResult(satisfiable=False, stats=stats)
+                if self._decision_level() <= len(assumption_lits):
+                    # Conflict inside the assumption prefix: UNSAT under them.
+                    self._backtrack(0)
+                    return SatResult(satisfiable=False, stats=stats)
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(max(backjump, 0))
+                self._record_learnt(learnt, stats)
+                self.var_inc /= self.var_decay
+                conflicts_until_restart -= 1
+                if conflict_limit is not None and stats.conflicts >= conflict_limit:
+                    self._backtrack(0)
+                    raise ConflictLimitExceeded(
+                        f"SAT search exceeded the conflict limit ({conflict_limit})"
+                    )
+                continue
+            if conflicts_until_restart <= 0 and self._decision_level() > len(assumption_lits):
+                stats.restarts += 1
+                restart_count += 1
+                conflicts_until_restart = RESTART_BASE * luby(restart_count + 1)
+                self._backtrack(len(assumption_lits))
+                continue
+            # Assumption decisions first, then heuristic decisions.
+            if self._decision_level() < len(assumption_lits):
+                lit = assumption_lits[self._decision_level()]
+                value = self._lit_value(lit)
+                if value == 0:
+                    self._backtrack(0)
+                    return SatResult(satisfiable=False, stats=stats)
+                self.trail_limits.append(len(self.trail))
+                if value == UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+            lit = self._decide()
+            if lit is None:
+                model = {
+                    var + 1: bool(self.assign[var]) for var in range(self.num_vars)
+                }
+                self._backtrack(0)
+                return SatResult(satisfiable=True, model=model, stats=stats)
+            stats.decisions += 1
+            self.trail_limits.append(len(self.trail))
+            self._enqueue(lit, None)
+
+
+def solve_cnf(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    conflict_limit: int | None = None,
+) -> SatResult:
+    """One-shot convenience: build a solver for ``cnf`` and solve."""
+    return SatSolver.from_cnf(cnf).solve(
+        assumptions=assumptions, conflict_limit=conflict_limit
+    )
+
+
+def check_model(clauses: Sequence[Sequence[int]], model: Mapping[int, bool]) -> bool:
+    """Verify a model satisfies every clause (used by tests as a sanity oracle)."""
+    for clause in clauses:
+        if not any(
+            model.get(abs(signed), False) == (signed > 0) for signed in clause
+        ):
+            return False
+    return True

@@ -69,11 +69,33 @@ class BoolExpr:
 
         return BitTable.from_expr(self).minterms()
 
-    def equivalent_to(self, other: "BoolExpr") -> bool:
-        """Exhaustively check logical equivalence over the union of variables."""
+    #: Variable count above which :meth:`equivalent_to` switches from the
+    #: bit-table sweep (O(2**n) bits of memory per compile) to a SAT proof.
+    SAT_EQUIVALENCE_THRESHOLD = 16
+
+    def equivalent_to(self, other: "BoolExpr", method: str = "auto") -> bool:
+        """Check logical equivalence over the union of variables.
+
+        Args:
+            other: expression to compare against.
+            method: ``"table"`` forces the exhaustive bit-parallel sweep,
+                ``"sat"`` forces a SAT proof on the miter of the two
+                expressions, and ``"auto"`` (default) picks the table up to
+                :data:`SAT_EQUIVALENCE_THRESHOLD` variables and SAT beyond —
+                the sweep is unbeatable in its 2**n sweet spot while the SAT
+                proof scales with expression structure instead.
+        """
+        names = tuple(sorted(set(self.variables()) | set(other.variables())))
+        if method not in ("auto", "table", "sat"):
+            raise ValueError(f"unknown equivalence method {method!r}")
+        if method == "sat" or (
+            method == "auto" and len(names) > self.SAT_EQUIVALENCE_THRESHOLD
+        ):
+            from ..formal import prove_expr_equivalence
+
+            return prove_expr_equivalence(self, other).equivalent
         from .bittable import BitTable
 
-        names = tuple(sorted(set(self.variables()) | set(other.variables())))
         left = BitTable.from_expr(self, variables=names)
         right = BitTable.from_expr(other, variables=names)
         return left.bits == right.bits

@@ -183,12 +183,34 @@ def minimize_minterms(variables: Sequence[str], minterms: Sequence[int]) -> Bool
     return or_all([implicant.to_expr(variables) for implicant in cover])
 
 
-def minimize_expression(expression: BoolExpr) -> BoolExpr:
-    """Minimise an arbitrary boolean expression into a compact sum of products."""
+def minimize_expression(expression: BoolExpr, verify: bool = False) -> BoolExpr:
+    """Minimise an arbitrary boolean expression into a compact sum of products.
+
+    Args:
+        expression: expression to minimise.
+        verify: cross-check that the minimised form is logically equivalent to
+            the input before returning it.  The check goes through
+            :meth:`BoolExpr.equivalent_to`, i.e. the bit-table sweep in its
+            sweet spot and a SAT proof beyond
+            :data:`BoolExpr.SAT_EQUIVALENCE_THRESHOLD` variables.
+
+    Raises:
+        MinimizationError: when ``verify`` is set and the cover is wrong (an
+            engine bug — the exact QM cover must preserve the function).
+    """
     variables = expression.variables()
     if not variables:
         return expression
-    return minimize_minterms(variables, expression.minterms())
+    minimised = minimize_minterms(variables, expression.minterms())
+    if verify and not expression.equivalent_to(minimised):
+        raise MinimizationError(
+            "minimised cover is not equivalent to the input expression"
+        )
+    return minimised
+
+
+class MinimizationError(AssertionError):
+    """A verified minimisation produced a non-equivalent cover (engine bug)."""
 
 
 def literal_cost(expression: BoolExpr) -> int:

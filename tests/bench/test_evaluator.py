@@ -193,3 +193,56 @@ class TestAggregationEdgeCases:
         assert result.functional_pass_at_k() == {1: 0.0, 5: 0.0}
         assert result.category_pass_at_1() == {}
         assert result.by_category() == {}
+
+
+class TestFormalMode:
+    """mode="formal": combinational tasks get complete SAT proofs."""
+
+    def _suite(self):
+        from repro.bench.verilogeval import SuiteConfig, build_verilogeval_human
+
+        return build_verilogeval_human(SuiteConfig(num_tasks=6))
+
+    def test_perfect_backend_proves_equivalent(self):
+        config = EvaluationConfig(
+            num_samples=1, ks=(1,), temperatures=(0.2,), mode="formal"
+        )
+        result = BenchmarkEvaluator(config).evaluate(
+            HaVenPipeline(PerfectBackend(), use_sicot=False), self._suite()
+        )
+        assert result.functional_pass_at_k()[1] == pytest.approx(1.0)
+
+    def test_wrong_backend_fails_with_counterexample_mismatches(self):
+        config = EvaluationConfig(
+            num_samples=1, ks=(1,), temperatures=(0.2,), mode="formal"
+        )
+        result = BenchmarkEvaluator(config).evaluate(
+            HaVenPipeline(WrongButCompilingBackend(), use_sicot=False), self._suite()
+        )
+        assert result.functional_pass_at_k()[1] < 0.3
+        # Failures must carry concrete evidence (formal counterexamples for
+        # combinational tasks, simulation mismatches for sequential ones).
+        failing = [r for r in result.task_results if not r.passed_at_least_once]
+        assert failing
+        assert any("expected" in example for r in failing for example in r.failure_examples)
+
+    def test_formal_and_simulation_modes_agree(self):
+        formal_config = EvaluationConfig(
+            num_samples=1, ks=(1,), temperatures=(0.2,), mode="formal"
+        )
+        simulation_config = EvaluationConfig(
+            num_samples=1, ks=(1,), temperatures=(0.2,), mode="simulation"
+        )
+        suite = self._suite()
+        for backend in (PerfectBackend(), WrongButCompilingBackend()):
+            formal = BenchmarkEvaluator(formal_config).evaluate(
+                HaVenPipeline(backend, use_sicot=False), suite
+            )
+            simulated = BenchmarkEvaluator(simulation_config).evaluate(
+                HaVenPipeline(backend, use_sicot=False), suite
+            )
+            formal_verdicts = {r.task_id: r.passed_at_least_once for r in formal.task_results}
+            simulated_verdicts = {
+                r.task_id: r.passed_at_least_once for r in simulated.task_results
+            }
+            assert formal_verdicts == simulated_verdicts

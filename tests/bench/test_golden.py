@@ -237,6 +237,78 @@ class TestBatchEquivalenceCheck:
         assert batch_equivalence_check(dut, self.REFERENCE, vectors) == [0]
 
 
+class TestBatchEquivalenceMismatches:
+    """Regression tests for the structured counterexample records.
+
+    ``batch_equivalence_check`` used to return bare lane indices and fold
+    "DUT output missing" into generic lane mismatches; the structured API
+    exposes the stimulus, the expected/actual values and the missing-output
+    flag, with the index list kept as a thin wrapper over it.
+    """
+
+    REFERENCE = TestBatchEquivalenceCheck.REFERENCE
+
+    def test_records_carry_inputs_and_values(self):
+        from repro.bench.golden import batch_equivalence_mismatches
+
+        dut = (
+            "module dut(input [3:0] a, input [3:0] b, output gt, output eq);\n"
+            "    assign gt = a >= b;\n"  # wrong exactly when a == b
+            "    assign eq = a == b;\n"
+            "endmodule\n"
+        )
+        vectors = [{"a": a, "b": b} for a in range(4) for b in range(4)]
+        mismatches = batch_equivalence_mismatches(dut, self.REFERENCE, vectors)
+        assert mismatches, "expected mismatching lanes"
+        for mismatch in mismatches:
+            assert mismatch.inputs == vectors[mismatch.lane]
+            assert mismatch.inputs["a"] == mismatch.inputs["b"]
+            assert mismatch.expected == {"gt": 0}
+            assert mismatch.actual == {"gt": 1}
+            assert not mismatch.has_missing_output
+            assert "gt expected 0 got 1" in str(mismatch)
+
+    def test_missing_output_is_flagged_not_folded(self):
+        from repro.bench.golden import batch_equivalence_mismatches
+
+        dut = "module dut(input [3:0] a, input [3:0] b, output gt); assign gt = a > b; endmodule"
+        vectors = [{"a": 1, "b": 2}]
+        (mismatch,) = batch_equivalence_mismatches(dut, self.REFERENCE, vectors)
+        assert mismatch.lane == 0
+        assert mismatch.missing_outputs == ["eq"]
+        assert mismatch.has_missing_output
+        assert "eq missing from DUT" in str(mismatch)
+        # The correctly-driven output is not reported as mismatching.
+        assert "gt" not in mismatch.expected
+
+    def test_xz_dut_output_reported_as_literal(self):
+        from repro.bench.golden import batch_equivalence_mismatches
+
+        dut = (
+            "module dut(input [3:0] a, input [3:0] b, output gt, output eq);\n"
+            "    assign gt = a > b;\n"
+            "    assign eq = 1'bx;\n"
+            "endmodule\n"
+        )
+        vectors = [{"a": 2, "b": 2}]
+        (mismatch,) = batch_equivalence_mismatches(dut, self.REFERENCE, vectors)
+        assert mismatch.expected == {"eq": 1}
+        assert mismatch.actual == {"eq": "1'bx"}
+
+    def test_index_list_api_is_a_thin_wrapper(self):
+        from repro.bench.golden import batch_equivalence_mismatches
+
+        dut = (
+            "module dut(input [3:0] a, input [3:0] b, output gt, output eq);\n"
+            "    assign gt = a >= b;\n"
+            "    assign eq = a == b;\n"
+            "endmodule\n"
+        )
+        vectors = [{"a": a, "b": b} for a in range(4) for b in range(4)]
+        lanes = [m.lane for m in batch_equivalence_mismatches(dut, self.REFERENCE, vectors)]
+        assert batch_equivalence_check(dut, self.REFERENCE, vectors) == lanes
+
+
 class TestStimulusHelpers:
     def test_random_vectors_deterministic(self):
         first = random_vectors({"a": 4, "b": 2}, 10, seed=3)

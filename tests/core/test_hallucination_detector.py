@@ -127,3 +127,94 @@ class TestStructuralChecks:
     def test_module_level_convenience(self, broken_source):
         report = classify_generation("Implement a 4-bit adder.", broken_source)
         assert not report.is_clean
+
+
+class TestCounterexampleSharpening:
+    """Formal counterexamples sharpen the symbolic-vs-logical subtype split."""
+
+    TABLE_PROMPT = (
+        "Implement the module described by this truth table:\n\n"
+        "a | b | out\n"
+        "0 | 0 | 0\n"
+        "0 | 1 | 1\n"
+        "1 | 0 | 1\n"
+        "1 | 1 | 0\n"
+    )
+    XOR = "module top_module(input a, input b, output out); assign out = a ^ b; endmodule"
+    AND = "module top_module(input a, input b, output out); assign out = a & b; endmodule"
+    OR = "module top_module(input a, input b, output out); assign out = a | b; endmodule"
+
+    def _counterexample(self, dut: str, reference: str):
+        from repro.formal import prove_combinational_equivalence
+
+        result = prove_combinational_equivalence(dut, reference)
+        assert not result.equivalent
+        return result.counterexample
+
+    def test_counterexample_implies_functional_failure(self):
+        counterexample = self._counterexample(self.AND, self.XOR)
+        report = classify_generation(
+            self.TABLE_PROMPT, self.AND, counterexample=counterexample
+        )
+        assert not report.is_clean  # functional_passed=None is upgraded to False
+
+    def test_table_contradiction_is_symbolic_subtype(self):
+        counterexample = self._counterexample(self.AND, self.XOR)
+        report = classify_generation(
+            self.TABLE_PROMPT, self.AND, False, counterexample=counterexample
+        )
+        assert report.primary.subtype is HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION
+        assert "table row" in report.primary.evidence
+        assert "out=" in report.primary.evidence
+
+    def test_table_agreement_reclassifies_as_logical(self):
+        # The DUT follows the prompt's table on the failing row (it IS the xor),
+        # but the reference disagrees: the table was read correctly, so the
+        # defect is logical, not a misinterpretation of the symbol.
+        counterexample = self._counterexample(self.XOR, self.OR)
+        report = classify_generation(
+            self.TABLE_PROMPT, self.XOR, False, counterexample=counterexample
+        )
+        assert report.primary.subtype is HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION
+        assert "agrees" in report.primary.evidence
+
+    def test_counterexample_evidence_without_modality(self):
+        prompt = "Implement out = a XOR b."
+        counterexample = self._counterexample(self.AND, self.XOR)
+        report = classify_generation(prompt, self.AND, False, counterexample=counterexample)
+        assert report.primary.subtype is HallucinationSubtype.INCORRECT_LOGICAL_EXPRESSION
+        assert "expected" in report.primary.evidence
+
+    def test_classification_without_counterexample_unchanged(self):
+        report = classify_generation(self.TABLE_PROMPT, self.AND, False)
+        assert report.primary.subtype is HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION
+        assert report.primary.evidence == ""
+
+    def test_multi_output_sharpening_judges_only_failing_outputs(self):
+        # A correct sibling output (out1) must not short-circuit classification
+        # of the genuinely failing one (out2): the table-misread verdict wins.
+        prompt = (
+            "Implement the module described by this truth table:\n\n"
+            "a | b | out1 | out2\n"
+            "0 | 0 | 0 | 0\n"
+            "0 | 1 | 0 | 1\n"
+            "1 | 0 | 0 | 1\n"
+            "1 | 1 | 1 | 0\n"
+        )
+        reference = (
+            "module top_module(input a, input b, output out1, output out2);\n"
+            "    assign out1 = a & b;\n"
+            "    assign out2 = a ^ b;\n"
+            "endmodule\n"
+        )
+        dut = (
+            "module top_module(input a, input b, output out1, output out2);\n"
+            "    assign out1 = a & b;\n"  # correct, agrees with the table
+            "    assign out2 = a | b;\n"  # misreads the out2 column
+            "endmodule\n"
+        )
+        counterexample = self._counterexample(dut, reference)
+        assert [name for _, name in counterexample.mismatching_outputs] == ["out2"]
+        report = classify_generation(prompt, dut, False, counterexample=counterexample)
+        assert report.primary.subtype is HallucinationSubtype.TRUTH_TABLE_MISINTERPRETATION
+        assert "out2=" in report.primary.evidence

@@ -1,0 +1,180 @@
+"""Tests for the AIG netlist substrate and the logic-layer encoders."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.formal.aig import AIG, FALSE, TRUE, FormalEncodingError, SymVector, concat_sym, negate
+from repro.formal.encode import bittable_to_aig, expr_to_aig
+from repro.logic.bittable import BitTable
+from repro.logic.expr import And, BoolExpr, Const, Not, Or, RandomExpressionGenerator, Var, Xor
+
+
+class TestAIGBasics:
+    def test_constants(self):
+        aig = AIG()
+        assert aig.const(0) == FALSE
+        assert aig.const(1) == TRUE
+        assert negate(FALSE) == TRUE
+
+    def test_and_folding(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.AND(a, FALSE) == FALSE
+        assert aig.AND(a, TRUE) == a
+        assert aig.AND(a, a) == a
+        assert aig.AND(a, negate(a)) == FALSE
+
+    def test_hash_consing_shares_structure(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        first = aig.AND(a, b)
+        second = aig.AND(b, a)  # operand order is normalised
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_duplicate_input_rejected(self):
+        aig = AIG()
+        aig.add_input("a")
+        with pytest.raises(ValueError):
+            aig.add_input("a")
+
+    def test_mux_folds_on_constant_select(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        assert aig.MUX(TRUE, a, b) == a
+        assert aig.MUX(FALSE, a, b) == b
+        assert aig.MUX(a, b, b) == b
+
+    def test_or_all_and_all_empty(self):
+        aig = AIG()
+        assert aig.and_all([]) == TRUE
+        assert aig.or_all([]) == FALSE
+
+    def test_evaluate_truth_table(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        xor = aig.XOR(a, b)
+        for va, vb in itertools.product((0, 1), repeat=2):
+            assert aig.evaluate([xor], {"a": va, "b": vb}) == [va ^ vb]
+
+    def test_support_and_cone(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.add_input("unused")
+        root = aig.OR(a, b)
+        assert aig.support([root]) == {"a", "b"}
+        cone = aig.cone([root])
+        # Topological order: fanins appear before the gates using them.
+        positions = {node: index for index, node in enumerate(cone)}
+        for node in cone:
+            if not aig.is_input(node):
+                left, right = aig.fanin(node)
+                assert positions[left >> 1] < positions[node]
+                assert positions[right >> 1] < positions[node]
+
+
+class TestSymVector:
+    def test_constant_roundtrip(self):
+        vector = SymVector.constant(0b1011, 6)
+        assert vector.width == 6
+        assert vector.constant_value() == 0b1011
+
+    def test_resize_and_slice(self):
+        vector = SymVector.constant(0b1011, 4)
+        assert vector.resized(2).constant_value() == 0b11
+        assert vector.resized(6).constant_value() == 0b1011
+        assert vector.slice(3, 2).constant_value() == 0b10
+
+    def test_concat_is_msb_first(self):
+        high = SymVector.constant(0b10, 2)
+        low = SymVector.constant(0b01, 2)
+        assert concat_sym([high, low]).constant_value() == 0b1001
+
+    def test_non_constant_value_is_none(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert SymVector((a, TRUE)).constant_value() is None
+
+
+class TestExprEncoding:
+    def test_matches_legacy_evaluate(self):
+        generator = RandomExpressionGenerator(seed=5)
+        names = ["a", "b", "c", "d"]
+        for _ in range(25):
+            expression = generator.generate(names, max_depth=4)
+            aig = AIG()
+            inputs = {name: aig.add_input(name) for name in names}
+            literal = expr_to_aig(expression, aig, inputs)
+            for bits in itertools.product((0, 1), repeat=len(names)):
+                assignment = dict(zip(names, bits))
+                assert aig.evaluate([literal], assignment) == [
+                    expression.evaluate(assignment)
+                ]
+
+    def test_missing_variable_raises(self):
+        aig = AIG()
+        with pytest.raises(FormalEncodingError):
+            expr_to_aig(Var("ghost"), aig, {})
+
+    def test_unknown_subclass_raises(self):
+        class Custom(BoolExpr):
+            def evaluate(self, assignment):
+                return 1
+
+            def _collect_variables(self, accumulator):
+                return None
+
+        aig = AIG()
+        with pytest.raises(FormalEncodingError):
+            expr_to_aig(Custom(), aig, {})
+
+    def test_constants_fold(self):
+        aig = AIG()
+        assert expr_to_aig(Const(1), aig, {}) == TRUE
+        assert expr_to_aig(Not(Const(1)), aig, {}) == FALSE
+        assert (
+            expr_to_aig(Or(Const(0), And(Const(1), Const(1))), aig, {}) == TRUE
+        )
+
+
+class TestBitTableEncoding:
+    def test_matches_table_rows(self):
+        rng = random.Random(17)
+        for _ in range(20):
+            width = rng.randrange(1, 6)
+            names = [f"v{i}" for i in range(width)]
+            table = BitTable(names, rng.randrange(1 << (1 << width)))
+            aig = AIG()
+            inputs = {name: aig.add_input(name) for name in names}
+            literal = bittable_to_aig(table, aig, inputs)
+            for bits in itertools.product((0, 1), repeat=width):
+                assignment = dict(zip(names, bits))
+                assert aig.evaluate([literal], assignment) == [
+                    table.evaluate(assignment)
+                ]
+
+    def test_agrees_with_expr_encoding(self):
+        expression = Xor(And(Var("a"), Var("b")), Or(Var("c"), Not(Var("a"))))
+        table = BitTable.from_expr(expression)
+        aig = AIG()
+        inputs = {name: aig.add_input(name) for name in table.names}
+        from_table = bittable_to_aig(table, aig, inputs)
+        from_expr = expr_to_aig(expression, aig, inputs)
+        miter = aig.XOR(from_table, from_expr)
+        for bits in itertools.product((0, 1), repeat=len(table.names)):
+            assignment = dict(zip(table.names, bits))
+            assert aig.evaluate([miter], assignment) == [0]
+
+    def test_constant_tables(self):
+        aig = AIG()
+        inputs = {"a": aig.add_input("a")}
+        assert bittable_to_aig(BitTable(["a"], 0), aig, inputs) == FALSE
+        assert bittable_to_aig(BitTable(["a"], 0b11), aig, inputs) == TRUE

@@ -1,0 +1,217 @@
+"""Tests for the CDCL SAT solver: unit cases, classics and a brute-force oracle."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.formal.aig import AIG
+from repro.formal.cnf import tseitin
+from repro.formal.sat import ConflictLimitExceeded, SatSolver, check_model, luby, solve_cnf
+
+
+def brute_force_satisfiable(clauses: list[list[int]], num_vars: int) -> bool:
+    for assignment in range(1 << num_vars):
+        model = {var + 1: bool((assignment >> var) & 1) for var in range(num_vars)}
+        if check_model(clauses, model):
+            return True
+    return False
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestSolverBasics:
+    def test_trivial_sat(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve()
+        assert result.satisfiable
+        assert check_model([[1, 2]], result.model)
+
+    def test_unit_propagation_chain(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[1] and result.model[2] and result.model[3]
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([])
+        assert not solver.solve().satisfiable
+
+    def test_contradicting_units(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve().satisfiable
+
+    def test_tautology_is_dropped(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve().satisfiable
+
+    def test_all_binary_unsat(self):
+        solver = SatSolver()
+        for clause in ([1, 2], [-1, 2], [1, -2], [-1, -2]):
+            solver.add_clause(clause)
+        assert not solver.solve().satisfiable
+
+    def test_zero_literal_rejected(self):
+        solver = SatSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1])
+        assert result.satisfiable
+        assert not result.model[1] and result.model[2]
+
+    def test_unsat_under_assumptions_only(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert not solver.solve(assumptions=[-1, -2]).satisfiable
+        # The problem itself stays satisfiable afterwards.
+        assert solver.solve().satisfiable
+
+    def test_conflicting_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert not solver.solve(assumptions=[1, -1]).satisfiable
+
+
+class TestClassics:
+    def test_pigeonhole_4_into_3_unsat(self):
+        solver = SatSolver()
+
+        def var(pigeon: int, hole: int) -> int:
+            return pigeon * 3 + hole + 1
+
+        for pigeon in range(4):
+            solver.add_clause([var(pigeon, hole) for hole in range(3)])
+        for hole in range(3):
+            for p1, p2 in itertools.combinations(range(4), 2):
+                solver.add_clause([-var(p1, hole), -var(p2, hole)])
+        result = solver.solve()
+        assert not result.satisfiable
+        assert result.stats.conflicts > 0  # needs real search, not propagation
+
+    def test_xor_chain_parity_unsat(self):
+        # x1 ^ x2 = 1, x2 ^ x3 = 1, x3 ^ x1 = 1 has odd cycle parity: UNSAT.
+        solver = SatSolver()
+        for a, b in ((1, 2), (2, 3), (3, 1)):
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        assert not solver.solve().satisfiable
+
+    def test_conflict_limit_raises(self):
+        solver = SatSolver()
+
+        def var(pigeon: int, hole: int) -> int:
+            return pigeon * 5 + hole + 1
+
+        for pigeon in range(6):
+            solver.add_clause([var(pigeon, hole) for hole in range(5)])
+        for hole in range(5):
+            for p1, p2 in itertools.combinations(range(6), 2):
+                solver.add_clause([-var(p1, hole), -var(p2, hole)])
+        with pytest.raises(ConflictLimitExceeded):
+            solver.solve(conflict_limit=5)
+
+
+class TestDifferential:
+    def test_random_3sat_vs_brute_force(self):
+        rng = random.Random(2025)
+        for _ in range(150):
+            num_vars = rng.randrange(3, 9)
+            num_clauses = rng.randrange(2, 32)
+            clauses = []
+            for _ in range(num_clauses):
+                size = min(3, num_vars)
+                chosen = rng.sample(range(1, num_vars + 1), k=size)
+                clauses.append(
+                    [v if rng.random() < 0.5 else -v for v in chosen]
+                )
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            assert result.satisfiable == brute_force_satisfiable(clauses, num_vars)
+            if result.satisfiable:
+                assert check_model(clauses, result.model)
+
+    def test_deterministic_models(self):
+        clauses = [[1, 2, 3], [-1, 2], [-2, 3], [1, -3]]
+        models = []
+        for _ in range(3):
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            models.append(solver.solve().model)
+        assert models[0] == models[1] == models[2]
+
+
+class TestTseitin:
+    def test_cnf_equisatisfiable_with_aig(self):
+        rng = random.Random(9)
+        for _ in range(30):
+            aig = AIG()
+            names = ["a", "b", "c"]
+            literals = [aig.add_input(name) for name in names]
+            # Random small network.
+            pool = list(literals)
+            for _ in range(rng.randrange(1, 8)):
+                left = rng.choice(pool) ^ rng.randrange(2)
+                right = rng.choice(pool) ^ rng.randrange(2)
+                pool.append(aig.AND(left, right))
+            root = pool[-1]
+            cnf, (root_literal,) = tseitin(aig, [root])
+            solver = SatSolver.from_cnf(cnf)
+            solver.add_clause([root_literal])
+            sat = solver.solve()
+            brute = any(
+                aig.evaluate([root], dict(zip(names, bits)))[0]
+                for bits in itertools.product((0, 1), repeat=3)
+            )
+            assert sat.satisfiable == brute
+            if sat.satisfiable:
+                assignment = cnf.decode_inputs(sat.model)
+                assert aig.evaluate([root], assignment) == [1]
+
+    def test_constant_roots(self):
+        aig = AIG()
+        cnf, (true_literal,) = tseitin(aig, [1])
+        solver = SatSolver.from_cnf(cnf)
+        solver.add_clause([true_literal])
+        assert solver.solve().satisfiable
+        cnf, (false_literal,) = tseitin(aig, [0])
+        solver = SatSolver.from_cnf(cnf)
+        solver.add_clause([false_literal])
+        assert not solver.solve().satisfiable
+
+    def test_dimacs_render(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        cnf, _ = tseitin(aig, [aig.AND(a, b)])
+        text = cnf.to_dimacs()
+        assert text.startswith(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+        assert text.strip().endswith("0")
