@@ -26,6 +26,12 @@ Times the tracked hot paths and reports before/after numbers:
   verdict, a mutated DUT must be refuted, and the refutation's counterexample
   must replay as an actual mismatch on the batched simulator.
 
+* ``compile_cache``     — cold vs warm evaluation of a 50-candidate pass@k
+  sweep (10 unique codes, the shape temperature sampling produces): caching
+  disabled vs the compile-once ``DesignDatabase`` + content-addressed verdict
+  memo.  A differential gate asserts per-candidate verdicts agree before
+  timing; the acceptance bar is a >=3x warm-vs-cold speedup.
+
 ``collect_results`` returns the dict committed as ``BENCH_perf.json``; see
 ``run_perf.py`` for the CLI and the regression gate.
 """
@@ -52,6 +58,7 @@ TRACKED = (
     ("batch_sim", "batch_s"),
     ("ldataset_quick_build", "seconds"),
     ("formal_eq", "prove_s"),
+    ("compile_cache", "warm_s"),
 )
 
 #: Stimulus count for the batched functional-equivalence benchmark (the
@@ -333,6 +340,137 @@ def bench_ldataset(repeat: int = 3) -> dict[str, float]:
     return {"seconds": measure(build, repeat=repeat, min_time=0.0)}
 
 
+# --------------------------------------------------------------------------- compile cache
+#: Candidate count for the pass@k-sweep caching benchmark: 50 candidates with
+#: 10 unique codes, the shape low-temperature sampling produces.
+COMPILE_CACHE_CANDIDATES = 50
+COMPILE_CACHE_UNIQUE = 10
+COMPILE_CACHE_STIMULI = 32
+
+
+def _alu_golden() -> VectorFunctionGolden:
+    """Golden model of the benchmark ALU (module-level: picklable for workers)."""
+
+    def alu(inputs):
+        a, b, op = inputs["a"], inputs["b"], inputs["op"]
+        result = {0: a + b, 1: a - b, 2: a ^ b, 3: ~a}[op] & 0xFF
+        flags = ((result == 0) << 3) | ((result >> 7) << 2) | ((a > b) << 1) | (a == b)
+        return {"result": result, "flags": flags}
+
+    return VectorFunctionGolden(alu)
+
+
+def _compile_cache_candidates() -> list[str]:
+    """50 candidate codes over 10 unique variants; the last two variants are buggy."""
+    variants = []
+    for index in range(COMPILE_CACHE_UNIQUE):
+        source = BATCH_SIM_SOURCE + f"\n// candidate variant {index}\n"
+        if index >= COMPILE_CACHE_UNIQUE - 2:
+            source = source.replace("result = a - b;", "result = a + b;")
+        variants.append(source)
+    return [variants[i % COMPILE_CACHE_UNIQUE] for i in range(COMPILE_CACHE_CANDIDATES)]
+
+
+def bench_compile_cache(repeat: int = 3) -> dict[str, float]:
+    """Cold vs warm evaluation of a 50-candidate pass@k sweep.
+
+    * **cold** — the pre-database behaviour: every candidate pays the full
+      front end (caching disabled via a zero-capacity default
+      ``DesignDatabase``, per-candidate salted keys so nothing memoises);
+    * **warm** — the steady state of the compile-once orchestrator: the memo
+      and database are primed, re-evaluating the sweep (the repeated-candidate
+      workload of temperature sweeps and re-runs) is content-addressed lookups.
+
+    A differential gate runs before timing: the per-candidate verdicts of both
+    paths must agree exactly, and the sweep must contain real failures (the
+    two buggy variants) alongside real passes.
+    """
+    from repro.bench.jobs import (
+        CheckRequest,
+        ResultKey,
+        design_key,
+        mode_key,
+        run_checks,
+        stimulus_key,
+    )
+    from repro.verilog.design import DesignDatabase, set_default_database
+
+    candidates = _compile_cache_candidates()
+    rng = random.Random(99)
+    stimulus = [
+        {"a": rng.randrange(256), "b": rng.randrange(256), "op": rng.randrange(4)}
+        for _ in range(COMPILE_CACHE_STIMULI)
+    ]
+    mode = mode_key("simulation", True, False, None)
+
+    def requests_for(salted: bool) -> list:
+        requests = []
+        for index, code in enumerate(candidates):
+            key = ResultKey(
+                design_key=design_key(code),
+                stimulus_key=stimulus_key(
+                    "compile_cache",
+                    stimulus,
+                    None,
+                    "clk",
+                    None,
+                    salt=str(index) if salted else "",
+                ),
+                mode=mode,
+            )
+            requests.append(
+                CheckRequest(
+                    key=key,
+                    code=code,
+                    task_id=f"compile_cache{index}" if salted else "compile_cache",
+                    golden_factory=_alu_golden,
+                    stimulus=stimulus,
+                )
+            )
+        return requests
+
+    def cold() -> list[bool]:
+        previous = set_default_database(DesignDatabase(max_entries=0))
+        try:
+            requests = requests_for(salted=True)
+            results = run_checks(requests)
+            return [results[request.key].passed for request in requests]
+        finally:
+            set_default_database(previous)
+
+    previous_db = set_default_database(DesignDatabase())
+    try:
+        memo = run_checks(requests_for(salted=False))  # prime database + memo
+
+        def warm() -> list[bool]:
+            verdicts = dict(memo)
+            pending = [r for r in requests_for(salted=False) if r.key not in verdicts]
+            verdicts.update(run_checks(pending))
+            return [verdicts[request.key].passed for request in requests_for(salted=False)]
+
+        cold_verdicts = cold()
+        warm_verdicts = warm()
+        assert cold_verdicts == warm_verdicts, (
+            "cached and uncached sweeps disagreed on per-candidate verdicts"
+        )
+        assert any(cold_verdicts) and not all(cold_verdicts), (
+            "compile_cache sweep must mix passing and failing candidates"
+        )
+
+        cold_s = measure(cold, repeat=repeat)
+        warm_s = measure(warm, repeat=repeat)
+    finally:
+        set_default_database(previous_db)
+    return {
+        "candidates": float(COMPILE_CACHE_CANDIDATES),
+        "unique_codes": float(COMPILE_CACHE_UNIQUE),
+        "stimuli": float(COMPILE_CACHE_STIMULI),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+    }
+
+
 def collect_results(repeat: int = 5) -> dict:
     """Run every benchmark and assemble the BENCH_perf.json payload."""
     return {
@@ -348,6 +486,7 @@ def collect_results(repeat: int = 5) -> dict:
             "batch_sim": bench_batch_sim(repeat=repeat),
             "ldataset_quick_build": bench_ldataset(),
             "formal_eq": bench_formal_eq(),
+            "compile_cache": bench_compile_cache(repeat=repeat),
         },
     }
 

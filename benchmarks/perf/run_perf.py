@@ -48,6 +48,12 @@ def _render(results: dict) -> str:
             f"({int(fe['input_bits'])}-input miter: sampled {int(fe['sweep_lanes'])}-lane "
             f"sweep vs complete SAT proof)"
         )
+    cc = benches.get("compile_cache")
+    if cc is not None:
+        lines.append(
+            f"compile_cache             {cc['cold_s']:<13.6f} {cc['warm_s']:<13.6f} {cc['speedup']:.1f}x"
+            f"  ({int(cc['candidates'])}-candidate sweep, {int(cc['unique_codes'])} unique)"
+        )
     return "\n".join(lines)
 
 

@@ -25,6 +25,7 @@ import pytest
 
 from perf_harness import (
     bench_batch_sim,
+    bench_compile_cache,
     bench_formal_eq,
     bench_qm,
     bench_truth_table,
@@ -42,6 +43,7 @@ def current():
             "qm_minimize_8var": bench_qm(repeat=3),
             "batch_sim": bench_batch_sim(repeat=3),
             "formal_eq": bench_formal_eq(repeat=3),
+            "compile_cache": bench_compile_cache(repeat=3),
         }
     }
 
@@ -89,6 +91,16 @@ def test_formal_eq_proves_wide_miter(current):
     assert result["prove_s"] < 5.0, (
         f"SAT proof of the {int(result['input_bits'])}-input miter took "
         f"{result['prove_s']:.2f}s"
+    )
+
+
+@pytest.mark.perf
+def test_compile_cache_speedup_holds(current):
+    result = current["benchmarks"]["compile_cache"]
+    assert result["candidates"] >= 50, "compile_cache must sweep 50+ candidates"
+    assert result["speedup"] >= 3.0, (
+        f"warm (compile-once) evaluation only {result['speedup']:.1f}x faster than "
+        f"cold over a {int(result['candidates'])}-candidate sweep (need >=3x)"
     )
 
 

@@ -8,7 +8,8 @@ from .evaluator import (
     check_reference_designs,
     evaluate_models,
 )
-from .golden import VerilogGolden, batch_equivalence_check
+from .golden import GoldenCache, VerilogGolden, batch_equivalence_check
+from .jobs import CheckRequest, ResultKey, run_checks
 from .passk import PassAtKResult, compute_pass_at_k, mean_pass_at_k, pass_at_k
 from .reporting import (
     AblationSeries,
@@ -43,8 +44,12 @@ __all__ = [
     "TaskResult",
     "check_reference_designs",
     "evaluate_models",
+    "GoldenCache",
     "VerilogGolden",
     "batch_equivalence_check",
+    "CheckRequest",
+    "ResultKey",
+    "run_checks",
     "PassAtKResult",
     "compute_pass_at_k",
     "mean_pass_at_k",

@@ -1,4 +1,4 @@
-"""Benchmark evaluation harness: generate → compile → simulate → pass@k.
+"""Benchmark evaluation orchestrator: generate → compile → check jobs → pass@k.
 
 The evaluator scores a generation pipeline (backend + optional SI-CoT) on a
 benchmark suite the same way the paper does:
@@ -10,6 +10,17 @@ benchmark suite the same way the paper does:
   it compiles, simulated against the task's golden model (functional
   correctness);
 * per-task (n, c) counts are aggregated with the unbiased pass@k estimator.
+
+Since the compile-once refactor the evaluation is *job-based*: each unique
+``(candidate design, stimulus, mode)`` triple becomes one
+:class:`~repro.bench.jobs.CheckRequest`, executed exactly once and memoised by
+its content-addressed :class:`~repro.bench.jobs.ResultKey`.  Repeated
+candidates — across samples, temperatures, whole ``evaluate`` calls — cost a
+dict lookup; syntax checking and DUT elaboration ride the shared
+:class:`~repro.verilog.design.DesignDatabase`.  With
+``EvaluationConfig(max_workers=N)`` independent checks execute concurrently on
+a process pool (with a transparent serial fallback), since tasks share no
+state beyond the memo.
 """
 
 from __future__ import annotations
@@ -20,7 +31,9 @@ from typing import Sequence
 from ..core.llm.base import GenerationConfig
 from ..core.pipeline import HaVenPipeline
 from ..verilog.syntax_checker import SyntaxChecker
-from ..verilog.simulator.testbench import BatchTestbenchRunner, TestbenchResult
+from ..verilog.simulator.testbench import TestbenchResult
+from .golden import GoldenCache
+from .jobs import CheckRequest, ResultKey, design_key, mode_key, run_checks, stimulus_key
 from .passk import compute_pass_at_k
 from .task import BenchmarkSuite, BenchmarkTask
 
@@ -48,6 +61,14 @@ class EvaluationConfig:
     #: Conflict budget per SAT proof in formal mode (None = unbounded); an
     #: exhausted budget falls back to the simulation path for that sample.
     formal_conflict_limit: int | None = 50_000
+    #: Worker processes for functional checks (1 = serial in-process).  Checks
+    #: whose golden factories cannot be pickled, and any pool failure, fall
+    #: back to serial execution automatically.
+    max_workers: int = 1
+    #: Memoise check verdicts by ``(design, stimulus, mode)`` across samples,
+    #: temperatures and ``evaluate`` calls.  Disable to force every check cold
+    #: (the differential-testing and benchmark-baseline configuration).
+    memoize_results: bool = True
 
     def single_temperature(self) -> "EvaluationConfig":
         """A copy that only evaluates the first temperature (for quick runs)."""
@@ -62,6 +83,8 @@ class EvaluationConfig:
             differential_oracle=self.differential_oracle,
             mode=self.mode,
             formal_conflict_limit=self.formal_conflict_limit,
+            max_workers=self.max_workers,
+            memoize_results=self.memoize_results,
         )
 
 
@@ -126,29 +149,37 @@ class SuiteResult:
         }
 
 
+@dataclass
+class _TemperaturePlan:
+    """Generated samples for one (task, temperature) evaluation job."""
+
+    task: BenchmarkTask
+    temperature: float
+    codes: list[str]
+    syntax_ok: list[bool]
+    syntax_errors: list[str]
+    keys: list[ResultKey | None]
+
+
 class BenchmarkEvaluator:
-    """Run a pipeline over a suite and score it."""
+    """Run a pipeline over a suite and score it (job-based orchestration).
 
-    def __init__(self, config: EvaluationConfig | None = None):
+    Args:
+        config: sampling/scoring plan.
+        database: :class:`~repro.verilog.design.DesignDatabase` shared by the
+            syntax checker and the simulation-path runners (defaults to the
+            process-wide database).  Setting one pins functional checks to
+            in-parent execution (databases do not cross process boundaries);
+            the formal prover always rides the process-wide database.
+    """
+
+    def __init__(self, config: EvaluationConfig | None = None, database=None):
         self.config = config or EvaluationConfig()
-        self.checker = SyntaxChecker()
-
-    def _make_runner(self, task: BenchmarkTask) -> BatchTestbenchRunner:
-        """Build the functional-check runner for one task.
-
-        The batched runner sweeps combinational checks column-parallel and
-        transparently falls back to the scalar cycle-serial path for sequential
-        designs, so it is safe as the single entry point.
-        """
-        if not self.config.use_batch_simulator:
-            from ..verilog.simulator.testbench import TestbenchRunner
-
-            return TestbenchRunner(clock=task.clock, reset=task.reset)  # type: ignore[return-value]
-        return BatchTestbenchRunner(
-            clock=task.clock,
-            reset=task.reset,
-            differential=self.config.differential_oracle,
-        )
+        self.database = database
+        self.checker = SyntaxChecker(database=database)
+        #: Cross-run verdict memo: content-addressed, so repeated candidates
+        #: (across temperatures, runs, pipelines) are scored exactly once.
+        self.memo: dict[ResultKey, TestbenchResult] = {}
 
     # ------------------------------------------------------------------ public API
     def evaluate(self, pipeline: HaVenPipeline, suite: BenchmarkSuite) -> SuiteResult:
@@ -156,23 +187,48 @@ class BenchmarkEvaluator:
         tasks = list(suite)
         if self.config.max_tasks is not None:
             tasks = tasks[: self.config.max_tasks]
-        result = SuiteResult(suite_name=suite.name, model_name=pipeline.name, ks=self.config.ks)
+        if not self.config.memoize_results:
+            self.memo.clear()
+
+        # Phase 1+2: draw samples and syntax-check them (both deterministic and
+        # cheap relative to simulation), building one check request per unique
+        # compiled candidate not already in the memo.
+        plans: list[_TemperaturePlan] = []
+        pending: dict[ResultKey, CheckRequest] = {}
         for task in tasks:
-            result.task_results.append(self._evaluate_task(pipeline, task))
+            for temperature in self.config.temperatures:
+                plans.append(self._plan_temperature(pipeline, task, temperature, pending))
+
+        # Phase 3: execute the deduplicated checks (worker pool when configured).
+        if pending:
+            self.memo.update(
+                run_checks(list(pending.values()), max_workers=self.config.max_workers)
+            )
+
+        # Phase 4: assemble per-task results, best temperature first.
+        result = SuiteResult(suite_name=suite.name, model_name=pipeline.name, ks=self.config.ks)
+        index = 0
+        for task in tasks:
+            best: TaskResult | None = None
+            for _ in self.config.temperatures:
+                candidate = self._assemble(plans[index])
+                index += 1
+                if best is None or candidate.num_functional_passes > best.num_functional_passes:
+                    best = candidate
+            assert best is not None
+            result.task_results.append(best)
+        if not self.config.memoize_results:
+            self.memo.clear()
         return result
 
-    def _evaluate_task(self, pipeline: HaVenPipeline, task: BenchmarkTask) -> TaskResult:
-        best: TaskResult | None = None
-        for temperature in self.config.temperatures:
-            candidate = self._evaluate_task_at_temperature(pipeline, task, temperature)
-            if best is None or candidate.num_functional_passes > best.num_functional_passes:
-                best = candidate
-        assert best is not None
-        return best
-
-    def _evaluate_task_at_temperature(
-        self, pipeline: HaVenPipeline, task: BenchmarkTask, temperature: float
-    ) -> TaskResult:
+    # ------------------------------------------------------------------ planning
+    def _plan_temperature(
+        self,
+        pipeline: HaVenPipeline,
+        task: BenchmarkTask,
+        temperature: float,
+        pending: dict[ResultKey, CheckRequest],
+    ) -> _TemperaturePlan:
         config = GenerationConfig(
             temperature=temperature,
             num_samples=self.config.num_samples,
@@ -188,110 +244,94 @@ class BenchmarkEvaluator:
             task_id=task.task_id,
         )
         stimulus = task.stimulus(self.config.stimulus_seed)
-        runner = self._make_runner(task)
+        # With memoisation off, salt the key per temperature so nothing is
+        # shared between temperature sweeps (the guaranteed-cold baseline).
+        salt = "" if self.config.memoize_results else f"T{temperature}"
+        task_stimulus_key = stimulus_key(
+            task.task_id,
+            stimulus,
+            task.check_outputs,
+            task.clock,
+            task.reset,
+            reference_source=task.reference_source,
+            salt=salt,
+        )
+        task_mode_key = mode_key(
+            self.config.mode,
+            self.config.use_batch_simulator,
+            self.config.differential_oracle,
+            self.config.formal_conflict_limit,
+        )
 
+        plan = _TemperaturePlan(
+            task=task,
+            temperature=temperature,
+            codes=[],
+            syntax_ok=[],
+            syntax_errors=[],
+            keys=[],
+        )
+        for sample in generation.samples:
+            plan.codes.append(sample.code)
+            compile_result = self.checker.check(sample.code)
+            plan.syntax_ok.append(compile_result.ok)
+            plan.syntax_errors.append(
+                "" if compile_result.ok else "; ".join(compile_result.error_messages[:1])
+            )
+            if not compile_result.ok:
+                plan.keys.append(None)
+                continue
+            key = ResultKey(
+                design_key=design_key(sample.code),
+                stimulus_key=task_stimulus_key,
+                mode=task_mode_key,
+            )
+            plan.keys.append(key)
+            if key not in self.memo and key not in pending:
+                pending[key] = CheckRequest(
+                    key=key,
+                    code=sample.code,
+                    task_id=task.task_id,
+                    golden_factory=task.golden_factory,
+                    stimulus=stimulus,
+                    reference_source=task.reference_source,
+                    check_outputs=task.check_outputs,
+                    clock=task.clock,
+                    reset=task.reset,
+                    mode=self.config.mode,
+                    use_batch=self.config.use_batch_simulator,
+                    differential=self.config.differential_oracle,
+                    formal_conflict_limit=self.config.formal_conflict_limit,
+                    database=self.database,
+                )
+        return plan
+
+    # ------------------------------------------------------------------ assembly
+    def _assemble(self, plan: _TemperaturePlan) -> TaskResult:
         functional_passes = 0
         syntax_passes = 0
         failures: list[str] = []
-        # Identical samples (common at low temperature) are checked once: the
-        # golden model is rebuilt per run, so results are deterministic per code.
-        checked: dict[str, TestbenchResult] = {}
-        for sample in generation.samples:
-            compile_result = self.checker.check(sample.code)
-            if compile_result.ok:
-                syntax_passes += 1
-            else:
+        for index in range(len(plan.codes)):
+            if not plan.syntax_ok[index]:
                 if len(failures) < 3:
-                    failures.append("; ".join(compile_result.error_messages[:1]))
+                    failures.append(plan.syntax_errors[index])
                 continue
-            if sample.code in checked:
-                check = checked[sample.code]
-            else:
-                check = self._functional_check(runner, task, sample.code, stimulus)
-                checked[sample.code] = check
+            syntax_passes += 1
+            key = plan.keys[index]
+            assert key is not None
+            check = self.memo[key]
             if check.passed:
                 functional_passes += 1
             elif len(failures) < 3:
                 failures.append(check.failure_summary)
         return TaskResult(
-            task_id=task.task_id,
-            category=task.category,
-            num_samples=len(generation.samples),
+            task_id=plan.task.task_id,
+            category=plan.task.category,
+            num_samples=len(plan.codes),
             num_functional_passes=functional_passes,
             num_syntax_passes=syntax_passes,
-            temperature=temperature,
+            temperature=plan.temperature,
             failure_examples=failures,
-        )
-
-    # ------------------------------------------------------------------ functional checks
-    def _functional_check(
-        self,
-        runner: BatchTestbenchRunner,
-        task: BenchmarkTask,
-        code: str,
-        stimulus: list[dict[str, int]],
-    ) -> TestbenchResult:
-        """Score one compiled sample: formal proof when configured, else sweep."""
-        if self.config.mode == "formal":
-            result = self._formal_check(task, code)
-            if result is not None:
-                return result
-        return runner.run(code, task.golden(), stimulus, check_outputs=task.check_outputs)
-
-    def _formal_check(self, task: BenchmarkTask, code: str) -> TestbenchResult | None:
-        """Complete SAT equivalence proof against the task's reference design.
-
-        Returns ``None`` (→ simulation fallback) for sequential tasks, designs
-        outside the provable subset, or an exhausted SAT conflict budget.
-        """
-        from ..formal import ConflictLimitExceeded, FormalEncodingError, FormalError
-        from ..verilog.errors import VerilogError
-        from .golden import formal_equivalence_check
-
-        if task.golden().is_sequential:
-            return None
-        try:
-            proof = formal_equivalence_check(
-                code,
-                task.reference_source,
-                outputs=task.check_outputs,
-                conflict_limit=self.config.formal_conflict_limit,
-            )
-        except (FormalEncodingError, ConflictLimitExceeded):
-            return None  # outside the provable subset / budget: simulate instead
-        except (FormalError, VerilogError) as exc:
-            return TestbenchResult(passed=False, error=str(exc))
-        if proof.equivalent:
-            return TestbenchResult(passed=True, total_checks=len(proof.checked_outputs))
-        counterexample = proof.counterexample
-        mismatches = []
-        if counterexample is not None:
-            from ..verilog.simulator.testbench import Mismatch
-
-            for name in counterexample.missing_outputs:
-                mismatches.append(
-                    Mismatch(
-                        step_index=0,
-                        output=name,
-                        expected=0,
-                        actual="<missing>",
-                        inputs=dict(counterexample.inputs),
-                    )
-                )
-            for step, name in counterexample.mismatching_outputs:
-                mismatches.append(
-                    Mismatch(
-                        step_index=step,
-                        output=name,
-                        expected=counterexample.reference_outputs[step][name],
-                        actual=str(counterexample.dut_outputs[step][name]),
-                        inputs=dict(counterexample.steps[step]),
-                    )
-                )
-        return TestbenchResult(
-            passed=False,
-            total_checks=len(proof.checked_outputs),
-            mismatches=mismatches,
         )
 
 
@@ -300,7 +340,11 @@ def evaluate_models(
     suites: Sequence[BenchmarkSuite],
     config: EvaluationConfig | None = None,
 ) -> dict[tuple[str, str], SuiteResult]:
-    """Evaluate several pipelines on several suites; keys are (model, suite) names."""
+    """Evaluate several pipelines on several suites; keys are (model, suite) names.
+
+    One evaluator (and therefore one verdict memo) is shared across the whole
+    grid, so a candidate produced by several pipelines is checked once.
+    """
     evaluator = BenchmarkEvaluator(config)
     results: dict[tuple[str, str], SuiteResult] = {}
     for pipeline in pipelines:
@@ -322,13 +366,16 @@ def check_reference_designs(
     (``verilogeval.validate_references`` etc.): the reference design must pass
     its own functional testbench.  Combinational tasks run column-parallel via
     :class:`BatchTestbenchRunner`; pass ``differential=True`` to re-check every
-    batched run against the scalar oracle.
+    batched run against the scalar oracle.  Reference designs and golden
+    models are cached (design database + :class:`~repro.bench.golden.GoldenCache`),
+    so repeated sweeps stop rebuilding them.
 
     Returns:
         task_id → failure summary for every failing task (empty == all passed).
     """
-    from ..verilog.simulator.testbench import TestbenchRunner
+    from ..verilog.simulator.testbench import BatchTestbenchRunner, TestbenchRunner
 
+    goldens = GoldenCache()
     failures: dict[str, str] = {}
     tasks = list(suite)
     if max_tasks is not None:
@@ -342,7 +389,7 @@ def check_reference_designs(
             runner = TestbenchRunner(clock=task.clock, reset=task.reset)
         result = runner.run(
             task.reference_source,
-            task.golden(),
+            goldens.get(task),
             task.stimulus(stimulus_seed),
             check_outputs=task.check_outputs,
         )

@@ -343,17 +343,19 @@ class VerilogGolden:
     outputs: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
+        from ..verilog.design import compile_design
         from ..verilog.simulator import ModuleSimulator
 
-        self._simulator = ModuleSimulator.from_source(self.source, self.module_name)
-        self.is_sequential = any(
-            process.kind.value == "sequential" for process in self._simulator.design.processes
-        )
+        # Compile once through the design database; every reset() then clones
+        # the cached elaboration template instead of re-running the front end.
+        self._compiled = compile_design(self.source, self.module_name)
+        self._simulator = ModuleSimulator(self._compiled)
+        self.is_sequential = self._compiled.has_sequential_processes
 
     def reset(self) -> None:
         from ..verilog.simulator import ModuleSimulator
 
-        self._simulator = ModuleSimulator.from_source(self.source, self.module_name)
+        self._simulator = ModuleSimulator(self._compiled)
 
     def _observed(self) -> dict[str, int]:
         names = self.outputs if self.outputs is not None else self._simulator.output_names()
@@ -404,6 +406,40 @@ class VerilogGolden:
             reset_active_low=reset_active_low,
             conflict_limit=conflict_limit,
         )
+
+
+class GoldenCache:
+    """Per-task cache of golden-model instances.
+
+    Golden models are contractually stateless between runs: the testbench
+    runner calls ``reset()`` before driving stimulus, and every model in this
+    module fully re-initialises there (for :class:`VerilogGolden` the reset is
+    now a cache-hit template clone).  One instance per task can therefore be
+    reused across all candidates of an evaluation sweep instead of being
+    rebuilt per functional check.
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[str, object] = {}
+
+    def get(self, task) -> object:
+        """The cached golden model for ``task`` (built on first use, then reset)."""
+        return self.get_by_factory(task.task_id, task.golden)
+
+    def get_by_factory(self, task_id: str, factory) -> object:
+        """Cache entry point for evaluation jobs that carry the factory directly."""
+        model = self._models.get(task_id)
+        if model is None:
+            model = factory()
+            self._models[task_id] = model
+        model.reset()
+        return model
+
+    def clear(self) -> None:
+        self._models.clear()
+
+    def __len__(self) -> int:
+        return len(self._models)
 
 
 @dataclass

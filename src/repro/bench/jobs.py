@@ -1,0 +1,268 @@
+"""Evaluation jobs: memoisable, parallelisable functional checks.
+
+The benchmark evaluator decomposes a suite evaluation into *check requests* —
+one per unique ``(candidate design, stimulus, scoring mode)`` triple.  Each
+request is:
+
+* **content-addressed** by a :class:`ResultKey` (candidate-code hash ×
+  stimulus/task hash × mode), so identical candidates sampled at different
+  temperatures, runs, or pipelines are scored exactly once and every repeat is
+  a dict lookup in the evaluator's memo;
+* **self-contained** (code, golden factory, stimulus, reset spec, scoring
+  flags), so it can be executed in the parent process or shipped to a worker
+  process unchanged.
+
+:func:`run_checks` executes a batch of requests.  With ``max_workers > 1`` it
+uses a process pool for the requests whose payloads pickle (golden factories
+are often closures, which do not — those stay in the parent), and falls back
+to fully serial execution if the pool cannot be used at all.  Results are
+keyed, so execution order never affects scoring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..verilog.simulator.testbench import (
+    BatchTestbenchRunner,
+    ResetSpec,
+    TestbenchResult,
+    TestbenchRunner,
+)
+from .golden import GoldenCache
+
+
+# --------------------------------------------------------------------------- keys
+@dataclass(frozen=True)
+class ResultKey:
+    """Memoisation address of one functional-check verdict."""
+
+    design_key: str
+    stimulus_key: str
+    mode: str
+
+
+def design_key(code: str, module_name: str | None = None) -> str:
+    """Content hash of a candidate design (code + module selection)."""
+    payload = f"{module_name!r}|{code}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def stimulus_key(
+    task_id: str,
+    stimulus: Sequence[Mapping[str, int]],
+    check_outputs: Sequence[str] | None,
+    clock: str,
+    reset: ResetSpec | None,
+    reference_source: str = "",
+    salt: str = "",
+) -> str:
+    """Hash of everything on the *checking* side of a verdict.
+
+    ``task_id`` + ``reference_source`` pin the golden model: ids alone can
+    collide across differently-seeded suite builds, but every task's reference
+    design is validated against its golden, so the reference text is a
+    content-addressed fingerprint of the expected behaviour.  The
+    stimulus/outputs/clock/reset pin the testbench.  ``salt`` lets a caller
+    deliberately split the memo (e.g. per temperature when memoisation is
+    disabled for differential runs).
+    """
+    reset_repr = (
+        (reset.signal, reset.active_low, reset.synchronous, reset.cycles)
+        if reset is not None
+        else None
+    )
+    payload = repr(
+        (
+            task_id,
+            hashlib.sha256(reference_source.encode("utf-8")).hexdigest(),
+            [tuple(sorted(vector.items())) for vector in stimulus],
+            tuple(check_outputs) if check_outputs is not None else None,
+            clock,
+            reset_repr,
+            salt,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def mode_key(
+    mode: str,
+    use_batch: bool,
+    differential: bool,
+    formal_conflict_limit: int | None,
+) -> str:
+    """Scoring-mode component of a :class:`ResultKey`."""
+    if mode == "formal":
+        return f"formal:{formal_conflict_limit}|batch={use_batch}|diff={differential}"
+    return f"simulation|batch={use_batch}|diff={differential}"
+
+
+# --------------------------------------------------------------------------- requests
+@dataclass
+class CheckRequest:
+    """One self-contained functional check of a candidate against its task."""
+
+    key: ResultKey
+    code: str
+    task_id: str
+    golden_factory: Callable[[], object]
+    stimulus: list[dict[str, int]] = field(default_factory=list)
+    reference_source: str = ""
+    check_outputs: list[str] | None = None
+    clock: str = "clk"
+    reset: ResetSpec | None = None
+    mode: str = "simulation"
+    use_batch: bool = True
+    differential: bool = False
+    formal_conflict_limit: int | None = 50_000
+    #: Optional :class:`~repro.verilog.design.DesignDatabase` for the runners
+    #: (None → process-wide default).  A database does not pickle, so setting
+    #: one pins the request to in-parent execution — exactly where the
+    #: database lives.
+    database: object | None = None
+
+
+#: Per-process golden cache for check execution (each pool worker process gets
+#: its own copy via fork/spawn, so models never cross process boundaries).
+_worker_goldens = GoldenCache()
+
+
+def execute_check(request: CheckRequest) -> tuple[ResultKey, TestbenchResult]:
+    """Execute one check request; safe to run in a worker process.
+
+    Mirrors the scoring semantics the evaluator has always had: formal mode
+    attempts a complete SAT equivalence proof first and transparently falls
+    back to the stimulus sweep; simulation mode runs the (batched, where
+    combinational) testbench against the task's golden model.
+    """
+    # The cache id includes the reference-source hash: task ids repeat across
+    # differently-seeded suite builds, the reference text does not.
+    golden_id = f"{request.task_id}:{design_key(request.reference_source)}"
+    golden = _worker_goldens.get_by_factory(golden_id, request.golden_factory)
+    if request.mode == "formal":
+        formal = _formal_check(request, golden)
+        if formal is not None:
+            return request.key, formal
+    if request.use_batch:
+        runner: TestbenchRunner = BatchTestbenchRunner(
+            clock=request.clock,
+            reset=request.reset,
+            differential=request.differential,
+            database=request.database,
+        )
+    else:
+        runner = TestbenchRunner(
+            clock=request.clock, reset=request.reset, database=request.database
+        )
+    result = runner.run(
+        request.code, golden, request.stimulus, check_outputs=request.check_outputs
+    )
+    return request.key, result
+
+
+def _formal_check(request: CheckRequest, golden) -> TestbenchResult | None:
+    """Complete SAT equivalence proof against the task's reference design.
+
+    Returns ``None`` (→ simulation fallback) for sequential tasks, designs
+    outside the provable subset, or an exhausted SAT conflict budget.
+    """
+    from ..formal import ConflictLimitExceeded, FormalEncodingError, FormalError
+    from ..verilog.errors import VerilogError
+    from .golden import formal_equivalence_check
+
+    if getattr(golden, "is_sequential", False):
+        return None
+    try:
+        proof = formal_equivalence_check(
+            request.code,
+            request.reference_source,
+            outputs=request.check_outputs,
+            conflict_limit=request.formal_conflict_limit,
+        )
+    except (FormalEncodingError, ConflictLimitExceeded):
+        return None  # outside the provable subset / budget: simulate instead
+    except (FormalError, VerilogError) as exc:
+        return TestbenchResult(passed=False, error=str(exc))
+    if proof.equivalent:
+        return TestbenchResult(passed=True, total_checks=len(proof.checked_outputs))
+    counterexample = proof.counterexample
+    mismatches = []
+    if counterexample is not None:
+        from ..verilog.simulator.testbench import Mismatch
+
+        for name in counterexample.missing_outputs:
+            mismatches.append(
+                Mismatch(
+                    step_index=0,
+                    output=name,
+                    expected=0,
+                    actual="<missing>",
+                    inputs=dict(counterexample.inputs),
+                )
+            )
+        for step, name in counterexample.mismatching_outputs:
+            mismatches.append(
+                Mismatch(
+                    step_index=step,
+                    output=name,
+                    expected=counterexample.reference_outputs[step][name],
+                    actual=str(counterexample.dut_outputs[step][name]),
+                    inputs=dict(counterexample.steps[step]),
+                )
+            )
+    return TestbenchResult(
+        passed=False,
+        total_checks=len(proof.checked_outputs),
+        mismatches=mismatches,
+    )
+
+
+# --------------------------------------------------------------------------- execution
+def run_checks(
+    requests: Sequence[CheckRequest], max_workers: int = 1
+) -> dict[ResultKey, TestbenchResult]:
+    """Execute every request once and return verdicts keyed by :class:`ResultKey`.
+
+    ``max_workers > 1`` dispatches picklable requests to a process pool;
+    requests whose golden factories are closures (common in the bench
+    families) and any pool-level failure fall back to serial execution in the
+    parent, so the function always returns complete results.
+    """
+    results: dict[ResultKey, TestbenchResult] = {}
+    unique: dict[ResultKey, CheckRequest] = {}
+    for request in requests:
+        unique.setdefault(request.key, request)
+    pending = list(unique.values())
+
+    if max_workers > 1 and len(pending) > 1:
+        parallel: list[CheckRequest] = []
+        serial: list[CheckRequest] = []
+        for request in pending:
+            try:
+                pickle.dumps(request)
+                parallel.append(request)
+            except Exception:
+                serial.append(request)
+        if len(parallel) > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(
+                    max_workers=min(max_workers, len(parallel))
+                ) as pool:
+                    for key, result in pool.map(execute_check, parallel):
+                        results[key] = result
+            except Exception:
+                # Pool unavailable (restricted OS, broken worker, unpicklable
+                # verdict): whatever is missing re-runs serially below.
+                pass
+        pending = [request for request in pending if request.key not in results]
+
+    for request in pending:
+        key, result = execute_check(request)
+        results[key] = result
+    return results

@@ -30,9 +30,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ..verilog import ast_nodes as ast
-from ..verilog.parser import parse_module
+from ..verilog.design import coerce_compiled
 from ..verilog.simulator.scheduler import MAX_LOOP_ITERATIONS, ProcessKind
-from ..verilog.simulator.simulator import MAX_SETTLE_ITERATIONS, ElaboratedModule, elaborate_module
+from ..verilog.simulator.simulator import MAX_SETTLE_ITERATIONS, ElaboratedModule
 from .aig import AIG, FALSE, TRUE, FormalEncodingError, SymVector, concat_sym
 
 #: Key prefix for the shadow next-state entries used by non-blocking assigns.
@@ -847,7 +847,7 @@ def _assign_target_names(target: ast.Expression) -> set[str]:
 
 # --------------------------------------------------------------------------- cone builders
 def build_combinational_cone(
-    module: ast.Module | str,
+    module,
     aig: AIG | None = None,
     input_literals: Mapping[str, SymVector] | None = None,
     module_name: str | None = None,
@@ -857,7 +857,9 @@ def build_combinational_cone(
     """Lower a combinational module into an AIG.
 
     Args:
-        module: parsed module or Verilog source text.
+        module: parsed module, Verilog source text (compiled through the
+            default :class:`~repro.verilog.design.DesignDatabase`), or an
+            already-compiled :class:`~repro.verilog.design.CompiledDesign`.
         aig: graph to build into (a fresh one when omitted); pass the same graph
             and ``input_literals`` for both designs to construct miters.
         input_literals: input port name → literal vector to share.
@@ -869,15 +871,13 @@ def build_combinational_cone(
     Raises:
         FormalEncodingError: on sequential processes or unsupported constructs.
     """
-    if isinstance(module, str):
-        module = parse_module(module, module_name)
-    design = elaborate_module(module, parameter_overrides)
-    for process in design.processes:
-        if process.kind is ProcessKind.SEQUENTIAL:
-            raise FormalEncodingError(
-                f"module {design.name!r} has edge-triggered processes; use "
-                "SequentialUnroller for bounded sequential equivalence"
-            )
+    compiled = coerce_compiled(module, module_name, parameter_overrides)
+    design = compiled.elaborate()
+    if compiled.has_sequential_processes:
+        raise FormalEncodingError(
+            f"module {design.name!r} has edge-triggered processes; use "
+            "SequentialUnroller for bounded sequential equivalence"
+        )
     executor = SymbolicExecutor(
         design, aig if aig is not None else AIG(), input_literals, undef_prefix
     )
@@ -907,7 +907,7 @@ class SequentialUnroller:
 
     def __init__(
         self,
-        module: ast.Module | str,
+        module,
         aig: AIG,
         clock: str = "clk",
         reset: str | None = None,
@@ -916,12 +916,12 @@ class SequentialUnroller:
         parameter_overrides: dict[str, int] | None = None,
         undef_prefix: str = "",
     ):
-        if isinstance(module, str):
-            module = parse_module(module, module_name)
-        self.module = module
+        compiled = coerce_compiled(module, module_name, parameter_overrides)
+        self.compiled = compiled
+        self.module = compiled.module
         self.aig = aig
         self.clock = clock
-        self.design = elaborate_module(module, parameter_overrides)
+        self.design = compiled.elaborate()
         self.undef_prefix = undef_prefix
         input_names = [port.name for port in self.design.input_ports()]
         self.reset, self.reset_active_low = resolve_reset(
@@ -964,7 +964,7 @@ class SequentialUnroller:
         """Concrete post-reset signal values (name → ``LogicVector``)."""
         from ..verilog.simulator import ModuleSimulator
 
-        simulator = ModuleSimulator(self.module)
+        simulator = ModuleSimulator(self.compiled)
         apply_reset_pulse(
             simulator,
             clock=self.clock,

@@ -22,8 +22,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..logic.expr import BoolExpr
-from ..verilog.parser import parse_module
-from ..verilog.simulator.simulator import elaborate_module
+from ..verilog.design import get_default_database
 from .aig import AIG, FALSE, TRUE, FormalEncodingError, FormalError, SymVector
 from .cnf import CNF, tseitin
 from .cone import SequentialUnroller, build_combinational_cone
@@ -213,16 +212,16 @@ def prove_combinational_equivalence(
             subset (sequential processes handled by
             :func:`prove_sequential_equivalence`; four-state behaviour, etc.).
     """
-    dut_module = parse_module(dut_source, module_name)
-    reference_module = parse_module(reference_source, reference_module_name)
+    database = get_default_database()
+    dut_compiled = database.compile(dut_source, module_name)
+    reference_compiled = database.compile(reference_source, reference_module_name)
     aig = AIG()
     reference_cone = build_combinational_cone(
-        reference_module, aig, undef_prefix="ref:"
+        reference_compiled, aig, undef_prefix="ref:"
     )
     # Share input literals by name; DUT-only inputs get fresh plain-named ones.
-    dut_design = elaborate_module(dut_module)
     shared: dict[str, SymVector] = {}
-    for port in dut_design.input_ports():
+    for port in dut_compiled.input_ports():
         existing = reference_cone.inputs.get(port.name)
         if existing is not None:
             if existing.width != port.width:
@@ -238,7 +237,7 @@ def prove_combinational_equivalence(
                 )
             )
     dut_cone = build_combinational_cone(
-        dut_module, aig, input_literals=shared, undef_prefix="dut:"
+        dut_compiled, aig, input_literals=shared, undef_prefix="dut:"
     )
 
     checked = list(outputs) if outputs is not None else sorted(reference_cone.outputs)

@@ -7,6 +7,15 @@ compiler/simulator for verification and pass@k scoring).
 
 from . import ast_nodes
 from .analyzer import AnalysisResult, Attribute, ModuleAnalyzer, Topic, analyze_module, analyze_source
+from .design import (
+    CacheStats,
+    CompiledDesign,
+    DesignDatabase,
+    DesignKey,
+    compile_design,
+    get_default_database,
+    set_default_database,
+)
 from .errors import (
     ElaborationError,
     LexerError,
@@ -28,6 +37,13 @@ __all__ = [
     "Topic",
     "analyze_module",
     "analyze_source",
+    "CacheStats",
+    "CompiledDesign",
+    "DesignDatabase",
+    "DesignKey",
+    "compile_design",
+    "get_default_database",
+    "set_default_database",
     "ElaborationError",
     "LexerError",
     "ParseError",

@@ -31,7 +31,6 @@ from typing import Mapping, Sequence, Union
 
 from .. import ast_nodes as ast
 from ..errors import SimulationError
-from ..parser import parse_module
 from .scheduler import BatchSignalStore, BatchStatementExecutor, ProcessKind
 from .simulator import MAX_SETTLE_ITERATIONS, elaborate_module
 from .values import BatchVector, LogicVector
@@ -45,16 +44,28 @@ class BatchSimulator:
 
     def __init__(
         self,
-        module: ast.Module,
+        module,
         lanes: int,
         parameter_overrides: dict[str, int] | None = None,
     ):
+        from ..design import CompiledDesign
+
         if lanes < 1:
             raise SimulationError("BatchSimulator needs at least one stimulus lane")
-        self.module = module
         self.lanes = lanes
         self.parameter_overrides = dict(parameter_overrides or {})
-        self.design = elaborate_module(module, self.parameter_overrides)
+        if isinstance(module, CompiledDesign):
+            self.compiled: CompiledDesign | None = module
+            self.module = module.module
+            if self.parameter_overrides and self.parameter_overrides != module.parameter_overrides:
+                self.design = elaborate_module(self.module, self.parameter_overrides)
+            else:
+                self.parameter_overrides = dict(module.parameter_overrides)
+                self.design = module.elaborate()
+        else:
+            self.compiled = None
+            self.module = module
+            self.design = elaborate_module(module, self.parameter_overrides)
         self.store = BatchSignalStore.from_scalar(self.design.store, lanes)
         self.executor = BatchStatementExecutor(
             self.store, self.design.parameters, self.design.functions
@@ -71,9 +82,13 @@ class BatchSimulator:
         lanes: int,
         module_name: str | None = None,
         parameter_overrides: dict[str, int] | None = None,
+        database=None,
     ) -> "BatchSimulator":
-        """Parse ``source`` and build a batch simulator for the selected module."""
-        return cls(parse_module(source, module_name), lanes, parameter_overrides)
+        """Build a batch simulator from source via the (default) design database."""
+        from ..design import get_default_database
+
+        db = database if database is not None else get_default_database()
+        return cls(db.compile(source, module_name, parameter_overrides), lanes)
 
     def _run_initial_blocks(self) -> None:
         for process in self.design.processes:
@@ -225,6 +240,8 @@ class BatchSimulator:
 
     def has_sequential_processes(self) -> bool:
         """Whether the design contains edge-triggered processes."""
+        if self.compiled is not None:
+            return self.compiled.has_sequential_processes
         return any(process.kind is ProcessKind.SEQUENTIAL for process in self.design.processes)
 
     def has_latch_risk(self) -> bool:
@@ -235,6 +252,8 @@ class BatchSimulator:
         carries across serially-applied vectors but independent batch lanes do
         not have.  Such designs must stay on the scalar path.
         """
+        if self.compiled is not None:
+            return self.compiled.has_latch_risk
         for process in self.design.processes:
             if process.kind is not ProcessKind.COMBINATIONAL or process.label != "always":
                 continue

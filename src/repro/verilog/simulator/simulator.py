@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 from .. import ast_nodes as ast
 from ..errors import ElaborationError, SimulationError
-from ..parser import parse_module
 from .eval import EvalContext, ExpressionEvaluator
 from .scheduler import Process, ProcessKind, SignalStore, StatementExecutor
 from .values import LogicVector
@@ -187,16 +186,36 @@ def elaborate_module(
 
 
 class ModuleSimulator:
-    """Elaborate and simulate a single Verilog module."""
+    """Elaborate and simulate a single Verilog module.
+
+    Accepts either a parsed :class:`~repro.verilog.ast_nodes.Module` (elaborated
+    from scratch) or a cached :class:`~repro.verilog.design.CompiledDesign`
+    (elaboration template cloned, no front-end work).  ``from_source`` routes
+    through the default :class:`~repro.verilog.design.DesignDatabase`, so
+    repeated construction from the same source is a cache hit.
+    """
 
     def __init__(
         self,
-        module: ast.Module,
+        module,
         parameter_overrides: dict[str, int] | None = None,
     ):
-        self.module = module
+        from ..design import CompiledDesign
+
         self.parameter_overrides = dict(parameter_overrides or {})
-        self.design = elaborate_module(module, self.parameter_overrides)
+        if isinstance(module, CompiledDesign):
+            self.compiled: CompiledDesign | None = module
+            self.module = module.module
+            if self.parameter_overrides and self.parameter_overrides != module.parameter_overrides:
+                # Divergent overrides: honour the caller, bypassing the template.
+                self.design = elaborate_module(self.module, self.parameter_overrides)
+            else:
+                self.parameter_overrides = dict(module.parameter_overrides)
+                self.design = module.elaborate()
+        else:
+            self.compiled = None
+            self.module = module
+            self.design = elaborate_module(module, self.parameter_overrides)
         self.executor = StatementExecutor(
             self.design.store, self.design.parameters, self.design.functions
         )
@@ -210,9 +229,13 @@ class ModuleSimulator:
         source: str,
         module_name: str | None = None,
         parameter_overrides: dict[str, int] | None = None,
+        database=None,
     ) -> "ModuleSimulator":
-        """Parse ``source`` and build a simulator for the selected module."""
-        return cls(parse_module(source, module_name), parameter_overrides)
+        """Build a simulator from source via the (default) design database."""
+        from ..design import get_default_database
+
+        db = database if database is not None else get_default_database()
+        return cls(db.compile(source, module_name, parameter_overrides))
 
     def _run_initial_blocks(self) -> None:
         for process in self.design.processes:

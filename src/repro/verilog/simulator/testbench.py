@@ -101,7 +101,12 @@ class TestbenchResult:
 
 
 class TestbenchRunner:
-    """Drive a DUT with stimulus and compare outputs against a golden model."""
+    """Drive a DUT with stimulus and compare outputs against a golden model.
+
+    The DUT source is compiled exactly once per run through the (default)
+    :class:`~repro.verilog.design.DesignDatabase`, so scoring many candidates
+    — or the same candidate many times — re-uses the cached front end.
+    """
 
     #: Not a pytest test class, despite the name.
     __test__ = False
@@ -111,10 +116,22 @@ class TestbenchRunner:
         clock: str = "clk",
         reset: ResetSpec | None = None,
         max_mismatches: int = 32,
+        database=None,
     ):
         self.clock = clock
         self.reset = reset
         self.max_mismatches = max_mismatches
+        self.database = database
+
+    def _compile(self, dut_source: str, module_name: str | None):
+        """Compile the DUT via the database; a failure becomes a failed result."""
+        from ..design import get_default_database
+
+        db = self.database if self.database is not None else get_default_database()
+        try:
+            return db.compile(dut_source, module_name)
+        except VerilogError as exc:
+            return TestbenchResult(passed=False, error=str(exc))
 
     def run(
         self,
@@ -134,8 +151,21 @@ class TestbenchRunner:
             check_outputs: subset of outputs to compare; defaults to every key the
                 golden model produces.
         """
+        compiled = self._compile(dut_source, module_name)
+        if isinstance(compiled, TestbenchResult):
+            return compiled
+        return self._run_scalar(compiled, golden, stimulus, check_outputs)
+
+    def _run_scalar(
+        self,
+        compiled,
+        golden: GoldenModel,
+        stimulus: list[dict[str, int]],
+        check_outputs: list[str] | None,
+    ) -> TestbenchResult:
+        """Cycle-serial scoring of a compiled DUT against the golden model."""
         try:
-            simulator = ModuleSimulator.from_source(dut_source, module_name)
+            simulator = ModuleSimulator(compiled)
         except VerilogError as exc:
             return TestbenchResult(passed=False, error=str(exc))
 
@@ -242,8 +272,9 @@ class BatchTestbenchRunner(TestbenchRunner):
         reset: ResetSpec | None = None,
         max_mismatches: int = 32,
         differential: bool = False,
+        database=None,
     ):
-        super().__init__(clock=clock, reset=reset, max_mismatches=max_mismatches)
+        super().__init__(clock=clock, reset=reset, max_mismatches=max_mismatches, database=database)
         self.differential = differential
 
     def run(
@@ -254,22 +285,22 @@ class BatchTestbenchRunner(TestbenchRunner):
         module_name: str | None = None,
         check_outputs: list[str] | None = None,
     ) -> TestbenchResult:
-        if not self._batchable(golden, stimulus):
-            return super().run(
-                dut_source, golden, stimulus, module_name=module_name, check_outputs=check_outputs
-            )
-        result = self._run_batched(dut_source, golden, stimulus, module_name, check_outputs)
-        if result is None:
-            # The DUT turned out to contain sequential processes (e.g. a wrongly
-            # clocked answer to a combinational task): scalar semantics apply.
-            return super().run(
-                dut_source, golden, stimulus, module_name=module_name, check_outputs=check_outputs
-            )
+        compiled = self._compile(dut_source, module_name)
+        if isinstance(compiled, TestbenchResult):
+            return compiled
+        if (
+            not self._batchable(golden, stimulus)
+            # Edge-triggered registers and inferred latches carry history across
+            # serially-applied vectors (e.g. a wrongly clocked answer to a
+            # combinational task); independent lanes cannot reproduce that.
+            or compiled.has_sequential_processes
+            or compiled.has_latch_risk
+        ):
+            return self._run_scalar(compiled, golden, stimulus, check_outputs)
+        result = self._run_batched(compiled, golden, stimulus, check_outputs)
         if self.differential:
             golden.reset()
-            scalar = super().run(
-                dut_source, golden, stimulus, module_name=module_name, check_outputs=check_outputs
-            )
+            scalar = self._run_scalar(compiled, golden, stimulus, check_outputs)
             if scalar.passed != result.passed:
                 raise AssertionError(
                     f"batched testbench diverged from the scalar oracle: "
@@ -286,22 +317,17 @@ class BatchTestbenchRunner(TestbenchRunner):
 
     def _run_batched(
         self,
-        dut_source: str,
+        compiled,
         golden: GoldenModel,
         stimulus: list[dict[str, int]],
-        module_name: str | None,
         check_outputs: list[str] | None,
-    ) -> TestbenchResult | None:
+    ) -> TestbenchResult:
         from .batch import BatchSimulator
 
         try:
-            simulator = BatchSimulator.from_source(dut_source, lanes=len(stimulus), module_name=module_name)
+            simulator = BatchSimulator(compiled, lanes=len(stimulus))
         except VerilogError as exc:
             return TestbenchResult(passed=False, error=str(exc))
-        if simulator.has_sequential_processes() or simulator.has_latch_risk():
-            # Edge-triggered registers and inferred latches carry history across
-            # serially-applied vectors; independent lanes cannot reproduce that.
-            return None
 
         golden.reset()
         mismatches: list[Mismatch] = []

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 
 from . import ast_nodes as ast
 from .errors import VerilogError
-from .parser import parse_source
 
 
 @dataclass
@@ -50,12 +49,36 @@ class CompileResult:
 
 
 class SyntaxChecker:
-    """Compile-check Verilog source text."""
+    """Compile-check Verilog source text.
+
+    Results are memoised per source hash in the (default)
+    :class:`~repro.verilog.design.DesignDatabase`: the parse tier is shared
+    with the simulators (compile once, check and simulate from the same AST)
+    and full :class:`CompileResult` objects — including failures — are
+    negative-cached, so re-checking a repeated candidate is one dict lookup.
+    """
+
+    def __init__(self, database=None):
+        self.database = database
+
+    def _database(self):
+        from .design import get_default_database
+
+        return self.database if self.database is not None else get_default_database()
 
     def check(self, source: str) -> CompileResult:
-        """Lex, parse and semantically check ``source``."""
+        """Lex, parse and semantically check ``source`` (memoised)."""
+        database = self._database()
+        cached = database.cached_check(source)
+        if isinstance(cached, CompileResult):
+            return cached
+        result = self._check_uncached(source, database)
+        database.store_check(source, result)
+        return result
+
+    def _check_uncached(self, source: str, database) -> CompileResult:
         try:
-            design = parse_source(source)
+            design = database.parse(source)
         except VerilogError as exc:
             return CompileResult(
                 ok=False,

@@ -1,0 +1,309 @@
+"""Job-based evaluation orchestrator: memoisation, parallelism, differential parity.
+
+The acceptance bar for the compile-once refactor: cached and uncached
+evaluation must produce *identical* ``SuiteResult``s (including formal-mode
+verdicts), repeated candidates must be checked exactly once across
+temperatures and runs, and the worker-pool path must agree with serial
+execution (falling back transparently when golden factories cannot cross a
+process boundary).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+import repro.bench.evaluator as evaluator_module
+from repro.bench.evaluator import BenchmarkEvaluator, EvaluationConfig
+from repro.bench.golden import VectorFunctionGolden, random_vectors
+from repro.bench.jobs import (
+    CheckRequest,
+    ResultKey,
+    design_key,
+    mode_key,
+    run_checks,
+    stimulus_key,
+)
+from repro.bench.task import BenchmarkSuite, BenchmarkTask
+from repro.bench.verilogeval import SuiteConfig, build_verilogeval_human
+from repro.core.llm.base import GenerationConfig, GenerationContext, GeneratedSample, LLMBackend
+from repro.core.llm.profiles import BASELINE_PROFILES
+from repro.core.llm.simulated import SimulatedCodeGenLLM
+from repro.core.pipeline import HaVenPipeline
+from repro.core.prompt import DesignPrompt, ModuleInterface, PortSpec
+from repro.verilog.design import DesignDatabase
+
+
+# --------------------------------------------------------------------------- backends
+class PerfectBackend(LLMBackend):
+    """Always returns the task's reference implementation."""
+
+    name = "Perfect"
+
+    def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
+        return [
+            GeneratedSample(code=context.reference_source, sample_index=index)
+            for index in range(config.num_samples)
+        ]
+
+
+class ZeroBackend(LLMBackend):
+    """Returns a compiling module whose outputs are constantly zero."""
+
+    name = "ConstantZero"
+
+    def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
+        ports = []
+        for port in context.interface.ports:
+            range_text = f"[{port.width - 1}:0] " if port.width > 1 else ""
+            ports.append(f"    {port.direction} {range_text}{port.name}")
+        body = [f"    assign {port.name} = 0;" for port in context.interface.output_ports]
+        source = (
+            f"module {context.interface.name} (\n"
+            + ",\n".join(ports)
+            + "\n);\n"
+            + "\n".join(body)
+            + "\nendmodule\n"
+        )
+        return [GeneratedSample(code=source, sample_index=index) for index in range(config.num_samples)]
+
+
+# --------------------------------------------------------------------------- picklable suite
+def _xor_fn(inputs):
+    return {"y": inputs["a"] ^ inputs["b"]}
+
+
+def _sum_fn(inputs):
+    return {"y": (inputs["a"] + inputs["b"]) & 0xF}
+
+
+_PICKLABLE_SPECS = [
+    ("pick_xor", "assign y = a ^ b;", 1, _xor_fn),
+    ("pick_sum", "assign y = a + b;", 4, _sum_fn),
+]
+
+
+def _picklable_suite() -> BenchmarkSuite:
+    """Tasks whose golden factories pickle (module-level partials)."""
+    suite = BenchmarkSuite(name="picklable")
+    for task_id, body, width, fn in _PICKLABLE_SPECS:
+        interface = ModuleInterface(
+            name="top_module",
+            ports=[
+                PortSpec("a", "input", width),
+                PortSpec("b", "input", width),
+                PortSpec("y", "output", width),
+            ],
+        )
+        range_text = f"[{width - 1}:0] " if width > 1 else ""
+        reference = (
+            f"module top_module(input {range_text}a, input {range_text}b, "
+            f"output {range_text}y);\n    {body}\nendmodule\n"
+        )
+        widths = {"a": width, "b": width}
+        suite.add(
+            BenchmarkTask(
+                task_id=task_id,
+                suite="picklable",
+                prompt=DesignPrompt(text=f"Implement {task_id}.", interface=interface),
+                interface=interface,
+                reference_source=reference,
+                golden_factory=partial(VectorFunctionGolden, fn),
+                stimulus_factory=partial(random_vectors, widths, 12),
+            )
+        )
+    return suite
+
+
+def _suite_results_equal(left, right) -> bool:
+    return (
+        left.suite_name == right.suite_name
+        and left.ks == right.ks
+        and left.task_results == right.task_results
+    )
+
+
+# --------------------------------------------------------------------------- memoisation
+class TestMemoisation:
+    def _counting_evaluate(self, monkeypatch, config, pipeline, suite):
+        """Run an evaluation while counting the check requests actually executed."""
+        executed: list[int] = []
+        real_run_checks = evaluator_module.run_checks
+
+        def counting(requests, max_workers=1):
+            executed.append(len(requests))
+            return real_run_checks(requests, max_workers=max_workers)
+
+        monkeypatch.setattr(evaluator_module, "run_checks", counting)
+        evaluator = BenchmarkEvaluator(config)
+        first = evaluator.evaluate(pipeline, suite)
+        first_executed = sum(executed)
+        executed.clear()
+        second = evaluator.evaluate(pipeline, suite)
+        return first, second, first_executed, sum(executed)
+
+    def test_identical_candidates_checked_once_across_temperatures(self, monkeypatch):
+        suite = build_verilogeval_human(SuiteConfig(num_tasks=4, seed=11))
+        config = EvaluationConfig(num_samples=3, ks=(1,), temperatures=(0.2, 0.5, 0.8))
+        pipeline = HaVenPipeline(PerfectBackend(), use_sicot=False)
+        first, second, first_executed, second_executed = self._counting_evaluate(
+            monkeypatch, config, pipeline, suite
+        )
+        # The perfect backend emits one unique code per task: one check per
+        # task regardless of samples × temperatures.
+        assert first_executed == len(suite)
+        # A repeated evaluation is served entirely from the memo.
+        assert second_executed == 0
+        assert _suite_results_equal(first, second)
+
+    def test_memoisation_disabled_re_executes(self, monkeypatch):
+        suite = build_verilogeval_human(SuiteConfig(num_tasks=3, seed=11))
+        config = EvaluationConfig(
+            num_samples=2, ks=(1,), temperatures=(0.2, 0.5), memoize_results=False
+        )
+        pipeline = HaVenPipeline(PerfectBackend(), use_sicot=False)
+        first, second, first_executed, second_executed = self._counting_evaluate(
+            monkeypatch, config, pipeline, suite
+        )
+        # Without memoisation every temperature sweep is cold (per-temperature
+        # dedup of identical samples is retained).
+        assert first_executed == len(suite) * 2
+        assert second_executed == first_executed
+        assert _suite_results_equal(first, second)
+
+
+# --------------------------------------------------------------------------- run_checks
+class TestRunChecks:
+    def _requests(self, copies: int = 1) -> list[CheckRequest]:
+        requests = []
+        suite = _picklable_suite()
+        for task in suite:
+            stimulus = task.stimulus(7)
+            key = ResultKey(
+                design_key=design_key(task.reference_source),
+                stimulus_key=stimulus_key(
+                    task.task_id,
+                    stimulus,
+                    task.check_outputs,
+                    task.clock,
+                    task.reset,
+                    reference_source=task.reference_source,
+                ),
+                mode=mode_key("simulation", True, False, None),
+            )
+            for _ in range(copies):
+                requests.append(
+                    CheckRequest(
+                        key=key,
+                        code=task.reference_source,
+                        task_id=task.task_id,
+                        golden_factory=task.golden_factory,
+                        stimulus=stimulus,
+                        reference_source=task.reference_source,
+                        check_outputs=task.check_outputs,
+                        clock=task.clock,
+                        reset=task.reset,
+                    )
+                )
+        return requests
+
+    def test_duplicate_keys_executed_once(self):
+        requests = self._requests(copies=3)
+        results = run_checks(requests, max_workers=1)
+        assert len(results) == len(_PICKLABLE_SPECS)
+        assert all(result.passed for result in results.values())
+
+    def test_parallel_matches_serial(self):
+        serial = run_checks(self._requests(), max_workers=1)
+        parallel = run_checks(self._requests(), max_workers=2)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert serial[key].passed == parallel[key].passed
+            assert serial[key].total_checks == parallel[key].total_checks
+
+
+# --------------------------------------------------------------------------- parallel evaluation
+class TestParallelEvaluation:
+    def test_worker_pool_matches_serial_on_picklable_suite(self):
+        suite = _picklable_suite()
+        pipeline = HaVenPipeline(PerfectBackend(), use_sicot=False)
+        serial = BenchmarkEvaluator(
+            EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,), max_workers=1)
+        ).evaluate(pipeline, suite)
+        parallel = BenchmarkEvaluator(
+            EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,), max_workers=2)
+        ).evaluate(pipeline, suite)
+        assert _suite_results_equal(serial, parallel)
+        assert serial.functional_pass_at_k()[1] == pytest.approx(1.0)
+
+    def test_unpicklable_goldens_fall_back_to_serial(self):
+        # Family suites use closure golden factories: the pool path must
+        # transparently degrade without changing a single verdict.
+        suite = build_verilogeval_human(SuiteConfig(num_tasks=4, seed=23))
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"])
+        pipeline = HaVenPipeline(backend, use_sicot=False)
+        config = EvaluationConfig(num_samples=3, ks=(1,), temperatures=(0.2,))
+        serial = BenchmarkEvaluator(config).evaluate(pipeline, suite)
+        parallel_config = EvaluationConfig(
+            num_samples=3, ks=(1,), temperatures=(0.2,), max_workers=4
+        )
+        parallel = BenchmarkEvaluator(parallel_config).evaluate(pipeline, suite)
+        assert _suite_results_equal(serial, parallel)
+
+
+def test_custom_database_receives_functional_check_traffic():
+    """An evaluator-supplied database must serve the runners, not just the checker."""
+    db = DesignDatabase()
+    suite = _picklable_suite()
+    pipeline = HaVenPipeline(PerfectBackend(), use_sicot=False)
+    config = EvaluationConfig(num_samples=2, ks=(1,), temperatures=(0.2,))
+    result = BenchmarkEvaluator(config, database=db).evaluate(pipeline, suite)
+    assert result.functional_pass_at_k()[1] == pytest.approx(1.0)
+    # Syntax check + DUT compile per task went through the supplied database.
+    assert db.stats.misses >= len(suite)
+    assert db.stats.hits + db.stats.check_hits > 0
+
+
+# --------------------------------------------------------------------------- differential parity
+class TestCachedVsColdParity:
+    """Cached and uncached paths must be bit-identical on randomized suites."""
+
+    def _cold_evaluator(self, config: EvaluationConfig) -> BenchmarkEvaluator:
+        cold_config = EvaluationConfig(
+            num_samples=config.num_samples,
+            ks=config.ks,
+            temperatures=config.temperatures,
+            mode=config.mode,
+            formal_conflict_limit=config.formal_conflict_limit,
+            memoize_results=False,
+        )
+        # max_entries=0 disables every database tier: front-end work really
+        # happens per call on this path.
+        return BenchmarkEvaluator(cold_config, database=DesignDatabase(max_entries=0))
+
+    @pytest.mark.parametrize("backend_name", ["perfect", "zero", "simulated"])
+    def test_simulation_mode_parity(self, backend_name):
+        suite = build_verilogeval_human(SuiteConfig(num_tasks=8, seed=97))
+        backend = {
+            "perfect": PerfectBackend,
+            "zero": ZeroBackend,
+            "simulated": lambda: SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"]),
+        }[backend_name]()
+        pipeline = HaVenPipeline(backend, use_sicot=False)
+        config = EvaluationConfig(num_samples=3, ks=(1,), temperatures=(0.2, 0.8))
+        cached = BenchmarkEvaluator(config).evaluate(pipeline, suite)
+        cold = self._cold_evaluator(config).evaluate(pipeline, suite)
+        assert _suite_results_equal(cached, cold)
+
+    @pytest.mark.formal
+    def test_formal_mode_parity(self):
+        suite = build_verilogeval_human(SuiteConfig(num_tasks=6, seed=41))
+        config = EvaluationConfig(
+            num_samples=2, ks=(1,), temperatures=(0.2,), mode="formal"
+        )
+        for backend in (PerfectBackend(), SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"])):
+            pipeline = HaVenPipeline(backend, use_sicot=False)
+            cached = BenchmarkEvaluator(config).evaluate(pipeline, suite)
+            cold = self._cold_evaluator(config).evaluate(pipeline, suite)
+            assert _suite_results_equal(cached, cold)
