@@ -40,7 +40,10 @@ from __future__ import annotations
 
 import platform
 import random
+import subprocess
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Callable
 
 from repro.bench.golden import VectorFunctionGolden
@@ -471,6 +474,24 @@ def bench_compile_cache(repeat: int = 3) -> dict[str, float]:
     }
 
 
+def _git_sha() -> str:
+    """The checked-out commit, so baselines are attributable across commits."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parents[2],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:
+        return "unknown"
+
+
 def collect_results(repeat: int = 5) -> dict:
     """Run every benchmark and assemble the BENCH_perf.json payload."""
     return {
@@ -479,6 +500,9 @@ def collect_results(repeat: int = 5) -> dict:
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
+            "hostname": platform.node(),
+            "git_sha": _git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         },
         "benchmarks": {
             "truth_table_8var": bench_truth_table(repeat=repeat),

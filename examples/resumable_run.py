@@ -1,0 +1,78 @@
+"""A crash-tolerant, sharded Table IV sweep through ``repro.runs``.
+
+Walks the manifest → store → report flow end to end:
+
+1. plan a tiny Table IV sweep and persist its manifest to a run directory;
+2. execute part of it, then "crash" (stop early) — the journal keeps what
+   finished;
+3. resume: a fresh engine skips every journaled unit and completes the rest;
+4. re-run the same sweep as two disjoint shards into a second store and check
+   the merged journal aggregates bit-for-bit to the serial result;
+5. render the Table IV report from the journal (works mid-run too).
+
+Run with::
+
+    python examples/resumable_run.py
+
+The run directory defaults to ``./runs/example-table4`` (override with the
+``REPRO_RUN_DIR`` environment variable); the same flow is available from the
+shell via ``python -m repro.runs plan|run|status|report``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench.reporting import render_table4
+from repro.experiments import ExperimentScale
+from repro.runs import RunEngine, RunStore, StreamingAggregator
+from repro.runs.presets import table4_manifest
+
+
+def main() -> None:
+    base_dir = Path(os.environ.get("REPRO_RUN_DIR", "runs/example-table4"))
+    manifest = table4_manifest(
+        ExperimentScale.tiny(),
+        baseline_keys=["gpt-4", "rtlcoder-deepseek"],
+        include_haven=False,
+    )
+
+    # --- 1. plan ----------------------------------------------------------
+    serial_dir = base_dir / "serial"
+    store = RunStore(serial_dir)
+    engine = RunEngine(manifest, store)
+    total = len(engine.units())
+    print(f"manifest {manifest.manifest_hash[:12]}: {total} work units -> {serial_dir}")
+
+    # --- 2. run a slice, then 'crash' -------------------------------------
+    partial = engine.run(max_units=total // 3)
+    print(f"executed {partial.executed} units, then stopped (simulated crash)")
+
+    # --- 3. resume from the journal ---------------------------------------
+    resumed_store = RunStore(serial_dir)  # reopen: the journal is the state
+    resumed = RunEngine(manifest, resumed_store).run()
+    print(
+        f"resume: skipped {resumed.skipped} journaled units, "
+        f"executed the remaining {resumed.executed}"
+    )
+    serial_rows = StreamingAggregator(manifest).feed_store(resumed_store).table4_rows()
+
+    # --- 4. the same sweep, two disjoint shards into one store ------------
+    shard_dir = base_dir / "sharded"
+    for shard_index in range(2):
+        stats = RunEngine(manifest, RunStore(shard_dir)).run(
+            shard_index=shard_index, shard_count=2
+        )
+        print(f"shard {shard_index}/2: executed {stats.executed} units")
+    shard_rows = StreamingAggregator(manifest).feed_store(RunStore(shard_dir)).table4_rows()
+    assert shard_rows == serial_rows, "sharded and serial runs must agree bit-for-bit"
+    print("sharded == serial: identical Table IV rows")
+
+    # --- 5. report --------------------------------------------------------
+    print()
+    print(render_table4(serial_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,7 @@ state beyond the memo.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..core.llm.base import GenerationConfig
 from ..core.pipeline import HaVenPipeline
@@ -87,6 +87,40 @@ class EvaluationConfig:
             memoize_results=self.memoize_results,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe serialization (run manifests persist this verbatim)."""
+        return {
+            "num_samples": self.num_samples,
+            "ks": list(self.ks),
+            "temperatures": list(self.temperatures),
+            "seed": self.seed,
+            "stimulus_seed": self.stimulus_seed,
+            "max_tasks": self.max_tasks,
+            "use_batch_simulator": self.use_batch_simulator,
+            "differential_oracle": self.differential_oracle,
+            "mode": self.mode,
+            "formal_conflict_limit": self.formal_conflict_limit,
+            "max_workers": self.max_workers,
+            "memoize_results": self.memoize_results,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EvaluationConfig":
+        return cls(
+            num_samples=int(payload["num_samples"]),
+            ks=tuple(int(k) for k in payload["ks"]),
+            temperatures=tuple(float(t) for t in payload["temperatures"]),
+            seed=int(payload.get("seed", 0)),
+            stimulus_seed=int(payload.get("stimulus_seed", 1234)),
+            max_tasks=payload.get("max_tasks"),
+            use_batch_simulator=bool(payload.get("use_batch_simulator", True)),
+            differential_oracle=bool(payload.get("differential_oracle", False)),
+            mode=str(payload.get("mode", "simulation")),
+            formal_conflict_limit=payload.get("formal_conflict_limit"),
+            max_workers=int(payload.get("max_workers", 1)),
+            memoize_results=bool(payload.get("memoize_results", True)),
+        )
+
 
 @dataclass
 class TaskResult:
@@ -103,6 +137,29 @@ class TaskResult:
     @property
     def passed_at_least_once(self) -> bool:
         return self.num_functional_passes > 0
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "category": self.category,
+            "num_samples": self.num_samples,
+            "num_functional_passes": self.num_functional_passes,
+            "num_syntax_passes": self.num_syntax_passes,
+            "temperature": self.temperature,
+            "failure_examples": list(self.failure_examples),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TaskResult":
+        return cls(
+            task_id=str(payload["task_id"]),
+            category=str(payload["category"]),
+            num_samples=int(payload["num_samples"]),
+            num_functional_passes=int(payload["num_functional_passes"]),
+            num_syntax_passes=int(payload["num_syntax_passes"]),
+            temperature=float(payload["temperature"]),
+            failure_examples=[str(entry) for entry in payload.get("failure_examples", [])],
+        )
 
 
 @dataclass
@@ -147,6 +204,81 @@ class SuiteResult:
             category: compute_pass_at_k(counts, (1,)).values[1]
             for category, counts in by_category.items()
         }
+
+    def to_dict(self) -> dict:
+        return {
+            "suite_name": self.suite_name,
+            "model_name": self.model_name,
+            "ks": list(self.ks),
+            "task_results": [result.to_dict() for result in self.task_results],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SuiteResult":
+        return cls(
+            suite_name=str(payload["suite_name"]),
+            model_name=str(payload["model_name"]),
+            ks=tuple(int(k) for k in payload.get("ks", (1, 5))),
+            task_results=[TaskResult.from_dict(entry) for entry in payload.get("task_results", [])],
+        )
+
+
+def task_check_keys(
+    task: BenchmarkTask, config: EvaluationConfig, temperature: float
+) -> tuple[list[dict[str, int]], str, str]:
+    """Stimulus plus the (stimulus, mode) halves of every :class:`ResultKey`.
+
+    This is the single definition of how a task's checking side is
+    content-addressed; the in-memory evaluator and the resumable run engine
+    both build their keys here so their verdicts land on the same addresses.
+    With memoisation off, the key is salted per temperature so nothing is
+    shared between temperature sweeps (the guaranteed-cold baseline).
+    """
+    stimulus = task.stimulus(config.stimulus_seed)
+    salt = "" if config.memoize_results else f"T{temperature}"
+    task_stimulus_key = stimulus_key(
+        task.task_id,
+        stimulus,
+        task.check_outputs,
+        task.clock,
+        task.reset,
+        reference_source=task.reference_source,
+        salt=salt,
+    )
+    task_mode_key = mode_key(
+        config.mode,
+        config.use_batch_simulator,
+        config.differential_oracle,
+        config.formal_conflict_limit,
+    )
+    return stimulus, task_stimulus_key, task_mode_key
+
+
+def check_request_for(
+    task: BenchmarkTask,
+    code: str,
+    key: ResultKey,
+    stimulus: list[dict[str, int]],
+    config: EvaluationConfig,
+    database=None,
+) -> CheckRequest:
+    """Build the self-contained check request for one compiled candidate."""
+    return CheckRequest(
+        key=key,
+        code=code,
+        task_id=task.task_id,
+        golden_factory=task.golden_factory,
+        stimulus=stimulus,
+        reference_source=task.reference_source,
+        check_outputs=task.check_outputs,
+        clock=task.clock,
+        reset=task.reset,
+        mode=config.mode,
+        use_batch=config.use_batch_simulator,
+        differential=config.differential_oracle,
+        formal_conflict_limit=config.formal_conflict_limit,
+        database=database,
+    )
 
 
 @dataclass
@@ -243,24 +375,8 @@ class BenchmarkEvaluator:
             prompt_style=task.prompt_style,
             task_id=task.task_id,
         )
-        stimulus = task.stimulus(self.config.stimulus_seed)
-        # With memoisation off, salt the key per temperature so nothing is
-        # shared between temperature sweeps (the guaranteed-cold baseline).
-        salt = "" if self.config.memoize_results else f"T{temperature}"
-        task_stimulus_key = stimulus_key(
-            task.task_id,
-            stimulus,
-            task.check_outputs,
-            task.clock,
-            task.reset,
-            reference_source=task.reference_source,
-            salt=salt,
-        )
-        task_mode_key = mode_key(
-            self.config.mode,
-            self.config.use_batch_simulator,
-            self.config.differential_oracle,
-            self.config.formal_conflict_limit,
+        stimulus, task_stimulus_key, task_mode_key = task_check_keys(
+            task, self.config, temperature
         )
 
         plan = _TemperaturePlan(
@@ -288,21 +404,8 @@ class BenchmarkEvaluator:
             )
             plan.keys.append(key)
             if key not in self.memo and key not in pending:
-                pending[key] = CheckRequest(
-                    key=key,
-                    code=sample.code,
-                    task_id=task.task_id,
-                    golden_factory=task.golden_factory,
-                    stimulus=stimulus,
-                    reference_source=task.reference_source,
-                    check_outputs=task.check_outputs,
-                    clock=task.clock,
-                    reset=task.reset,
-                    mode=self.config.mode,
-                    use_batch=self.config.use_batch_simulator,
-                    differential=self.config.differential_oracle,
-                    formal_conflict_limit=self.config.formal_conflict_limit,
-                    database=self.database,
+                pending[key] = check_request_for(
+                    task, sample.code, key, stimulus, self.config, database=self.database
                 )
         return plan
 

@@ -126,6 +126,54 @@ class CheckRequest:
     database: object | None = None
 
 
+# --------------------------------------------------------------------------- outcomes
+@dataclass
+class CheckOutcome:
+    """Persisted verdict of one generated sample (one work unit of a run).
+
+    This is the journal-level record of the resumable run engine: everything
+    the streaming aggregators need to rebuild a
+    :class:`~repro.bench.evaluator.TaskResult` bit-for-bit — the syntax verdict
+    (with the same one-error summary string the evaluator keeps), the
+    functional verdict and its ``failure_summary`` — plus the candidate's
+    content address for cross-run dedup and audit.
+    """
+
+    sample_index: int
+    temperature: float
+    syntax_ok: bool
+    syntax_error: str = ""
+    functional_passed: bool = False
+    failure_summary: str = ""
+    total_checks: int = 0
+    design_key: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "sample_index": self.sample_index,
+            "temperature": self.temperature,
+            "syntax_ok": self.syntax_ok,
+            "syntax_error": self.syntax_error,
+            "functional_passed": self.functional_passed,
+            "failure_summary": self.failure_summary,
+            "total_checks": self.total_checks,
+            "design_key": self.design_key,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CheckOutcome":
+        return cls(
+            sample_index=int(payload["sample_index"]),
+            temperature=float(payload["temperature"]),
+            syntax_ok=bool(payload["syntax_ok"]),
+            syntax_error=str(payload.get("syntax_error", "")),
+            functional_passed=bool(payload.get("functional_passed", False)),
+            failure_summary=str(payload.get("failure_summary", "")),
+            total_checks=int(payload.get("total_checks", 0)),
+            design_key=str(payload.get("design_key", "")),
+        )
+
+
 #: Per-process golden cache for check execution (each pool worker process gets
 #: its own copy via fork/spawn, so models never cross process boundaries).
 _worker_goldens = GoldenCache()

@@ -8,8 +8,26 @@ from typing import Mapping, Sequence
 from .evaluator import SuiteResult
 
 
+def _is_numeric_cell(text: str) -> bool:
+    """Whether a rendered cell is a bare number (optionally signed / percent)."""
+    stripped = text.strip().rstrip("%x")
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
-    """Render a simple aligned text table."""
+    """Render a simple aligned text table.
+
+    Numeric cells (including ``+1.2``-style deltas and ``%``/``x``-suffixed
+    values) are right-aligned within their column; everything else stays
+    left-aligned.  An empty ``rows`` renders an explicit ``(no rows)`` body
+    instead of a dangling separator line.
+    """
     columns = [[str(header)] + [str(row[index]) for row in rows] for index, header in enumerate(headers)]
     widths = [max(len(cell) for cell in column) for column in columns]
     lines = []
@@ -18,10 +36,15 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     header_line = " | ".join(header.ljust(width) for header, width in zip(headers, widths))
     lines.append(header_line)
     lines.append("-+-".join("-" * width for width in widths))
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
     for row in rows:
-        lines.append(
-            " | ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
-        )
+        cells = []
+        for cell, width in zip(row, widths):
+            text = str(cell)
+            cells.append(text.rjust(width) if _is_numeric_cell(text) else text.ljust(width))
+        lines.append(" | ".join(cells))
     return "\n".join(lines)
 
 
@@ -124,6 +147,27 @@ class Table5Row:
         passed = self.truth_table[0] + self.waveform[0] + self.state_diagram[0]
         total = self.truth_table[1] + self.waveform[1] + self.state_diagram[1]
         return 100.0 * passed / total if total else 0.0
+
+
+def table5_row_from_result(model: str, result: SuiteResult) -> Table5Row:
+    """Assemble a Table V row from a symbolic-suite result.
+
+    Per-modality task counts use the plain pass@1 estimate scaled to task
+    counts (a task counts as passed in proportion to its fraction of passing
+    samples, rounded over the modality).
+    """
+
+    def count(category: str) -> tuple[int, int]:
+        results = [r for r in result.task_results if r.category == category]
+        estimates = [r.num_functional_passes / max(1, r.num_samples) for r in results]
+        return round(sum(estimates)), len(results)
+
+    return Table5Row(
+        model=model,
+        truth_table=count("truth_table"),
+        waveform=count("waveform"),
+        state_diagram=count("state_diagram"),
+    )
 
 
 def render_table5(rows: Sequence[Table5Row], title: str = "Table V: Evaluation on symbolic modalities") -> str:

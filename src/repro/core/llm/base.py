@@ -12,6 +12,7 @@ could be dropped in without touching the benchmark harness.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass, field
 
 from ...symbolic.detector import SymbolicModality
@@ -114,6 +115,24 @@ class LLMBackend(abc.ABC):
     @abc.abstractmethod
     def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
         """Produce ``config.num_samples`` candidate completions for ``context``."""
+
+    def generate_at(
+        self, context: GenerationContext, config: GenerationConfig, index: int
+    ) -> GeneratedSample:
+        """Produce the sample at ``index`` of the deterministic sample stream.
+
+        The contract (which the resumable run engine relies on) is that for a
+        fixed ``(context, config)`` the stream of samples is deterministic and
+        per-index addressable: ``generate_at(ctx, cfg, i)`` must equal
+        ``generate(ctx, cfg')[i]`` for any ``cfg'`` that only differs in
+        ``num_samples > i``.  The default implementation draws the prefix and
+        indexes it; deterministic backends should override with a direct
+        per-index derivation.
+        """
+        if index < 0:
+            raise IndexError(f"sample index must be non-negative, got {index}")
+        prefix = dataclasses.replace(config, num_samples=index + 1)
+        return self.generate(context, prefix)[index]
 
     def generate_one(self, context: GenerationContext, config: GenerationConfig | None = None) -> GeneratedSample:
         """Convenience wrapper returning a single sample."""

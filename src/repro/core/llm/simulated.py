@@ -67,6 +67,23 @@ def _logistic(x: float) -> float:
     return 1.0 / (1.0 + math.exp(-x))
 
 
+def sample_stream_key(
+    identity: str, backend_seed: int, task_id: str, config: GenerationConfig, index: int
+) -> str:
+    """Canonical cache key of one sample in the deterministic sample stream.
+
+    The temperature is canonicalised through ``repr(float(...))`` so every
+    code path that builds a sample key — serial generation, per-unit sharded
+    generation, resumed runs — spells the same temperature identically and
+    distinct temperatures can never collide (an int-typed ``0`` and a float
+    ``0.0`` are the same draw, while ``0.2`` vs ``0.5`` always differ).
+    """
+    return (
+        f"{identity}|{backend_seed}|{task_id}|{config.seed}|"
+        f"{float(config.temperature)!r}|{index}"
+    )
+
+
 def success_probability(skill: float, demand: float, steepness: float = LOGISTIC_STEEPNESS) -> float:
     """Probability of succeeding on one axis given skill and demand levels."""
     return _logistic(steepness * (skill - demand))
@@ -92,11 +109,20 @@ class SimulatedCodeGenLLM(LLMBackend):
     # ------------------------------------------------------------------ generation
     def generate(self, context: GenerationContext, config: GenerationConfig) -> list[GeneratedSample]:
         """Generate ``config.num_samples`` candidates for one task."""
-        samples: list[GeneratedSample] = []
-        for index in range(config.num_samples):
-            rng = self._sample_rng(context, config, index)
-            samples.append(self._generate_sample(context, config, index, rng))
-        return samples
+        return [self.generate_at(context, config, index) for index in range(config.num_samples)]
+
+    def generate_at(
+        self, context: GenerationContext, config: GenerationConfig, index: int
+    ) -> GeneratedSample:
+        """Generate exactly the sample at ``index`` of the deterministic stream.
+
+        Every sample is seeded independently by
+        :func:`sample_stream_key` — not by ``num_samples`` or by the other
+        samples — so a sharded or resumed run that draws sample ``i`` in
+        isolation reproduces the serial run bit-for-bit.
+        """
+        rng = self._sample_rng(context, config, index)
+        return self._generate_sample(context, config, index, rng)
 
     def _generate_sample(
         self,
@@ -247,9 +273,8 @@ class SimulatedCodeGenLLM(LLMBackend):
     def _sample_rng(
         self, context: GenerationContext, config: GenerationConfig, index: int
     ) -> random.Random:
-        key = (
-            f"{self.profile.latent_identity()}|{self.seed}|{context.task_id}|{config.seed}|"
-            f"{config.temperature}|{index}"
+        key = sample_stream_key(
+            self.profile.latent_identity(), self.seed, context.task_id, config, index
         )
         digest = hashlib.sha256(key.encode()).hexdigest()
         return random.Random(int(digest[:16], 16))

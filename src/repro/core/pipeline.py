@@ -10,6 +10,7 @@ of the ablation study; swapping the backend/profile yields every row of Table IV
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..symbolic.detector import SymbolicModality
 from .llm.base import (
@@ -62,6 +63,7 @@ class HaVenPipeline:
         config: GenerationConfig | None = None,
         prompt_style: str = "completion",
         task_id: str = "",
+        sample_indices: Sequence[int] | None = None,
     ) -> PipelineResult:
         """Run the full pipeline for one task.
 
@@ -75,6 +77,10 @@ class HaVenPipeline:
             config: sampling configuration.
             prompt_style: ``"completion"`` or ``"spec_to_rtl"``.
             task_id: identifier for deterministic sampling.
+            sample_indices: draw only these indices of the deterministic sample
+                stream instead of ``range(config.num_samples)`` (the resumable
+                run engine uses this to execute individual work units; each
+                returned sample keeps its true ``sample_index``).
         """
         config = config or GenerationConfig()
         demands = demands or TaskDemands()
@@ -98,5 +104,10 @@ class HaVenPipeline:
             prompt_style=prompt_style,
             task_id=task_id,
         )
-        samples = self.backend.generate(context, config)
+        if sample_indices is None:
+            samples = self.backend.generate(context, config)
+        else:
+            samples = [
+                self.backend.generate_at(context, config, index) for index in sample_indices
+            ]
         return PipelineResult(refined_prompt=refined, samples=samples)

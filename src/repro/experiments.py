@@ -6,6 +6,16 @@ pipelines (with/without SI-CoT) → benchmark evaluation → report rendering.  
 ``benchmarks/`` directory calls them (scaled down by default) and ``EXPERIMENTS.md``
 records the measured numbers next to the paper's.
 
+Since the resumable-runs refactor each driver is a thin wrapper over
+:mod:`repro.runs`: it builds a declarative
+:class:`~repro.runs.manifest.RunManifest` (see :mod:`repro.runs.presets`),
+executes it through the :class:`~repro.runs.engine.RunEngine` — by default into
+an ephemeral in-memory store, or into any persistent
+:class:`~repro.runs.store.RunStore` passed via ``store=`` so a sweep survives
+crashes, resumes, and shards across workers — and renders its output through
+the streaming aggregators.  The results are bit-for-bit what the old
+monolithic in-memory drivers produced (pinned by ``tests/runs/test_parity.py``).
+
 Scaling: the ``ExperimentScale`` dataclass controls task counts, samples per task
 and corpus size.  ``ExperimentScale.paper()`` uses the paper's real sizes
 (143/156/29 tasks, n = 10, three temperatures); ``ExperimentScale.quick()`` is the
@@ -15,16 +25,11 @@ default for CI-sized runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from .bench.evaluator import BenchmarkEvaluator, EvaluationConfig, SuiteResult
-from .bench.reporting import (
-    AblationSeries,
-    Table4Row,
-    Table5Row,
-    table4_row_from_results,
-)
+from .bench.evaluator import EvaluationConfig
+from .bench.reporting import AblationSeries, Table4Row, Table5Row
 from .bench.rtllm import RTLLMConfig, build_rtllm
-from .bench.symbolic_suite import build_symbolic_suite
 from .bench.task import BenchmarkSuite
 from .bench.verilogeval import SuiteConfig, build_verilogeval_human, build_verilogeval_machine
 from .bench.verilogeval_v2 import V2Config, build_verilogeval_v2
@@ -37,6 +42,9 @@ from .core.llm.finetune import DatasetMix, FineTuner
 from .core.llm.profiles import BASE_MODEL_PROFILES, BASELINE_PROFILES, CapabilityProfile
 from .core.llm.simulated import SimulatedCodeGenLLM
 from .core.pipeline import HaVenPipeline
+
+if TYPE_CHECKING:
+    from .runs import RunManifest, RunStore, StreamingAggregator
 
 #: The three base models HaVen fine-tunes, keyed by profile id.
 HAVEN_BASE_MODELS = {
@@ -67,6 +75,21 @@ class ExperimentScale:
         return cls()
 
     @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """Very small scale for smoke tests of the run machinery itself."""
+        return cls(
+            corpus_size=50,
+            l_dataset_concise=10,
+            l_dataset_faithful=6,
+            machine_tasks=6,
+            human_tasks=8,
+            rtllm_tasks=3,
+            v2_tasks=4,
+            num_samples=2,
+            temperatures=(0.2,),
+        )
+
+    @classmethod
     def paper(cls) -> "ExperimentScale":
         """The paper's full experimental scale (slow: hours of simulation)."""
         return cls(
@@ -87,6 +110,41 @@ class ExperimentScale:
             ks=(1, 5) if self.num_samples >= 5 else (1,),
             temperatures=self.temperatures,
             seed=self.seed,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe serialization (run manifests persist this verbatim)."""
+        return {
+            "corpus_size": self.corpus_size,
+            "l_dataset_concise": self.l_dataset_concise,
+            "l_dataset_faithful": self.l_dataset_faithful,
+            "machine_tasks": self.machine_tasks,
+            "human_tasks": self.human_tasks,
+            "rtllm_tasks": self.rtllm_tasks,
+            "v2_tasks": self.v2_tasks,
+            "num_samples": self.num_samples,
+            "temperatures": list(self.temperatures),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentScale":
+        """Inverse of :meth:`to_dict`; missing keys fall back to the defaults
+        (hand-built manifests may carry a partial or empty scale dict)."""
+        defaults = cls()
+        return cls(
+            corpus_size=int(payload.get("corpus_size", defaults.corpus_size)),
+            l_dataset_concise=int(payload.get("l_dataset_concise", defaults.l_dataset_concise)),
+            l_dataset_faithful=int(payload.get("l_dataset_faithful", defaults.l_dataset_faithful)),
+            machine_tasks=int(payload.get("machine_tasks", defaults.machine_tasks)),
+            human_tasks=int(payload.get("human_tasks", defaults.human_tasks)),
+            rtllm_tasks=int(payload.get("rtllm_tasks", defaults.rtllm_tasks)),
+            v2_tasks=int(payload.get("v2_tasks", defaults.v2_tasks)),
+            num_samples=int(payload.get("num_samples", defaults.num_samples)),
+            temperatures=tuple(
+                float(t) for t in payload.get("temperatures", defaults.temperatures)
+            ),
+            seed=int(payload.get("seed", 0)),
         )
 
 
@@ -173,6 +231,17 @@ def build_suites(scale: ExperimentScale | None = None) -> dict[str, BenchmarkSui
     }
 
 
+# --------------------------------------------------------------------------- run execution
+def _run_manifest(manifest: "RunManifest", store: "RunStore | None" = None) -> "StreamingAggregator":
+    """Execute a manifest (resuming whatever ``store`` already journals) and aggregate."""
+    from .runs import RunEngine, RunStore, StreamingAggregator
+
+    store = store or RunStore.ephemeral()
+    engine = RunEngine(manifest, store)
+    engine.run()
+    return StreamingAggregator(manifest, resolver=engine.resolver).feed_store(store)
+
+
 # --------------------------------------------------------------------------- Table IV
 #: Table IV baselines grouped the way the paper groups them.
 TABLE4_BASELINES: dict[str, str] = {
@@ -200,50 +269,17 @@ def run_table4(
     scale: ExperimentScale | None = None,
     baseline_keys: list[str] | None = None,
     include_haven: bool = True,
+    store: "RunStore | None" = None,
 ) -> list[Table4Row]:
-    """Reproduce Table IV: every model evaluated on the four benchmarks."""
-    scale = scale or ExperimentScale.quick()
-    suites = build_suites(scale)
-    evaluator = BenchmarkEvaluator(scale.evaluation_config())
+    """Reproduce Table IV: every model evaluated on the four benchmarks.
 
-    rows: list[Table4Row] = []
-    keys = baseline_keys if baseline_keys is not None else list(TABLE4_BASELINES)
-    for key in keys:
-        profile = BASELINE_PROFILES[key]
-        pipeline = baseline_pipeline(key, use_sicot=False, seed=scale.seed)
-        results = {name: evaluator.evaluate(pipeline, suite) for name, suite in suites.items()}
-        rows.append(
-            table4_row_from_results(
-                model=profile.name,
-                group=TABLE4_BASELINES.get(key, "General LLM"),
-                open_source=profile.open_source,
-                model_size=profile.model_size,
-                machine=results["machine"],
-                human=results["human"],
-                rtllm=results["rtllm"],
-                v2=results["v2"],
-            )
-        )
+    Pass a persistent :class:`~repro.runs.store.RunStore` via ``store`` to make
+    the sweep resumable/shardable; by default it runs in memory.
+    """
+    from .runs.presets import table4_manifest
 
-    if include_haven:
-        datasets = build_datasets(scale)
-        haven = build_haven_models(datasets, use_sicot=True, seed=scale.seed)
-        for name, pipeline in haven.pipelines.items():
-            profile = haven.profiles[name]
-            results = {suite_name: evaluator.evaluate(pipeline, suite) for suite_name, suite in suites.items()}
-            rows.append(
-                table4_row_from_results(
-                    model=name,
-                    group="Ours",
-                    open_source=True,
-                    model_size=profile.model_size,
-                    machine=results["machine"],
-                    human=results["human"],
-                    rtllm=results["rtllm"],
-                    v2=results["v2"],
-                )
-            )
-    return rows
+    manifest = table4_manifest(scale, baseline_keys=baseline_keys, include_haven=include_haven)
+    return _run_manifest(manifest, store).table4_rows()
 
 
 # --------------------------------------------------------------------------- Table V
@@ -251,45 +287,20 @@ def run_table4(
 TABLE5_MODELS = ["rtlcoder-deepseek", "origen-deepseek", "gpt-4", "deepseek-coder-v2"]
 
 
-def run_table5(scale: ExperimentScale | None = None, full_subset: bool = True) -> list[Table5Row]:
+def run_table5(
+    scale: ExperimentScale | None = None,
+    full_subset: bool = True,
+    store: "RunStore | None" = None,
+) -> list[Table5Row]:
     """Reproduce Table V: per-modality pass@1 on the symbolic subset.
 
     The symbolic subset is only 44 tasks, so by default it is built at the
     paper's full size regardless of the scale's ``human_tasks`` setting.
     """
-    scale = scale or ExperimentScale.quick()
-    subset_size = None if full_subset else scale.human_tasks
-    suite = build_symbolic_suite(SuiteConfig(num_tasks=subset_size, seed=scale.seed + 11))
-    config = scale.evaluation_config()
-    evaluator = BenchmarkEvaluator(config)
+    from .runs.presets import table5_manifest
 
-    def to_row(name: str, result: SuiteResult) -> Table5Row:
-        def count(category: str) -> tuple[int, int]:
-            results = [r for r in result.task_results if r.category == category]
-            passed = sum(1 for r in results if r.passed_at_least_once and r.num_functional_passes * 2 >= r.num_samples)
-            # pass@1-style counting: a task counts as passed when the majority of
-            # samples pass; use the plain pass@1 estimate scaled to task counts.
-            estimates = [r.num_functional_passes / max(1, r.num_samples) for r in results]
-            passed = round(sum(estimates))
-            return passed, len(results)
-
-        return Table5Row(
-            model=name,
-            truth_table=count("truth_table"),
-            waveform=count("waveform"),
-            state_diagram=count("state_diagram"),
-        )
-
-    rows: list[Table5Row] = []
-    for key in TABLE5_MODELS:
-        pipeline = baseline_pipeline(key, use_sicot=False, seed=scale.seed)
-        rows.append(to_row(BASELINE_PROFILES[key].name, evaluator.evaluate(pipeline, suite)))
-
-    datasets = build_datasets(scale)
-    haven = build_haven_models(datasets, use_sicot=True, seed=scale.seed)
-    haven_pipeline = haven.pipelines["HaVen-CodeQwen"]
-    rows.append(to_row("HaVen-CodeQwen", evaluator.evaluate(haven_pipeline, suite)))
-    return rows
+    manifest = table5_manifest(scale, full_subset=full_subset)
+    return _run_manifest(manifest, store).table5_rows()
 
 
 # --------------------------------------------------------------------------- Table VI
@@ -297,87 +308,36 @@ def run_table5(scale: ExperimentScale | None = None, full_subset: bool = True) -
 TABLE6_MODELS = ["gpt-4o-mini", "gpt-4", "deepseek-coder-v2"]
 
 
-def run_table6(scale: ExperimentScale | None = None, full_subset: bool = True) -> dict[str, tuple[float, float]]:
+def run_table6(
+    scale: ExperimentScale | None = None,
+    full_subset: bool = True,
+    store: "RunStore | None" = None,
+) -> dict[str, tuple[float, float]]:
     """Reproduce Table VI: pass@1 with vs without SI-CoT on the symbolic subset."""
-    scale = scale or ExperimentScale.quick()
-    subset_size = None if full_subset else scale.human_tasks
-    suite = build_symbolic_suite(SuiteConfig(num_tasks=subset_size, seed=scale.seed + 11))
-    evaluator = BenchmarkEvaluator(scale.evaluation_config())
-    rows: dict[str, tuple[float, float]] = {}
-    for key in TABLE6_MODELS:
-        with_cot = evaluator.evaluate(baseline_pipeline(key, use_sicot=True, seed=scale.seed), suite)
-        without_cot = evaluator.evaluate(baseline_pipeline(key, use_sicot=False, seed=scale.seed), suite)
-        rows[BASELINE_PROFILES[key].name] = (
-            with_cot.functional_percentages()[1],
-            without_cot.functional_percentages()[1],
-        )
-    return rows
+    from .runs.presets import table6_manifest
+
+    manifest = table6_manifest(scale, full_subset=full_subset)
+    return _run_manifest(manifest, store).table6_rows()
 
 
 # --------------------------------------------------------------------------- Fig. 3
-def run_fig3(scale: ExperimentScale | None = None) -> list[AblationSeries]:
+def run_fig3(
+    scale: ExperimentScale | None = None,
+    store: "RunStore | None" = None,
+) -> list[AblationSeries]:
     """Reproduce Fig. 3: the five ablation settings across the three base models."""
-    scale = scale or ExperimentScale.quick()
-    datasets = build_datasets(scale)
-    suite = build_verilogeval_human(SuiteConfig(num_tasks=scale.human_tasks, seed=scale.seed + 11))
-    evaluator = BenchmarkEvaluator(scale.evaluation_config())
-    tuner = FineTuner()
+    from .runs.presets import fig3_manifest
 
-    series: list[AblationSeries] = []
-    for base_key, haven_name in HAVEN_BASE_MODELS.items():
-        base_profile = BASE_MODEL_PROFILES[base_key]
-        vanilla_profile, _ = tuner.finetune(
-            base_profile, DatasetMix(vanilla=datasets.vanilla), tuned_name=f"{base_profile.name}+vanilla"
-        )
-        kl_profile, _ = tuner.finetune(
-            base_profile,
-            DatasetMix(vanilla=datasets.vanilla, k_dataset=datasets.k_dataset, l_dataset=datasets.l_dataset),
-            tuned_name=f"{base_profile.name}+vanilla+KL",
-        )
-        settings = {
-            "base": HaVenPipeline(SimulatedCodeGenLLM(base_profile, seed=scale.seed), use_sicot=False),
-            "vanilla": HaVenPipeline(SimulatedCodeGenLLM(vanilla_profile, seed=scale.seed), use_sicot=False),
-            "vanilla+CoT": HaVenPipeline(SimulatedCodeGenLLM(vanilla_profile, seed=scale.seed), use_sicot=True),
-            "vanilla+KL": HaVenPipeline(SimulatedCodeGenLLM(kl_profile, seed=scale.seed), use_sicot=False),
-            "vanilla+CoT+KL": HaVenPipeline(SimulatedCodeGenLLM(kl_profile, seed=scale.seed), use_sicot=True),
-        }
-        entry = AblationSeries(model=haven_name.replace("HaVen-", ""))
-        for setting, pipeline in settings.items():
-            result = evaluator.evaluate(pipeline, suite)
-            percentages = result.functional_percentages()
-            entry.pass1[setting] = percentages.get(1, 0.0)
-            entry.pass5[setting] = percentages.get(5, percentages.get(1, 0.0))
-        series.append(entry)
-    return series
+    return _run_manifest(fig3_manifest(scale), store).fig3_series()
 
 
 # --------------------------------------------------------------------------- Fig. 4
 def run_fig4(
     scale: ExperimentScale | None = None,
     portions: tuple[int, ...] = (0, 50, 100),
+    store: "RunStore | None" = None,
 ) -> tuple[dict[tuple[int, int], float], dict[tuple[int, int], float]]:
     """Reproduce Fig. 4: pass@1/5 grids over K/L dataset portions (CodeQwen)."""
-    scale = scale or ExperimentScale.quick()
-    datasets = build_datasets(scale)
-    suite = build_verilogeval_human(SuiteConfig(num_tasks=scale.human_tasks, seed=scale.seed + 11))
-    evaluator = BenchmarkEvaluator(scale.evaluation_config())
-    tuner = FineTuner()
-    base_profile = BASE_MODEL_PROFILES["codeqwen-7b"]
+    from .runs.presets import fig4_manifest
 
-    grid_pass1: dict[tuple[int, int], float] = {}
-    grid_pass5: dict[tuple[int, int], float] = {}
-    for k_portion in portions:
-        for l_portion in portions:
-            k_subset = datasets.k_dataset.subset(k_portion / 100.0, seed=scale.seed)
-            l_subset = datasets.l_dataset.subset(l_portion / 100.0, seed=scale.seed)
-            profile, _ = tuner.finetune(
-                base_profile,
-                DatasetMix(vanilla=datasets.vanilla, k_dataset=k_subset, l_dataset=l_subset),
-                tuned_name=f"CodeQwen+K{k_portion}+L{l_portion}",
-            )
-            pipeline = HaVenPipeline(SimulatedCodeGenLLM(profile, seed=scale.seed), use_sicot=True)
-            result = evaluator.evaluate(pipeline, suite)
-            percentages = result.functional_percentages()
-            grid_pass1[(k_portion, l_portion)] = percentages.get(1, 0.0)
-            grid_pass5[(k_portion, l_portion)] = percentages.get(5, percentages.get(1, 0.0))
-    return grid_pass1, grid_pass5
+    return _run_manifest(fig4_manifest(scale, portions=portions), store).fig4_grids()

@@ -1,0 +1,44 @@
+"""Resumable, shardable experiment runs.
+
+This package lifts PR 4's content-addressed discipline from single checks to
+whole experiment sweeps:
+
+* :class:`~repro.runs.manifest.RunManifest` declares a sweep (profiles, suites,
+  :class:`~repro.bench.evaluator.EvaluationConfig`, temperatures, samples) and
+  deterministically expands into content-addressed
+  :class:`~repro.runs.manifest.WorkUnit`\\ s keyed by ``(manifest_hash,
+  profile_id, suite_id, task_id, temperature, sample_index)``;
+* :class:`~repro.runs.store.RunStore` persists every completed unit in an
+  append-only JSONL journal (pluggable directory via ``REPRO_RUN_DIR``) with an
+  in-memory index, recovering from a corrupted trailing line after a crash;
+* :class:`~repro.runs.engine.RunEngine` executes units through the shared
+  ``run_checks`` pool, skips everything already journaled (kill ``-9`` a sweep
+  and re-invoke: it resumes where it left off) and shards disjointly with
+  ``--shard i/n``;
+* :class:`~repro.runs.aggregate.StreamingAggregator` rebuilds pass@k, the
+  Table IV/V/VI rows and the Fig. 3/4 series incrementally from the journal, so
+  reports render from partially complete runs.
+
+``python -m repro.runs`` exposes the ``plan`` / ``run`` / ``status`` /
+``report`` CLI; the ``run_*`` drivers in :mod:`repro.experiments` are thin
+manifest-builders on top of this machinery.
+"""
+
+from .aggregate import RunProgress, StreamingAggregator
+from .engine import RunEngine, RunStats
+from .manifest import ProfileSpec, RunManifest, SuiteSpec, WorkUnit
+from .resolve import ManifestResolver
+from .store import RunStore
+
+__all__ = [
+    "ManifestResolver",
+    "ProfileSpec",
+    "RunEngine",
+    "RunManifest",
+    "RunProgress",
+    "RunStats",
+    "RunStore",
+    "StreamingAggregator",
+    "SuiteSpec",
+    "WorkUnit",
+]

@@ -1,0 +1,171 @@
+"""Resolution of manifest specs into live pipelines and suites.
+
+A manifest is pure data; the resolver turns its :class:`ProfileSpec` /
+:class:`SuiteSpec` entries back into :class:`~repro.core.pipeline.HaVenPipeline`
+and :class:`~repro.bench.task.BenchmarkSuite` objects, replicating the exact
+construction paths of the in-memory experiment drivers (same dataset builds,
+same fine-tuning mixes, same seeds) so that a sweep executed through the run
+engine is bit-for-bit the sweep the old monolithic functions produced.
+Everything is cached per resolver instance: datasets are built once, each
+profile is fine-tuned once, each suite is built once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..bench.task import BenchmarkSuite, BenchmarkTask
+from ..core.llm.finetune import DatasetMix, FineTuner
+from ..core.llm.profiles import BASE_MODEL_PROFILES, BASELINE_PROFILES
+from ..core.llm.simulated import SimulatedCodeGenLLM
+from ..core.pipeline import HaVenPipeline
+from .manifest import ProfileSpec, RunManifest, SuiteSpec
+
+if TYPE_CHECKING:
+    from ..experiments import DatasetBundle, ExperimentScale
+
+
+class ManifestResolver:
+    """Build (and cache) the pipelines and suites a manifest describes."""
+
+    def __init__(self, manifest: RunManifest):
+        from ..experiments import ExperimentScale
+
+        self.manifest = manifest
+        self.scale: "ExperimentScale" = ExperimentScale.from_dict(manifest.scale)
+        self.config = manifest.config
+        self._datasets: "DatasetBundle | None" = None
+        self._pipelines: dict[str, HaVenPipeline] = {}
+        self._suites: dict[str, BenchmarkSuite] = {}
+
+    # ------------------------------------------------------------------ datasets
+    def datasets(self) -> "DatasetBundle":
+        if self._datasets is None:
+            from ..experiments import build_datasets
+
+            self._datasets = build_datasets(self.scale)
+        return self._datasets
+
+    # ------------------------------------------------------------------ suites
+    def suite(self, spec: SuiteSpec) -> BenchmarkSuite:
+        if spec.suite_id not in self._suites:
+            self._suites[spec.suite_id] = self._build_suite(spec)
+        return self._suites[spec.suite_id]
+
+    def _build_suite(self, spec: SuiteSpec) -> BenchmarkSuite:
+        from ..bench.rtllm import RTLLMConfig, build_rtllm
+        from ..bench.symbolic_suite import build_symbolic_suite
+        from ..bench.verilogeval import (
+            SuiteConfig,
+            build_verilogeval_human,
+            build_verilogeval_machine,
+        )
+        from ..bench.verilogeval_v2 import V2Config, build_verilogeval_v2
+
+        scale = self.scale
+        if spec.suite_id == "machine":
+            return build_verilogeval_machine(
+                SuiteConfig(num_tasks=scale.machine_tasks, seed=scale.seed + 11)
+            )
+        if spec.suite_id == "human":
+            return build_verilogeval_human(
+                SuiteConfig(num_tasks=scale.human_tasks, seed=scale.seed + 11)
+            )
+        if spec.suite_id == "rtllm":
+            return build_rtllm(RTLLMConfig(num_tasks=scale.rtllm_tasks, seed=scale.seed + 43))
+        if spec.suite_id == "v2":
+            return build_verilogeval_v2(V2Config(num_tasks=scale.v2_tasks, seed=scale.seed + 71))
+        if spec.suite_id == "symbolic":
+            subset_size = None if spec.full_subset else scale.human_tasks
+            return build_symbolic_suite(SuiteConfig(num_tasks=subset_size, seed=scale.seed + 11))
+        raise KeyError(f"unknown suite id {spec.suite_id!r}")
+
+    def tasks(self, spec: SuiteSpec) -> list[BenchmarkTask]:
+        """The suite's tasks in evaluation order (``max_tasks`` applied)."""
+        tasks = list(self.suite(spec))
+        if self.config.max_tasks is not None:
+            tasks = tasks[: self.config.max_tasks]
+        return tasks
+
+    def suite_task_ids(self) -> dict[str, list[str]]:
+        """suite id → ordered task ids, for manifest expansion."""
+        return {
+            spec.suite_id: [task.task_id for task in self.tasks(spec)]
+            for spec in self.manifest.suites
+        }
+
+    # ------------------------------------------------------------------ profiles
+    def pipeline(self, profile_id: str) -> HaVenPipeline:
+        if profile_id not in self._pipelines:
+            self._pipelines[profile_id] = self._build_pipeline(self.manifest.profile(profile_id))
+        return self._pipelines[profile_id]
+
+    def pipeline_name(self, profile_id: str) -> str:
+        """The pipeline's report name, computed without building the pipeline."""
+        spec = self.manifest.profile(profile_id)
+        return f"{spec.display}+SI-CoT" if spec.use_sicot else spec.display
+
+    def _build_pipeline(self, spec: ProfileSpec) -> HaVenPipeline:
+        seed = self.scale.seed
+        if spec.kind == "baseline":
+            profile = BASELINE_PROFILES[spec.key]
+            return HaVenPipeline(SimulatedCodeGenLLM(profile, seed=seed), use_sicot=spec.use_sicot)
+        if spec.kind == "haven":
+            from ..experiments import HAVEN_BASE_MODELS
+
+            datasets = self.datasets()
+            base_profile = BASE_MODEL_PROFILES[spec.key]
+            tuned, _report = FineTuner().finetune(
+                base_profile,
+                DatasetMix(
+                    vanilla=datasets.vanilla,
+                    k_dataset=datasets.k_dataset,
+                    l_dataset=datasets.l_dataset,
+                ),
+                tuned_name=HAVEN_BASE_MODELS[spec.key],
+            )
+            return HaVenPipeline(SimulatedCodeGenLLM(tuned, seed=seed), use_sicot=spec.use_sicot)
+        if spec.kind == "fig3":
+            return self._build_fig3_pipeline(spec, seed)
+        if spec.kind == "fig4":
+            return self._build_fig4_pipeline(spec, seed)
+        raise KeyError(f"unknown profile kind {spec.kind!r}")
+
+    def _build_fig3_pipeline(self, spec: ProfileSpec, seed: int) -> HaVenPipeline:
+        datasets = self.datasets()
+        base_profile = BASE_MODEL_PROFILES[spec.key]
+        tuner = FineTuner()
+        if spec.setting == "base":
+            return HaVenPipeline(SimulatedCodeGenLLM(base_profile, seed=seed), use_sicot=False)
+        if spec.setting in ("vanilla", "vanilla+CoT"):
+            profile, _ = tuner.finetune(
+                base_profile,
+                DatasetMix(vanilla=datasets.vanilla),
+                tuned_name=f"{base_profile.name}+vanilla",
+            )
+        elif spec.setting in ("vanilla+KL", "vanilla+CoT+KL"):
+            profile, _ = tuner.finetune(
+                base_profile,
+                DatasetMix(
+                    vanilla=datasets.vanilla,
+                    k_dataset=datasets.k_dataset,
+                    l_dataset=datasets.l_dataset,
+                ),
+                tuned_name=f"{base_profile.name}+vanilla+KL",
+            )
+        else:
+            raise KeyError(f"unknown fig3 setting {spec.setting!r}")
+        use_sicot = "CoT" in spec.setting
+        return HaVenPipeline(SimulatedCodeGenLLM(profile, seed=seed), use_sicot=use_sicot)
+
+    def _build_fig4_pipeline(self, spec: ProfileSpec, seed: int) -> HaVenPipeline:
+        datasets = self.datasets()
+        base_profile = BASE_MODEL_PROFILES["codeqwen-7b"]
+        k_subset = datasets.k_dataset.subset(spec.k_portion / 100.0, seed=seed)
+        l_subset = datasets.l_dataset.subset(spec.l_portion / 100.0, seed=seed)
+        profile, _ = FineTuner().finetune(
+            base_profile,
+            DatasetMix(vanilla=datasets.vanilla, k_dataset=k_subset, l_dataset=l_subset),
+            tuned_name=f"CodeQwen+K{spec.k_portion}+L{spec.l_portion}",
+        )
+        return HaVenPipeline(SimulatedCodeGenLLM(profile, seed=seed), use_sicot=True)

@@ -1,0 +1,201 @@
+"""Persistent result store for experiment runs.
+
+A :class:`RunStore` is a directory holding:
+
+* ``manifest.json`` — the sweep declaration (written once, hash-checked on
+  reopen so a journal can never be extended under a different manifest);
+* ``journal.jsonl`` — an append-only journal with one JSON record per
+  completed work unit.
+
+Appends are single ``O_APPEND`` writes of one line, so disjoint shard
+processes can safely fill one journal concurrently.  On load, a corrupted or
+truncated trailing line (the signature of a crash mid-write) is dropped and
+counted in :attr:`RunStore.recovered_lines`; the unit it described simply
+re-runs.  ``RunStore.open()`` resolves the directory from the ``REPRO_RUN_DIR``
+environment variable when none is given; ``RunStore.ephemeral()`` keeps the
+journal purely in memory for library callers that do not want persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..bench.jobs import CheckOutcome
+from .manifest import RunManifest, WorkUnit
+
+#: Environment variable naming the default run directory.
+RUN_DIR_ENV = "REPRO_RUN_DIR"
+
+MANIFEST_FILENAME = "manifest.json"
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+class RunStoreError(RuntimeError):
+    """Raised on store misuse (missing directory, manifest mismatch, ...)."""
+
+
+class RunStore:
+    """Append-only journal + index of completed work units."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self.recovered_lines = 0
+        self._records: list[dict] = []
+        self._index: dict[str, dict] = {}
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load_journal()
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def open(cls, directory: str | Path | None = None) -> "RunStore":
+        """Open (creating if needed) the run directory, defaulting to $REPRO_RUN_DIR."""
+        directory = directory or os.environ.get(RUN_DIR_ENV)
+        if not directory:
+            raise RunStoreError(
+                f"no run directory given and {RUN_DIR_ENV} is not set"
+            )
+        return cls(directory)
+
+    @classmethod
+    def ephemeral(cls) -> "RunStore":
+        """A store with no backing directory (in-memory journal only)."""
+        return cls(None)
+
+    @property
+    def persistent(self) -> bool:
+        return self.directory is not None
+
+    # ------------------------------------------------------------------ manifest
+    def write_manifest(self, manifest: RunManifest) -> None:
+        """Persist the manifest, or validate it against the one already stored."""
+        existing = self.load_manifest()
+        if existing is not None:
+            if existing.manifest_hash != manifest.manifest_hash:
+                raise RunStoreError(
+                    "run directory already holds a different manifest "
+                    f"({existing.manifest_hash[:12]} != {manifest.manifest_hash[:12]})"
+                )
+            return
+        if self.directory is not None:
+            path = self.directory / MANIFEST_FILENAME
+            path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n")
+        self._manifest = manifest
+
+    def load_manifest(self) -> RunManifest | None:
+        """The stored manifest, or None when the store has none yet."""
+        cached = getattr(self, "_manifest", None)
+        if cached is not None:
+            return cached
+        if self.directory is None:
+            return None
+        path = self.directory / MANIFEST_FILENAME
+        if not path.exists():
+            return None
+        manifest = RunManifest.from_dict(json.loads(path.read_text()))
+        self._manifest = manifest
+        return manifest
+
+    # ------------------------------------------------------------------ journal
+    def _journal_path(self) -> Path:
+        assert self.directory is not None
+        return self.directory / JOURNAL_FILENAME
+
+    def _load_journal(self) -> None:
+        path = self._journal_path()
+        if not path.exists():
+            return
+        raw = path.read_text(errors="replace")
+        if raw and not raw.endswith("\n"):
+            # A crash tore the final append mid-line.  Terminate it so later
+            # appends land on their own line instead of gluing onto the torn
+            # tail (which would corrupt them too).
+            with open(path, "a") as handle:
+                handle.write("\n")
+        lines = raw.split("\n")
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "key" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError:
+                # A torn or corrupted line — expected for the trailing line
+                # after a crash mid-append; the unit it described re-runs.
+                self.recovered_lines += 1
+                continue
+            self._admit(record)
+
+    def _admit(self, record: dict) -> bool:
+        key = record["key"]
+        if key in self._index:
+            return False
+        self._records.append(record)
+        self._index[key] = record
+        return True
+
+    def record(self, unit: WorkUnit, outcome: CheckOutcome) -> bool:
+        """Journal one completed unit (idempotent; returns False on repeat)."""
+        record = {
+            "kind": "unit",
+            "key": unit.key,
+            "manifest": unit.manifest_hash,
+            "profile": unit.profile_id,
+            "suite": unit.suite_id,
+            "task": unit.task_id,
+            "temperature": unit.temperature,
+            "sample": unit.sample_index,
+            "outcome": outcome.to_dict(),
+        }
+        if not self._admit(record):
+            return False
+        if self.directory is not None:
+            line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            # One O_APPEND write per record: concurrent shard processes
+            # interleave whole lines, never halves of them.
+            fd = os.open(
+                self._journal_path(), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        return True
+
+    # ------------------------------------------------------------------ queries
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def completed_keys(self) -> set[str]:
+        return set(self._index)
+
+    def records(self) -> Iterator[dict]:
+        """Journal records in append order."""
+        return iter(list(self._records))
+
+    def outcome_for(self, key: str) -> CheckOutcome | None:
+        record = self._index.get(key)
+        if record is None:
+            return None
+        return CheckOutcome.from_dict(record["outcome"])
+
+    def reload(self) -> None:
+        """Re-read the journal from disk (pick up other shards' appends)."""
+        if self.directory is None:
+            return
+        self.recovered_lines = 0
+        self._records = []
+        self._index = {}
+        self._load_journal()
+
+
+def outcome_from_record(record: Mapping) -> CheckOutcome:
+    """Decode the outcome payload of one journal record."""
+    return CheckOutcome.from_dict(record["outcome"])

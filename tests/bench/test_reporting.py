@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.bench.evaluator import SuiteResult, TaskResult
 from repro.bench.reporting import (
     AblationSeries,
     FIG3_SETTINGS,
@@ -13,6 +14,7 @@ from repro.bench.reporting import (
     render_table4,
     render_table5,
     render_table6,
+    table5_row_from_result,
 )
 
 
@@ -28,6 +30,58 @@ class TestFormatTable:
         text = format_table(["x"], [[1]])
         assert not text.startswith("\n")
         assert "x" in text.splitlines()[0]
+
+    def test_numeric_cells_right_aligned(self):
+        text = format_table(["name", "score"], [["model-a", 1.5], ["b", 12.25]])
+        lines = text.splitlines()
+        assert lines[2].startswith("model-a |")
+        assert lines[2].endswith("  1.5")
+        assert lines[3].endswith("12.25")
+
+    def test_signed_and_suffixed_values_right_aligned(self):
+        text = format_table(["m", "delta"], [["x", "+11.4"], ["y", "50.0%"]])
+        lines = text.splitlines()
+        assert lines[2].endswith("+11.4")
+        assert lines[3].endswith("50.0%")
+
+    def test_non_numeric_cells_stay_left_aligned(self):
+        text = format_table(["m", "v"], [["x", "n/a-----"], ["y", "ok"]])
+        assert "ok      " in text.splitlines()[3]
+
+    def test_empty_rows_render_no_rows_body(self):
+        text = format_table(["a", "b"], [], title="T")
+        lines = text.splitlines()
+        assert lines[-1] == "(no rows)"
+        assert len(lines) == 4  # title, header, separator, body placeholder
+
+
+class TestTable5RowFromResult:
+    def test_counts_scale_with_pass_fraction(self):
+        def task(task_id, category, passes, samples=4):
+            return TaskResult(
+                task_id=task_id,
+                category=category,
+                num_samples=samples,
+                num_functional_passes=passes,
+                num_syntax_passes=samples,
+                temperature=0.2,
+            )
+
+        result = SuiteResult(
+            suite_name="sym",
+            model_name="m",
+            task_results=[
+                task("t0", "truth_table", 4),
+                task("t1", "truth_table", 0),
+                task("w0", "waveform", 2),
+                task("s0", "state_diagram", 4),
+                task("s1", "state_diagram", 4),
+            ],
+        )
+        row = table5_row_from_result("m", result)
+        assert row.truth_table == (1, 2)
+        assert row.waveform == (0, 1)  # 0.5 rounds to even (banker's rounding)
+        assert row.state_diagram == (2, 2)
 
 
 class TestTable4:

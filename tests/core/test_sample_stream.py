@@ -1,0 +1,124 @@
+"""Per-unit sample-stream determinism (the run engine's generation contract)."""
+
+from __future__ import annotations
+
+from repro.core.llm.base import GenerationConfig, TaskDemands
+from repro.core.llm.profiles import BASELINE_PROFILES
+from repro.core.llm.simulated import SimulatedCodeGenLLM, sample_stream_key
+from repro.core.pipeline import HaVenPipeline
+from repro.core.prompt import DesignPrompt, ModuleInterface, PortSpec
+from test_llm import _context
+
+MUX_MODULE = (
+    "module g(input a, input b, input s, output y);\n"
+    "    assign y = s ? b : a;\nendmodule\n"
+)
+
+
+def backend(key: str = "codellama-7b", seed: int = 0) -> SimulatedCodeGenLLM:
+    from repro.core.llm.profiles import BASE_MODEL_PROFILES
+
+    registry = {**BASE_MODEL_PROFILES, **BASELINE_PROFILES}
+    return SimulatedCodeGenLLM(registry[key], seed=seed)
+
+
+class TestGenerateAt:
+    def test_matches_serial_generation(self):
+        context = _context(reference_source=MUX_MODULE, demands=TaskDemands(logic=0.7, difficulty=0.6))
+        config = GenerationConfig(temperature=0.5, num_samples=6, seed=3)
+        llm = backend()
+        serial = llm.generate(context, config)
+        for index in range(6):
+            isolated = llm.generate_at(context, config, index)
+            assert isolated.code == serial[index].code
+            assert isolated.sample_index == index
+
+    def test_independent_of_num_samples(self):
+        context = _context(reference_source=MUX_MODULE, demands=TaskDemands(difficulty=0.7))
+        llm = backend()
+        few = GenerationConfig(temperature=0.2, num_samples=2, seed=0)
+        many = GenerationConfig(temperature=0.2, num_samples=10, seed=0)
+        assert llm.generate_at(context, few, 1).code == llm.generate(context, many)[1].code
+
+    def test_base_class_fallback_matches(self):
+        """The LLMBackend default (generate a prefix and index it) agrees."""
+        from repro.core.llm.base import LLMBackend
+
+        context = _context(reference_source=MUX_MODULE, demands=TaskDemands(difficulty=0.6))
+        config = GenerationConfig(temperature=0.8, num_samples=4, seed=1)
+        llm = backend()
+        fallback = LLMBackend.generate_at(llm, context, config, 3)
+        assert fallback.code == llm.generate_at(context, config, 3).code
+
+
+class TestPipelineSampleIndices:
+    def test_subset_matches_full_generation(self):
+        pipeline = HaVenPipeline(backend("gpt-4"), use_sicot=False)
+        prompt = DesignPrompt(text="Implement a 2:1 mux.")
+        interface = ModuleInterface(
+            name="g",
+            ports=[
+                PortSpec("a", "input"),
+                PortSpec("b", "input"),
+                PortSpec("s", "input"),
+                PortSpec("y", "output"),
+            ],
+        )
+        config = GenerationConfig(temperature=0.5, num_samples=5, seed=2)
+        kwargs = dict(
+            prompt=prompt,
+            interface=interface,
+            reference_source=MUX_MODULE,
+            demands=TaskDemands(difficulty=0.6),
+            config=config,
+            task_id="mux-1",
+        )
+        full = pipeline.generate(**kwargs)
+        subset = pipeline.generate(**kwargs, sample_indices=[4, 1])
+        assert [sample.sample_index for sample in subset.samples] == [4, 1]
+        assert subset.samples[0].code == full.samples[4].code
+        assert subset.samples[1].code == full.samples[1].code
+
+
+class TestTemperatureKeying:
+    def test_distinct_temperatures_never_collide(self):
+        context = _context()
+        for seed in range(3):
+            low = GenerationConfig(temperature=0.2, num_samples=1, seed=seed)
+            high = GenerationConfig(temperature=0.8, num_samples=1, seed=seed)
+            key_low = sample_stream_key("id", 0, context.task_id, low, 0)
+            key_high = sample_stream_key("id", 0, context.task_id, high, 0)
+            assert key_low != key_high
+
+    def test_temperature_type_is_canonicalised(self):
+        """An int-typed temperature keys identically to its float twin."""
+        context = _context()
+        as_int = GenerationConfig(temperature=0, num_samples=1, seed=0)
+        as_float = GenerationConfig(temperature=0.0, num_samples=1, seed=0)
+        assert sample_stream_key("id", 0, context.task_id, as_int, 0) == sample_stream_key(
+            "id", 0, context.task_id, as_float, 0
+        )
+        llm = backend()
+        assert (
+            llm.generate_at(context, as_int, 0).code
+            == llm.generate_at(context, as_float, 0).code
+        )
+
+    def test_temperature_changes_sampling(self):
+        """Different temperatures draw from genuinely different streams."""
+        context = _context(
+            reference_source=MUX_MODULE,
+            demands=TaskDemands(logic=0.8, difficulty=0.8, knowledge=0.7),
+        )
+        llm = backend()
+        codes_low = [
+            llm.generate_at(context, GenerationConfig(temperature=0.2, num_samples=8, seed=s), i).code
+            for s in range(4)
+            for i in range(8)
+        ]
+        codes_high = [
+            llm.generate_at(context, GenerationConfig(temperature=0.9, num_samples=8, seed=s), i).code
+            for s in range(4)
+            for i in range(8)
+        ]
+        assert codes_low != codes_high

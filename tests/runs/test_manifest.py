@@ -1,0 +1,81 @@
+"""Manifest hashing, expansion and round-trip serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.evaluator import EvaluationConfig
+from repro.experiments import ExperimentScale
+from repro.runs.manifest import ProfileSpec, RunManifest, SuiteSpec, WorkUnit
+
+
+def tiny_manifest(temperatures=(0.2,), num_samples=2) -> RunManifest:
+    return RunManifest(
+        name="test",
+        experiment="custom",
+        scale=ExperimentScale.tiny().to_dict(),
+        config=EvaluationConfig(num_samples=num_samples, ks=(1,), temperatures=temperatures),
+        profiles=[
+            ProfileSpec(profile_id="baseline:gpt-4", kind="baseline", key="gpt-4", display="GPT-4"),
+            ProfileSpec(
+                profile_id="baseline:gpt-3.5", kind="baseline", key="gpt-3.5", display="GPT-3.5"
+            ),
+        ],
+        suites=[SuiteSpec("machine"), SuiteSpec("human")],
+    )
+
+
+class TestManifestHash:
+    def test_round_trip_preserves_hash(self):
+        manifest = tiny_manifest()
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone.manifest_hash == manifest.manifest_hash
+
+    def test_hash_changes_with_config(self):
+        assert (
+            tiny_manifest(temperatures=(0.2,)).manifest_hash
+            != tiny_manifest(temperatures=(0.5,)).manifest_hash
+        )
+
+    def test_hash_changes_with_profiles(self):
+        manifest = tiny_manifest()
+        manifest.profiles = manifest.profiles[:1]
+        assert manifest.manifest_hash != tiny_manifest().manifest_hash
+
+    def test_profile_lookup(self):
+        manifest = tiny_manifest()
+        assert manifest.profile("baseline:gpt-4").key == "gpt-4"
+        with pytest.raises(KeyError):
+            manifest.profile("nope")
+
+
+class TestExpansion:
+    def test_unit_count_and_order(self):
+        manifest = tiny_manifest(temperatures=(0.2, 0.5), num_samples=3)
+        task_ids = {"machine": ["m0", "m1"], "human": ["h0"]}
+        units = manifest.expand(task_ids)
+        # profiles × (machine 2 + human 1 tasks) × 2 temperatures × 3 samples
+        assert len(units) == 2 * 3 * 2 * 3
+        first = units[0]
+        assert (first.profile_id, first.suite_id, first.task_id) == (
+            "baseline:gpt-4",
+            "machine",
+            "m0",
+        )
+        assert first.temperature == 0.2 and first.sample_index == 0
+        # Sample index varies fastest, then temperature, then task.
+        assert [u.sample_index for u in units[:6]] == [0, 1, 2, 0, 1, 2]
+        assert [u.temperature for u in units[:6]] == [0.2] * 3 + [0.5] * 3
+
+    def test_unit_keys_unique_and_temperature_sensitive(self):
+        manifest = tiny_manifest(temperatures=(0.2, 0.5), num_samples=2)
+        units = manifest.expand({"machine": ["m0"], "human": ["h0"]})
+        keys = [unit.key for unit in units]
+        assert len(set(keys)) == len(keys)
+        a = WorkUnit("h", "p", "s", "t", 0.2, 0)
+        b = WorkUnit("h", "p", "s", "t", 0.5, 0)
+        assert a.key != b.key
+
+    def test_unit_key_canonicalises_temperature_type(self):
+        # An int-typed temperature is the same draw as its float twin.
+        assert WorkUnit("h", "p", "s", "t", 0, 0).key == WorkUnit("h", "p", "s", "t", 0.0, 0).key

@@ -1,0 +1,127 @@
+"""RunStore journal semantics: persistence, recovery, idempotence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.jobs import CheckOutcome
+from repro.runs.manifest import WorkUnit
+from repro.runs.store import JOURNAL_FILENAME, RunStore, RunStoreError
+from test_manifest import tiny_manifest
+
+
+def unit(sample_index: int = 0, temperature: float = 0.2) -> WorkUnit:
+    return WorkUnit(
+        manifest_hash="m" * 64,
+        profile_id="baseline:gpt-4",
+        suite_id="machine",
+        task_id="t0",
+        temperature=temperature,
+        sample_index=sample_index,
+    )
+
+
+def outcome(sample_index: int = 0) -> CheckOutcome:
+    return CheckOutcome(
+        sample_index=sample_index,
+        temperature=0.2,
+        syntax_ok=True,
+        functional_passed=True,
+        total_checks=7,
+        design_key="d" * 64,
+    )
+
+
+class TestJournal:
+    def test_round_trip_across_reopen(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.record(unit(0), outcome(0))
+        assert store.record(unit(1), outcome(1))
+
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 2
+        assert unit(0).key in reopened
+        restored = reopened.outcome_for(unit(1).key)
+        assert restored == outcome(1)
+
+    def test_record_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.record(unit(), outcome())
+        assert not store.record(unit(), outcome())
+        assert len(RunStore(tmp_path)) == 1
+
+    def test_corrupted_trailing_line_is_dropped(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record(unit(0), outcome(0))
+        store.record(unit(1), outcome(1))
+        journal = tmp_path / JOURNAL_FILENAME
+        with open(journal, "a") as handle:
+            handle.write('{"kind": "unit", "key": "tr')  # torn mid-write
+
+        recovered = RunStore(tmp_path)
+        assert recovered.recovered_lines == 1
+        assert len(recovered) == 2
+        # The store stays appendable after recovery.
+        assert recovered.record(unit(2), outcome(2))
+        assert len(RunStore(tmp_path)) == 3
+
+    def test_non_record_json_line_is_dropped(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record(unit(0), outcome(0))
+        journal = tmp_path / JOURNAL_FILENAME
+        with open(journal, "a") as handle:
+            handle.write('"just a string"\n')
+        recovered = RunStore(tmp_path)
+        assert recovered.recovered_lines == 1
+        assert len(recovered) == 1
+
+    def test_ephemeral_store_has_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        store = RunStore.ephemeral()
+        store.record(unit(), outcome())
+        assert unit().key in store
+        assert not any(tmp_path.iterdir())
+
+
+class TestManifestHandling:
+    def test_manifest_round_trip(self, tmp_path):
+        manifest = tiny_manifest()
+        store = RunStore(tmp_path)
+        store.write_manifest(manifest)
+        loaded = RunStore(tmp_path).load_manifest()
+        assert loaded is not None
+        assert loaded.manifest_hash == manifest.manifest_hash
+
+    def test_mismatched_manifest_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.write_manifest(tiny_manifest())
+        other = tiny_manifest(temperatures=(0.8,))
+        with pytest.raises(RunStoreError):
+            RunStore(tmp_path).write_manifest(other)
+
+    def test_same_manifest_accepted(self, tmp_path):
+        RunStore(tmp_path).write_manifest(tiny_manifest())
+        RunStore(tmp_path).write_manifest(tiny_manifest())  # no raise
+
+
+class TestOpen:
+    def test_open_uses_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "env-run"))
+        store = RunStore.open()
+        assert store.persistent
+        assert store.directory == tmp_path / "env-run"
+
+    def test_open_without_directory_fails(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_DIR", raising=False)
+        with pytest.raises(RunStoreError):
+            RunStore.open()
+
+    def test_journal_lines_are_valid_json(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record(unit(0), outcome(0))
+        lines = (tmp_path / JOURNAL_FILENAME).read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["kind"] == "unit"
+        assert record["outcome"]["functional_passed"] is True
