@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench bench-update perf-tests formal
+.PHONY: test test-fast coverage bench bench-update perf-tests formal chaos
 
 # Functional suite only; the perf gate is machine-sensitive, run it via
 # `make bench` / `make perf-tests`.
@@ -15,6 +15,11 @@ test-fast:
 # The slower SAT equivalence proofs only (also part of `make test` and CI).
 formal:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m formal
+
+# Fault-injection suite only: worker crashes, non-cooperative hangs, deadline
+# enforcement and quarantine/resume semantics (also part of `make test` and CI).
+chaos:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m chaos tests/chaos
 
 # Line-coverage report over src/repro (uses the `coverage` package when
 # installed, a stdlib settrace collector otherwise).

@@ -436,19 +436,19 @@ def bench_compile_cache(repeat: int = 3) -> dict[str, float]:
         previous = set_default_database(DesignDatabase(max_entries=0))
         try:
             requests = requests_for(salted=True)
-            results = run_checks(requests)
+            results = run_checks(requests).results()
             return [results[request.key].passed for request in requests]
         finally:
             set_default_database(previous)
 
     previous_db = set_default_database(DesignDatabase())
     try:
-        memo = run_checks(requests_for(salted=False))  # prime database + memo
+        memo = run_checks(requests_for(salted=False)).results()  # prime database + memo
 
         def warm() -> list[bool]:
             verdicts = dict(memo)
             pending = [r for r in requests_for(salted=False) if r.key not in verdicts]
-            verdicts.update(run_checks(pending))
+            verdicts.update(run_checks(pending).results())
             return [verdicts[request.key].passed for request in requests_for(salted=False)]
 
         cold_verdicts = cold()

@@ -9,7 +9,14 @@ from .evaluator import (
     evaluate_models,
 )
 from .golden import GoldenCache, VerilogGolden, batch_equivalence_check
-from .jobs import CheckRequest, ResultKey, run_checks
+from .jobs import (
+    CheckExecution,
+    CheckRequest,
+    ExecutionPolicy,
+    ExecutionReport,
+    ResultKey,
+    run_checks,
+)
 from .passk import PassAtKResult, compute_pass_at_k, mean_pass_at_k, pass_at_k
 from .reporting import (
     AblationSeries,
@@ -47,7 +54,10 @@ __all__ = [
     "GoldenCache",
     "VerilogGolden",
     "batch_equivalence_check",
+    "CheckExecution",
     "CheckRequest",
+    "ExecutionPolicy",
+    "ExecutionReport",
     "ResultKey",
     "run_checks",
     "PassAtKResult",

@@ -33,7 +33,15 @@ from ..core.pipeline import HaVenPipeline
 from ..verilog.syntax_checker import SyntaxChecker
 from ..verilog.simulator.testbench import TestbenchResult
 from .golden import GoldenCache
-from .jobs import CheckRequest, ResultKey, design_key, mode_key, run_checks, stimulus_key
+from .jobs import (
+    CheckRequest,
+    ExecutionPolicy,
+    ResultKey,
+    design_key,
+    mode_key,
+    run_checks,
+    stimulus_key,
+)
 from .passk import compute_pass_at_k
 from .task import BenchmarkSuite, BenchmarkTask
 
@@ -69,6 +77,16 @@ class EvaluationConfig:
     #: temperatures and ``evaluate`` calls.  Disable to force every check cold
     #: (the differential-testing and benchmark-baseline configuration).
     memoize_results: bool = True
+    #: Wall-clock budget per functional-check attempt (None = no deadline).
+    #: Cooperative: the simulators and the SAT search tick the deadline; pool
+    #: workers additionally get a hard per-future deadline with a grace period.
+    check_timeout_s: float | None = None
+    #: Execution attempts per check before it is quarantined (1 = no retries).
+    max_attempts: int = 3
+    #: First-retry backoff delay; doubles per attempt with deterministic jitter.
+    retry_backoff_s: float = 0.05
+    #: Ceiling on any single backoff delay.
+    retry_backoff_cap_s: float = 2.0
 
     def single_temperature(self) -> "EvaluationConfig":
         """A copy that only evaluates the first temperature (for quick runs)."""
@@ -85,6 +103,10 @@ class EvaluationConfig:
             formal_conflict_limit=self.formal_conflict_limit,
             max_workers=self.max_workers,
             memoize_results=self.memoize_results,
+            check_timeout_s=self.check_timeout_s,
+            max_attempts=self.max_attempts,
+            retry_backoff_s=self.retry_backoff_s,
+            retry_backoff_cap_s=self.retry_backoff_cap_s,
         )
 
     def to_dict(self) -> dict:
@@ -102,6 +124,10 @@ class EvaluationConfig:
             "formal_conflict_limit": self.formal_conflict_limit,
             "max_workers": self.max_workers,
             "memoize_results": self.memoize_results,
+            "check_timeout_s": self.check_timeout_s,
+            "max_attempts": self.max_attempts,
+            "retry_backoff_s": self.retry_backoff_s,
+            "retry_backoff_cap_s": self.retry_backoff_cap_s,
         }
 
     @classmethod
@@ -119,6 +145,14 @@ class EvaluationConfig:
             formal_conflict_limit=payload.get("formal_conflict_limit"),
             max_workers=int(payload.get("max_workers", 1)),
             memoize_results=bool(payload.get("memoize_results", True)),
+            check_timeout_s=(
+                float(payload["check_timeout_s"])
+                if payload.get("check_timeout_s") is not None
+                else None
+            ),
+            max_attempts=int(payload.get("max_attempts", 3)),
+            retry_backoff_s=float(payload.get("retry_backoff_s", 0.05)),
+            retry_backoff_cap_s=float(payload.get("retry_backoff_cap_s", 2.0)),
         )
 
 
@@ -278,6 +312,7 @@ def check_request_for(
         differential=config.differential_oracle,
         formal_conflict_limit=config.formal_conflict_limit,
         database=database,
+        timeout_s=config.check_timeout_s,
     )
 
 
@@ -312,6 +347,9 @@ class BenchmarkEvaluator:
         #: Cross-run verdict memo: content-addressed, so repeated candidates
         #: (across temperatures, runs, pipelines) are scored exactly once.
         self.memo: dict[ResultKey, TestbenchResult] = {}
+        #: Structured execution warnings (serial fallback, pool degradation)
+        #: accumulated across ``evaluate`` calls; callers may drain this.
+        self.warnings: list[dict] = []
 
     # ------------------------------------------------------------------ public API
     def evaluate(self, pipeline: HaVenPipeline, suite: BenchmarkSuite) -> SuiteResult:
@@ -331,11 +369,16 @@ class BenchmarkEvaluator:
             for temperature in self.config.temperatures:
                 plans.append(self._plan_temperature(pipeline, task, temperature, pending))
 
-        # Phase 3: execute the deduplicated checks (worker pool when configured).
+        # Phase 3: execute the deduplicated checks (worker pool when
+        # configured) under the configured fault-tolerance policy.
         if pending:
-            self.memo.update(
-                run_checks(list(pending.values()), max_workers=self.config.max_workers)
+            report = run_checks(
+                list(pending.values()),
+                max_workers=self.config.max_workers,
+                policy=ExecutionPolicy.from_config(self.config),
             )
+            self.memo.update(report.results())
+            self.warnings.extend(report.warnings)
 
         # Phase 4: assemble per-task results, best temperature first.
         result = SuiteResult(suite_name=suite.name, model_name=pipeline.name, ks=self.config.ks)

@@ -12,20 +12,39 @@ request is:
   flags), so it can be executed in the parent process or shipped to a worker
   process unchanged.
 
-:func:`run_checks` executes a batch of requests.  With ``max_workers > 1`` it
-uses a process pool for the requests whose payloads pickle (golden factories
-are often closures, which do not — those stay in the parent), and falls back
-to fully serial execution if the pool cannot be used at all.  Results are
-keyed, so execution order never affects scoring.
+:func:`run_checks` executes a batch of requests *fault-tolerantly*.  With
+``max_workers > 1`` it uses a process pool for the requests whose payloads
+pickle (golden factories are often closures, which do not — those stay in the
+parent, and the fallback is recorded as a structured warning), and it
+survives the execution layer misbehaving:
+
+* **deadlines** — every attempt runs under a cooperative wall-clock budget
+  (:mod:`repro.deadline`; the simulators' settle loops and the CDCL search
+  tick it), and pool futures additionally get a *hard* per-future deadline:
+  a worker that hangs non-cooperatively is terminated and the pool rebuilt;
+* **retries** — a crashed worker (``BrokenProcessPool``), a timeout or an
+  in-check exception requeues the request with bounded exponential backoff
+  and deterministic jitter, degrading gracefully along the way
+  (``formal`` → ``simulation`` on a deadline, batched → scalar simulation on
+  an execution failure) with every degradation step recorded;
+* **quarantine** — a request that fails :attr:`ExecutionPolicy.max_attempts`
+  attempts is marked :attr:`CheckExecution.quarantined` instead of sinking
+  the batch, so callers (the run engine) can journal it and resume past it.
+
+The result is an :class:`ExecutionReport`: verdicts keyed by
+:class:`ResultKey` plus per-key execution metadata and run-level warnings, so
+execution order never affects scoring and degraded runs stay visible.
 """
 
 from __future__ import annotations
 
 import hashlib
 import pickle
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
+from ..deadline import CheckTimeout, deadline_scope
 from ..verilog.simulator.testbench import (
     BatchTestbenchRunner,
     ResetSpec,
@@ -124,6 +143,13 @@ class CheckRequest:
     #: one pins the request to in-parent execution — exactly where the
     #: database lives.
     database: object | None = None
+    #: Wall-clock budget for one execution attempt (None → no deadline, or
+    #: the :class:`ExecutionPolicy` default when run through ``run_checks``).
+    timeout_s: float | None = None
+    #: 1-based attempt number, stamped by the executor on every (re)try.  It
+    #: travels with the pickled request, so fault injection and logging stay
+    #: deterministic across process boundaries.
+    attempt: int = 1
 
 
 # --------------------------------------------------------------------------- outcomes
@@ -147,9 +173,15 @@ class CheckOutcome:
     failure_summary: str = ""
     total_checks: int = 0
     design_key: str = ""
+    #: Execution attempts the verdict took (1 = clean first try).
+    attempts: int = 1
+    #: Degradation steps applied before the verdict settled, in order
+    #: (e.g. ``["formal->simulation", "batch->scalar"]``).  Empty for a clean
+    #: run — and bit-for-bit identical journal payloads with old records.
+    degradation: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "sample_index": self.sample_index,
             "temperature": self.temperature,
             "syntax_ok": self.syntax_ok,
@@ -159,6 +191,11 @@ class CheckOutcome:
             "total_checks": self.total_checks,
             "design_key": self.design_key,
         }
+        if self.attempts != 1:
+            payload["attempts"] = self.attempts
+        if self.degradation:
+            payload["degradation"] = list(self.degradation)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CheckOutcome":
@@ -171,6 +208,8 @@ class CheckOutcome:
             failure_summary=str(payload.get("failure_summary", "")),
             total_checks=int(payload.get("total_checks", 0)),
             design_key=str(payload.get("design_key", "")),
+            attempts=int(payload.get("attempts", 1)),
+            degradation=[str(step) for step in payload.get("degradation", [])],
         )
 
 
@@ -186,30 +225,39 @@ def execute_check(request: CheckRequest) -> tuple[ResultKey, TestbenchResult]:
     attempts a complete SAT equivalence proof first and transparently falls
     back to the stimulus sweep; simulation mode runs the (batched, where
     combinational) testbench against the task's golden model.
+
+    The whole attempt runs under ``request.timeout_s`` (if set): the
+    simulators' settle loops and the SAT search tick the deadline, so a
+    runaway check raises :class:`~repro.deadline.CheckTimeout` here rather
+    than stalling its process.
     """
-    # The cache id includes the reference-source hash: task ids repeat across
-    # differently-seeded suite builds, the reference text does not.
-    golden_id = f"{request.task_id}:{design_key(request.reference_source)}"
-    golden = _worker_goldens.get_by_factory(golden_id, request.golden_factory)
-    if request.mode == "formal":
-        formal = _formal_check(request, golden)
-        if formal is not None:
-            return request.key, formal
-    if request.use_batch:
-        runner: TestbenchRunner = BatchTestbenchRunner(
-            clock=request.clock,
-            reset=request.reset,
-            differential=request.differential,
-            database=request.database,
+    with deadline_scope(request.timeout_s):
+        from ..runs.faults import maybe_inject
+
+        maybe_inject(request.task_id, request.key.design_key, request.attempt)
+        # The cache id includes the reference-source hash: task ids repeat
+        # across differently-seeded suite builds, the reference text does not.
+        golden_id = f"{request.task_id}:{design_key(request.reference_source)}"
+        golden = _worker_goldens.get_by_factory(golden_id, request.golden_factory)
+        if request.mode == "formal":
+            formal = _formal_check(request, golden)
+            if formal is not None:
+                return request.key, formal
+        if request.use_batch:
+            runner: TestbenchRunner = BatchTestbenchRunner(
+                clock=request.clock,
+                reset=request.reset,
+                differential=request.differential,
+                database=request.database,
+            )
+        else:
+            runner = TestbenchRunner(
+                clock=request.clock, reset=request.reset, database=request.database
+            )
+        result = runner.run(
+            request.code, golden, request.stimulus, check_outputs=request.check_outputs
         )
-    else:
-        runner = TestbenchRunner(
-            clock=request.clock, reset=request.reset, database=request.database
-        )
-    result = runner.run(
-        request.code, golden, request.stimulus, check_outputs=request.check_outputs
-    )
-    return request.key, result
+        return request.key, result
 
 
 def _formal_check(request: CheckRequest, golden) -> TestbenchResult | None:
@@ -269,48 +317,507 @@ def _formal_check(request: CheckRequest, golden) -> TestbenchResult | None:
     )
 
 
+# --------------------------------------------------------------------------- policy
+@dataclass
+class ExecutionPolicy:
+    """Fault-tolerance knobs for one :func:`run_checks` batch."""
+
+    #: Default per-attempt wall-clock budget for requests that do not carry
+    #: their own ``timeout_s`` (None → no deadline).
+    timeout_s: float | None = None
+    #: Attempts per request before quarantine (1 = no retries).
+    max_attempts: int = 3
+    #: First-retry backoff; doubles per attempt, plus deterministic jitter.
+    backoff_s: float = 0.05
+    #: Ceiling on any single backoff delay.
+    backoff_cap_s: float = 2.0
+    #: Extra wall clock granted to a pool future past its cooperative budget
+    #: before the parent declares the worker hung and recycles the pool.
+    hard_grace_s: float = 1.0
+
+    @classmethod
+    def from_config(cls, config) -> "ExecutionPolicy":
+        """Derive a policy from an :class:`~repro.bench.evaluator.EvaluationConfig`."""
+        timeout = getattr(config, "check_timeout_s", None)
+        return cls(
+            timeout_s=float(timeout) if timeout is not None else None,
+            max_attempts=int(getattr(config, "max_attempts", 3)),
+            backoff_s=float(getattr(config, "retry_backoff_s", 0.05)),
+            backoff_cap_s=float(getattr(config, "retry_backoff_cap_s", 2.0)),
+        )
+
+
+@dataclass
+class CheckExecution:
+    """One settled verdict plus how execution got there."""
+
+    result: TestbenchResult
+    attempts: int = 1
+    degradation: tuple[str, ...] = ()
+    timed_out: bool = False
+    #: True when the request burned every attempt: ``result`` is then a
+    #: synthetic failure and the caller should journal the unit as poisoned
+    #: rather than scored.
+    quarantined: bool = False
+    error: str = ""
+
+
+@dataclass
+class ExecutionReport:
+    """Everything :func:`run_checks` learned: verdicts, metadata, warnings."""
+
+    executions: dict[ResultKey, CheckExecution] = field(default_factory=dict)
+    warnings: list[dict] = field(default_factory=list)
+
+    def results(self) -> dict[ResultKey, TestbenchResult]:
+        """Verdicts keyed by :class:`ResultKey` (the pre-fault-tolerance API)."""
+        return {key: execution.result for key, execution in self.executions.items()}
+
+    def quarantined(self) -> dict[ResultKey, CheckExecution]:
+        return {
+            key: execution
+            for key, execution in self.executions.items()
+            if execution.quarantined
+        }
+
+    def warn(self, category: str, message: str, **detail) -> None:
+        entry: dict = {"category": category, "message": message}
+        if detail:
+            entry["detail"] = detail
+        self.warnings.append(entry)
+
+
+# --------------------------------------------------------------------------- scheduling
+@dataclass(eq=False)
+class _WorkItem:
+    """Mutable retry state for one unique request (identity semantics)."""
+
+    request: CheckRequest
+    attempt: int = 1
+    degradation: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    #: Ever blew a *hard* (parent-enforced) deadline — i.e. hung a worker
+    #: non-cooperatively.  Such an item must never run in the parent process.
+    hard_timed_out: bool = False
+    #: Implicated in a pool break; runs isolated (alone in flight) until it
+    #: either settles or is quarantined, so the next break assigns exact blame.
+    suspect: bool = False
+    #: Monotonic timestamp before which the item may not be (re)submitted.
+    not_before: float = 0.0
+
+
+def _backoff_delay(policy: ExecutionPolicy, key: ResultKey, attempt: int) -> float:
+    """Exponential backoff before ``attempt`` with deterministic jitter.
+
+    The jitter derives from the result key and attempt number, so a rerun of
+    the same failing batch backs off identically — chaos tests and bisections
+    stay reproducible.
+    """
+    if policy.backoff_s <= 0:
+        return 0.0
+    base = policy.backoff_s * (2 ** max(0, attempt - 2))
+    seed = f"{key.design_key}|{key.stimulus_key}|{key.mode}|{attempt}"
+    digest = hashlib.sha256(seed.encode("utf-8")).digest()
+    jitter = int.from_bytes(digest[:4], "big") / 2**32  # [0, 1)
+    return min(policy.backoff_cap_s, base * (1.0 + jitter))
+
+
+def _apply_degradation(item: _WorkItem, kind: str) -> None:
+    """Degrade the retry so it avoids the machinery that just failed.
+
+    A deadline blown in formal mode drops the proof attempt (the SAT search is
+    the open-ended part); a deadline or in-check error in batched simulation
+    drops to the scalar interpreter.  A worker *crash* does not degrade: the
+    retry must reproduce the fault-free verdict bit-for-bit, and a crash says
+    nothing about which execution path is at fault.
+    """
+    if kind == "crash":
+        return
+    request = item.request
+    if kind == "timeout" and request.mode == "formal":
+        item.request = replace(request, mode="simulation")
+        item.degradation.append("formal->simulation")
+        return
+    if request.use_batch:
+        item.request = replace(request, use_batch=False)
+        item.degradation.append("batch->scalar")
+
+
+def _register_failure(
+    item: _WorkItem,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    *,
+    kind: str,
+    error: str,
+) -> bool:
+    """Record a failed attempt; returns True when the item is now quarantined.
+
+    When attempts remain the item is degraded (see :func:`_apply_degradation`)
+    and gated behind its backoff delay; the caller requeues it.
+    """
+    item.errors.append(error)
+    if item.attempt >= max(1, policy.max_attempts):
+        result = TestbenchResult(
+            passed=False,
+            error=f"quarantined after {item.attempt} attempt(s): {error}",
+        )
+        report.executions[item.request.key] = CheckExecution(
+            result=result,
+            attempts=item.attempt,
+            degradation=tuple(item.degradation),
+            timed_out=kind == "timeout",
+            quarantined=True,
+            error=error,
+        )
+        return True
+    item.attempt += 1
+    _apply_degradation(item, kind)
+    item.not_before = time.monotonic() + _backoff_delay(
+        policy, item.request.key, item.attempt
+    )
+    return False
+
+
+def _record_success(
+    item: _WorkItem, report: ExecutionReport, key: ResultKey, result: TestbenchResult
+) -> None:
+    report.executions[key] = CheckExecution(
+        result=result, attempts=item.attempt, degradation=tuple(item.degradation)
+    )
+
+
+def _quarantine_unrunnable(
+    items: Sequence[_WorkItem], report: ExecutionReport
+) -> list[_WorkItem]:
+    """Split items for in-parent execution, quarantining the ones that hung.
+
+    An item that ever blew a hard deadline hung a worker non-cooperatively; in
+    the parent process the same hang would stall the whole run with nothing
+    left to enforce the deadline, so it is quarantined instead of retried.
+    """
+    runnable: list[_WorkItem] = []
+    for item in items:
+        if not item.hard_timed_out:
+            runnable.append(item)
+            continue
+        error = item.errors[-1] if item.errors else "worker unresponsive"
+        result = TestbenchResult(
+            passed=False,
+            error=f"quarantined after {item.attempt} attempt(s): {error}",
+        )
+        report.executions[item.request.key] = CheckExecution(
+            result=result,
+            attempts=item.attempt,
+            degradation=tuple(item.degradation),
+            timed_out=True,
+            quarantined=True,
+            error=error,
+        )
+    return runnable
+
+
+def _kill_pool(pool) -> None:
+    """Terminate a pool's workers and discard it (hung workers never join)."""
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
 # --------------------------------------------------------------------------- execution
+def _execute_serial(
+    items: Sequence[_WorkItem], policy: ExecutionPolicy, report: ExecutionReport
+) -> None:
+    """Run items in the parent process with the same retry/quarantine rules."""
+    for item in items:
+        while True:
+            item.request.attempt = item.attempt
+            try:
+                key, result = execute_check(item.request)
+            except CheckTimeout as exc:
+                if _register_failure(
+                    item, policy, report, kind="timeout", error=str(exc)
+                ):
+                    break
+            except Exception as exc:
+                if _register_failure(item, policy, report, kind="error", error=str(exc)):
+                    break
+            else:
+                _record_success(item, report, key, result)
+                break
+            delay = item.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _execute_pool(
+    items: list[_WorkItem],
+    max_workers: int,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+) -> list[_WorkItem]:
+    """Run items on a process pool, surviving crashes and hangs.
+
+    Returns the items that should fall back to in-parent execution (pool
+    never started, or was rebuilt so often it was abandoned).  Hung items are
+    quarantined rather than returned — see :func:`_quarantine_unrunnable`.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    workers = min(max_workers, len(items))
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except Exception as exc:
+        report.warn("pool-unavailable", f"process pool could not start: {exc}")
+        return _quarantine_unrunnable(items, report)
+
+    queue: list[_WorkItem] = list(items)
+    in_flight: dict = {}  # future -> _WorkItem
+    hard_deadline: dict = {}  # future -> float | None
+    rebuilds = 0
+    rebuild_cap = max(1, policy.max_attempts) * len(items)
+
+    def submit_ready() -> None:
+        nonlocal queue
+        now = time.monotonic()
+        # Suspects run isolated (alone in flight) so the next pool break
+        # implicates exactly one item; drain non-suspects first.
+        queue.sort(key=lambda entry: entry.suspect)
+        pending = queue
+        queue = []
+        held: list[_WorkItem] = []
+        for index, item in enumerate(pending):
+            suspect_in_flight = any(
+                entry.suspect for entry in in_flight.values()
+            )
+            if (
+                item.not_before > now
+                or suspect_in_flight
+                or (item.suspect and in_flight)
+            ):
+                held.append(item)
+                continue
+            item.request.attempt = item.attempt
+            try:
+                future = pool.submit(execute_check, item.request)
+            except Exception:
+                held.extend(pending[index:])
+                queue = held
+                raise
+            in_flight[future] = item
+            hard_deadline[future] = (
+                now + item.request.timeout_s + policy.hard_grace_s
+                if item.request.timeout_s is not None
+                else None
+            )
+        queue = held
+
+    def wait_bound() -> float | None:
+        now = time.monotonic()
+        bounds = [
+            deadline - now for deadline in hard_deadline.values() if deadline is not None
+        ]
+        bounds.extend(item.not_before - now for item in queue if item.not_before > now)
+        if not bounds:
+            return None
+        return max(0.0, min(bounds))
+
+    def handle_break(first_item: _WorkItem) -> None:
+        """Assign blame for a dead pool and requeue everything implicated.
+
+        Suspects in flight take the blame (and an attempt) — on the first
+        break there are none, so everyone implicated becomes a suspect.
+        Collateral items requeue free: losing an attempt to a neighbour's
+        crash would let one poison unit quarantine innocent work.
+        """
+        implicated = [first_item] + list(in_flight.values())
+        in_flight.clear()
+        hard_deadline.clear()
+        suspects = [item for item in implicated if item.suspect]
+        if suspects:
+            blamed = suspects
+            collateral = [item for item in implicated if not item.suspect]
+        else:
+            blamed = implicated
+            collateral = []
+            for item in blamed:
+                item.suspect = True
+        for item in blamed:
+            if not _register_failure(
+                item,
+                policy,
+                report,
+                kind="crash",
+                error="worker process died (broken pool)",
+            ):
+                queue.append(item)
+        queue.extend(collateral)
+
+    while queue or in_flight:
+        if rebuilds > rebuild_cap:
+            report.warn(
+                "pool-degraded",
+                f"process pool rebuilt {rebuilds} times; abandoning pool execution",
+                rebuilds=rebuilds,
+            )
+            leftovers = list(in_flight.values()) + queue
+            _kill_pool(pool)
+            return _quarantine_unrunnable(leftovers, report)
+
+        broken = False
+        try:
+            submit_ready()
+        except Exception:
+            # The pool refused the submission.  In-flight futures (if any)
+            # will surface the break through wait(); with nothing in flight
+            # the pool is plainly dead — rebuild it now.
+            if not in_flight:
+                broken = True
+
+        if not broken and not in_flight:
+            # Everything still queued is gated behind a backoff delay.
+            now = time.monotonic()
+            gates = [item.not_before for item in queue if item.not_before > now]
+            if gates:
+                time.sleep(min(gates) - now)
+            continue
+
+        if not broken:
+            done, _ = wait(
+                set(in_flight), timeout=wait_bound(), return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                item = in_flight.pop(future, None)
+                hard_deadline.pop(future, None)
+                if item is None:  # swept up by an earlier handle_break
+                    continue
+                try:
+                    key, result = future.result()
+                except CheckTimeout as exc:
+                    if not _register_failure(
+                        item, policy, report, kind="timeout", error=str(exc)
+                    ):
+                        queue.append(item)
+                except BrokenProcessPool:
+                    handle_break(item)
+                    broken = True
+                except Exception as exc:
+                    if not _register_failure(
+                        item, policy, report, kind="error", error=str(exc)
+                    ):
+                        queue.append(item)
+                else:
+                    _record_success(item, report, key, result)
+
+            if not broken and not done:
+                # wait() timed out: look for futures past their hard deadline
+                # — workers hung beyond the cooperative budget plus grace.
+                now = time.monotonic()
+                hung = [
+                    future
+                    for future, deadline in hard_deadline.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if hung:
+                    for future in hung:
+                        item = in_flight.pop(future, None)
+                        hard_deadline.pop(future, None)
+                        if item is None:
+                            continue
+                        item.hard_timed_out = True
+                        item.suspect = True
+                        budget = item.request.timeout_s
+                        if not _register_failure(
+                            item,
+                            policy,
+                            report,
+                            kind="timeout",
+                            error=(
+                                f"hard deadline exceeded after {budget:.3g}s"
+                                " (worker unresponsive)"
+                            ),
+                        ):
+                            queue.append(item)
+                    # The hung workers must die; whoever else was in flight
+                    # on them is collateral and requeues free.
+                    queue.extend(in_flight.values())
+                    in_flight.clear()
+                    hard_deadline.clear()
+                    broken = True
+
+        if broken:
+            _kill_pool(pool)
+            rebuilds += 1
+            try:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except Exception as exc:
+                report.warn(
+                    "pool-unavailable", f"process pool could not restart: {exc}"
+                )
+                leftovers = list(in_flight.values()) + queue
+                return _quarantine_unrunnable(leftovers, report)
+
+    pool.shutdown(wait=True)
+    return []
+
+
 def run_checks(
-    requests: Sequence[CheckRequest], max_workers: int = 1
-) -> dict[ResultKey, TestbenchResult]:
-    """Execute every request once and return verdicts keyed by :class:`ResultKey`.
+    requests: Sequence[CheckRequest],
+    max_workers: int = 1,
+    policy: ExecutionPolicy | None = None,
+) -> ExecutionReport:
+    """Execute every request once, fault-tolerantly; see the module docstring.
 
     ``max_workers > 1`` dispatches picklable requests to a process pool;
     requests whose golden factories are closures (common in the bench
-    families) and any pool-level failure fall back to serial execution in the
-    parent, so the function always returns complete results.
+    families) stay in the parent, with the fallback recorded as a
+    ``serial-fallback`` warning.  Every unique key gets exactly one
+    :class:`CheckExecution` — quarantined keys carry a synthetic failed
+    verdict, so callers indexing :meth:`ExecutionReport.results` never KeyError.
     """
-    results: dict[ResultKey, TestbenchResult] = {}
+    policy = policy if policy is not None else ExecutionPolicy()
+    report = ExecutionReport()
     unique: dict[ResultKey, CheckRequest] = {}
     for request in requests:
         unique.setdefault(request.key, request)
-    pending = list(unique.values())
 
-    if max_workers > 1 and len(pending) > 1:
-        parallel: list[CheckRequest] = []
-        serial: list[CheckRequest] = []
-        for request in pending:
+    items: list[_WorkItem] = []
+    for request in unique.values():
+        if request.timeout_s is None and policy.timeout_s is not None:
+            request = replace(request, timeout_s=policy.timeout_s)
+        items.append(_WorkItem(request=request))
+
+    serial_items = items
+    if max_workers > 1 and len(items) > 1:
+        parallel: list[_WorkItem] = []
+        serial_items = []
+        for item in items:
             try:
-                pickle.dumps(request)
-                parallel.append(request)
+                pickle.dumps(item.request)
+                parallel.append(item)
             except Exception:
-                serial.append(request)
+                serial_items.append(item)
+        if serial_items:
+            report.warn(
+                "serial-fallback",
+                f"{len(serial_items)} of {len(items)} check request(s) do not"
+                " pickle; executing in parent",
+                count=len(serial_items),
+                total=len(items),
+                example_task=serial_items[0].request.task_id,
+            )
         if len(parallel) > 1:
-            try:
-                from concurrent.futures import ProcessPoolExecutor
+            serial_items.extend(_execute_pool(parallel, max_workers, policy, report))
+        else:
+            serial_items.extend(parallel)
 
-                with ProcessPoolExecutor(
-                    max_workers=min(max_workers, len(parallel))
-                ) as pool:
-                    for key, result in pool.map(execute_check, parallel):
-                        results[key] = result
-            except Exception:
-                # Pool unavailable (restricted OS, broken worker, unpicklable
-                # verdict): whatever is missing re-runs serially below.
-                pass
-        pending = [request for request in pending if request.key not in results]
-
-    for request in pending:
-        key, result = execute_check(request)
-        results[key] = result
-    return results
+    _execute_serial(serial_items, policy, report)
+    return report

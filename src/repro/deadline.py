@@ -1,0 +1,110 @@
+"""Wall-clock budgets for check execution.
+
+A :class:`Deadline` is a monotonic-clock expiry shared through a context
+variable, so deeply nested hot loops — the simulators' settle loops, the CDCL
+search — can cooperatively abort a runaway check without threading a budget
+argument through every layer.  The pattern:
+
+* an executor (``run_checks``, or a worker process entering
+  :func:`~repro.bench.jobs.execute_check`) opens a :func:`deadline_scope`
+  around one check attempt;
+* hot loops call :func:`check_deadline` at their natural step boundaries
+  (one settle pass, a batch of SAT propagations).  The call is a single
+  context-variable read when no deadline is installed;
+* an exhausted budget raises :class:`CheckTimeout`, a *structured* timeout
+  carrying the site that observed it and the budget that expired.  It is
+  deliberately not a :class:`~repro.verilog.errors.VerilogError` or
+  :class:`~repro.formal.FormalError` subclass, so the testbench runners and
+  the formal prover never swallow it into an ordinary failed verdict — it
+  propagates to the execution layer, which retries, degrades or quarantines.
+
+Deadlines do not interrupt non-cooperative code (a blocking syscall, an
+injected hard hang); for pool execution the parent enforces a hard per-future
+deadline on top of this and recycles the worker.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+
+class CheckTimeout(Exception):
+    """A check exceeded its wall-clock budget (structured, retryable)."""
+
+    def __init__(self, message: str, site: str = "", budget_s: float | None = None):
+        super().__init__(message)
+        self.site = site
+        self.budget_s = budget_s
+
+    def __reduce__(self):
+        # Keep the structured fields across a process boundary (a worker's
+        # cooperative timeout is re-raised from its future in the parent).
+        return (type(self), (self.args[0], self.site, self.budget_s))
+
+
+class Deadline:
+    """A wall-clock expiry on the monotonic clock."""
+
+    __slots__ = ("budget_s", "expires_at")
+
+    def __init__(self, budget_s: float):
+        self.budget_s = float(budget_s)
+        self.expires_at = time.monotonic() + self.budget_s
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`CheckTimeout` if the budget is exhausted."""
+        if self.expired():
+            raise CheckTimeout(
+                f"wall-clock budget of {self.budget_s:g}s exhausted"
+                + (f" at {site}" if site else ""),
+                site=site,
+                budget_s=self.budget_s,
+            )
+
+
+_current: ContextVar[Deadline | None] = ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The innermost active deadline, or None outside any scope."""
+    return _current.get()
+
+
+def check_deadline(site: str = "") -> None:
+    """Cooperative tick: raise :class:`CheckTimeout` when the active budget is gone.
+
+    No-op (one context-variable read) when no deadline is installed, so hot
+    loops can call it unconditionally.
+    """
+    deadline = _current.get()
+    if deadline is not None:
+        deadline.check(site)
+
+
+@contextmanager
+def deadline_scope(budget: float | Deadline | None) -> Iterator[Deadline | None]:
+    """Install a deadline for the duration of the block.
+
+    ``budget`` is a number of seconds, an existing :class:`Deadline` (so an
+    outer budget can be shared), or None for a no-op scope.  Scopes nest; the
+    innermost wins, and the previous deadline is restored on exit.
+    """
+    if budget is None:
+        yield None
+        return
+    deadline = budget if isinstance(budget, Deadline) else Deadline(budget)
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)

@@ -23,8 +23,12 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..deadline import check_deadline
 from .aig import FormalError
 from .cnf import CNF
+
+#: Propagations between cooperative deadline ticks in the CDCL hot loop.
+DEADLINE_TICK_INTERVAL = 1024
 
 #: Sentinel for "variable unassigned" in the assignment array.
 UNASSIGNED = -1
@@ -179,6 +183,8 @@ class SatSolver:
             lit = self.trail[self.qhead]
             self.qhead += 1
             stats.propagations += 1
+            if stats.propagations % DEADLINE_TICK_INTERVAL == 0:
+                check_deadline("SatSolver.propagate")
             false_lit = lit ^ 1
             watchers = self.watches.get(false_lit)
             if not watchers:
@@ -326,7 +332,11 @@ class SatSolver:
 
         restart_count = 0
         conflicts_until_restart = RESTART_BASE * luby(1)
+        iterations = 0
         while True:
+            iterations += 1
+            if iterations % 256 == 0:
+                check_deadline("SatSolver.solve")
             conflict = self._propagate(stats)
             if conflict is not None:
                 stats.conflicts += 1

@@ -32,14 +32,25 @@ MAX_FAILURE_EXAMPLES = 3
 
 @dataclass
 class RunProgress:
-    """How much of a manifest's expansion the journal covers."""
+    """How much of a manifest's expansion the journal covers.
+
+    ``completed`` counts scored units only; ``quarantined`` units are
+    journaled (so resume skips them) but carry no verdict.  Both count toward
+    coverage: a run with every unit either scored or quarantined is complete
+    — just not :attr:`healthy`.
+    """
 
     completed: int
     total: int
+    quarantined: int = 0
+
+    @property
+    def accounted(self) -> int:
+        return self.completed + self.quarantined
 
     @property
     def fraction(self) -> float:
-        return self.completed / self.total if self.total else 1.0
+        return self.accounted / self.total if self.total else 1.0
 
     @property
     def percent(self) -> float:
@@ -47,7 +58,11 @@ class RunProgress:
 
     @property
     def complete(self) -> bool:
-        return self.completed >= self.total
+        return self.accounted >= self.total
+
+    @property
+    def healthy(self) -> bool:
+        return self.complete and self.quarantined == 0
 
 
 class StreamingAggregator:
@@ -62,10 +77,22 @@ class StreamingAggregator:
             tuple[str, str], dict[str, dict[float, dict[int, CheckOutcome]]]
         ] = {}
         self._seen = 0
+        #: Unit keys journaled as quarantined (poison units; never scored).
+        self._quarantined_keys: set[str] = set()
 
     # ------------------------------------------------------------------ ingest
     def feed(self, record: dict) -> bool:
-        """Ingest one journal record; foreign-manifest records are ignored."""
+        """Ingest one journal record; foreign-manifest records are ignored.
+
+        Quarantine records are counted (for progress and health) but
+        contribute no outcome: the paper's metrics aggregate over scored
+        units only, bit-for-bit with a fault-free run of the healthy subset.
+        """
+        if record.get("kind") == "quarantine":
+            if record.get("manifest") != self._manifest_hash:
+                return False
+            self._quarantined_keys.add(record["key"])
+            return True
         if record.get("kind") != "unit" or record.get("manifest") != self._manifest_hash:
             return False
         group = self._outcomes.setdefault((record["profile"], record["suite"]), {})
@@ -85,7 +112,11 @@ class StreamingAggregator:
     # ------------------------------------------------------------------ progress
     def progress(self) -> RunProgress:
         total = len(self.manifest.expand(self.resolver.suite_task_ids()))
-        return RunProgress(completed=self._seen, total=total)
+        return RunProgress(
+            completed=self._seen,
+            total=total,
+            quarantined=len(self._quarantined_keys),
+        )
 
     # ------------------------------------------------------------------ suite results
     def suite_result(self, profile_id: str, suite_id: str) -> SuiteResult:

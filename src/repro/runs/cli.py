@@ -10,6 +10,13 @@ Typical session (two shards filling one store, then a report)::
 
 ``run`` is always safe to re-invoke: completed units are skipped, so a crashed
 or killed sweep resumes where its journal ends.
+
+Exit codes (``status`` is the scriptable health probe)::
+
+    0  run complete, no quarantined units
+    2  store/manifest error (missing directory, hash mismatch, ...)
+    3  run incomplete (pending units remain)
+    4  run has quarantined (poison) units — even if otherwise complete
 """
 
 from __future__ import annotations
@@ -80,7 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard", type=_parse_shard, default=(0, 1), help="i/n disjoint shard")
     run.add_argument("--max-units", type=int, default=None, help="execute at most N units")
 
-    commands.add_parser("status", help="journal coverage of the manifest")
+    commands.add_parser(
+        "status",
+        help="journal coverage + health (exit 0 ok, 3 incomplete, 4 quarantined)",
+    )
     commands.add_parser("report", help="render the experiment from the journal so far")
     return parser
 
@@ -142,11 +152,31 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "status":
             engine = RunEngine(manifest, store)
             done, total = engine.progress()
+            quarantined = [
+                record
+                for record in store.quarantined_records()
+                if record.get("manifest") == manifest.manifest_hash
+            ]
+            warnings = store.warning_records()
             percent = 100.0 * done / total if total else 100.0
             print(f"manifest {manifest.manifest_hash[:12]} ({manifest.name})")
             print(f"{done}/{total} units journaled ({percent:.1f}% complete)")
+            for record in quarantined:
+                info = record.get("quarantine", {})
+                print(
+                    f"quarantined: {record.get('task')} sample {record.get('sample')}"
+                    f" after {info.get('attempts')} attempt(s): {info.get('error')}"
+                )
+            for record in warnings:
+                info = record.get("warning", {})
+                print(f"warning [{info.get('category')}]: {info.get('message')}")
             if store.recovered_lines:
                 print(f"{store.recovered_lines} corrupted journal line(s) dropped on load")
+            if quarantined:
+                print(f"{len(quarantined)} unit(s) quarantined", file=sys.stderr)
+                return 4
+            if done < total:
+                return 3
             return 0
         if args.command == "report":
             aggregator = StreamingAggregator(manifest).feed_store(store)

@@ -24,7 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..bench.evaluator import check_request_for, task_check_keys
-from ..bench.jobs import CheckOutcome, CheckRequest, ResultKey, design_key, run_checks
+from ..bench.jobs import (
+    CheckExecution,
+    CheckOutcome,
+    CheckRequest,
+    ExecutionPolicy,
+    ResultKey,
+    design_key,
+    run_checks,
+)
 from ..core.llm.base import GenerationConfig
 from ..verilog.syntax_checker import SyntaxChecker
 from .manifest import RunManifest, WorkUnit
@@ -39,10 +47,11 @@ class RunStats:
     total_units: int = 0  # units in this invocation's scope (after sharding)
     executed: int = 0  # units actually generated/checked this invocation
     skipped: int = 0  # units already journaled (resume hits)
+    quarantined: int = 0  # units journaled as poison this invocation
 
     @property
     def complete(self) -> bool:
-        return self.executed + self.skipped >= self.total_units
+        return self.executed + self.skipped + self.quarantined >= self.total_units
 
 
 @dataclass
@@ -172,18 +181,41 @@ class RunEngine:
                             task, sample.code, key, stimulus, config
                         )
 
-            memo: dict[ResultKey, tuple[bool, str, int]] = {}
+            memo: dict[ResultKey, CheckExecution] = {}
             if requests:
-                verdicts = run_checks(list(requests.values()), max_workers=config.max_workers)
-                for key, result in verdicts.items():
-                    memo[key] = (result.passed, result.failure_summary, result.total_checks)
+                report = run_checks(
+                    list(requests.values()),
+                    max_workers=config.max_workers,
+                    policy=ExecutionPolicy.from_config(config),
+                )
+                memo = report.executions
+                for warning in report.warnings:
+                    self.store.record_warning(
+                        warning["category"],
+                        warning["message"],
+                        detail=warning.get("detail"),
+                    )
 
             for plan in plans:
                 if plan.result_key is not None:
-                    passed, failure_summary, total_checks = memo[plan.result_key]
-                    plan.outcome.functional_passed = passed
-                    plan.outcome.failure_summary = failure_summary
-                    plan.outcome.total_checks = total_checks
+                    execution = memo[plan.result_key]
+                    if execution.quarantined:
+                        # The check burned every attempt: journal the unit as
+                        # poison so resume skips it instead of re-running it.
+                        self.store.record_quarantine(
+                            plan.unit,
+                            attempts=execution.attempts,
+                            error=execution.error,
+                            degradation=execution.degradation,
+                        )
+                        stats.quarantined += 1
+                        continue
+                    result = execution.result
+                    plan.outcome.functional_passed = result.passed
+                    plan.outcome.failure_summary = result.failure_summary
+                    plan.outcome.total_checks = result.total_checks
+                    plan.outcome.attempts = execution.attempts
+                    plan.outcome.degradation = list(execution.degradation)
                 self.store.record(plan.unit, plan.outcome)
                 stats.executed += 1
         return stats

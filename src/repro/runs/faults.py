@@ -1,0 +1,164 @@
+"""Deterministic fault injection for check execution.
+
+The chaos tests (and the ``chaos-smoke`` CI job) need a way to make a check
+crash its worker process, hang past its deadline, or raise — at a chosen,
+reproducible point.  A :class:`FaultSpec` selects requests by task id and/or
+candidate design hash and fires on chosen attempt numbers, so the same fault
+plan always hits the same units in the same way.
+
+Faults are activated either programmatically (:func:`install_faults`, for
+serial in-process tests) or through the ``REPRO_FAULTS`` environment variable
+(a JSON list of spec dicts), which pool worker processes inherit — the only
+channel that reaches a freshly forked/spawned worker.  With neither present,
+:func:`maybe_inject` is a no-op costing one environment lookup.
+
+Actions:
+
+* ``"raise"`` — raise :class:`InjectedFault` (an ordinary in-check failure);
+* ``"crash"`` — ``os._exit`` the process when running inside a pool worker
+  (the ``BrokenProcessPool`` scenario); in the parent process it degrades to
+  :class:`InjectedFault` so an injected plan can never kill the run itself;
+* ``"hang"`` — busy-wait ``hang_s`` seconds.  With ``cooperative=True`` the
+  wait ticks :func:`~repro.deadline.check_deadline` (modelling a runaway but
+  deadline-aware hot loop, which times out in-process); without it the hang is
+  opaque (modelling a blocked worker, which only the parent's hard per-future
+  deadline can clear).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..deadline import check_deadline
+
+#: Environment variable carrying a JSON fault plan into worker processes.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or reported) by an injected fault — never by real execution."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: where it fires and what it does."""
+
+    action: str  # "crash" | "hang" | "raise"
+    task_id: str = ""  # exact match on the request's task id ("" = any)
+    design_key: str = ""  # prefix match on the candidate design hash ("" = any)
+    #: Fire only while ``request.attempt <= max_attempt`` (0 = every attempt).
+    #: ``max_attempt=1`` models a transient fault: first attempt fails, the
+    #: retry succeeds.
+    max_attempt: int = 0
+    hang_s: float = 30.0
+    cooperative: bool = False
+
+    def __post_init__(self):
+        if self.action not in ("crash", "hang", "raise"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+    def matches(self, task_id: str, design_key: str, attempt: int) -> bool:
+        if self.task_id and self.task_id != task_id:
+            return False
+        if self.design_key and not design_key.startswith(self.design_key):
+            return False
+        if self.max_attempt and attempt > self.max_attempt:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "task_id": self.task_id,
+            "design_key": self.design_key,
+            "max_attempt": self.max_attempt,
+            "hang_s": self.hang_s,
+            "cooperative": self.cooperative,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultSpec":
+        return cls(
+            action=str(payload["action"]),
+            task_id=str(payload.get("task_id", "")),
+            design_key=str(payload.get("design_key", "")),
+            max_attempt=int(payload.get("max_attempt", 0)),
+            hang_s=float(payload.get("hang_s", 30.0)),
+            cooperative=bool(payload.get("cooperative", False)),
+        )
+
+
+def faults_env_value(specs: Sequence[FaultSpec]) -> str:
+    """Serialize a fault plan for ``REPRO_FAULTS`` (tests, CI, subprocesses)."""
+    return json.dumps([spec.to_dict() for spec in specs])
+
+
+# --------------------------------------------------------------------------- activation
+_installed: list[FaultSpec] | None = None
+#: (raw env value, parsed plan) — re-parsed only when the variable changes.
+_env_cache: tuple[str | None, tuple[FaultSpec, ...]] = (None, ())
+
+
+def install_faults(specs: Sequence[FaultSpec]) -> None:
+    """Activate a fault plan in this process (overrides the environment)."""
+    global _installed
+    _installed = list(specs)
+
+
+def clear_faults() -> None:
+    """Deactivate any programmatically installed plan."""
+    global _installed
+    _installed = None
+
+
+def active_faults() -> Sequence[FaultSpec]:
+    """The fault plan in effect: installed plan first, then ``REPRO_FAULTS``."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return ()
+    if _env_cache[0] != raw:
+        specs = tuple(FaultSpec.from_dict(entry) for entry in json.loads(raw))
+        _env_cache = (raw, specs)
+    return _env_cache[1]
+
+
+# --------------------------------------------------------------------------- firing
+def _in_worker_process() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def maybe_inject(task_id: str, design_key: str, attempt: int) -> None:
+    """Fire the first matching fault of the active plan, if any."""
+    specs = active_faults()
+    if not specs:
+        return
+    for spec in specs:
+        if spec.matches(task_id, design_key, attempt):
+            _fire(spec, task_id, attempt)
+            return
+
+
+def _fire(spec: FaultSpec, task_id: str, attempt: int) -> None:
+    where = f"task {task_id!r} (attempt {attempt})"
+    if spec.action == "raise":
+        raise InjectedFault(f"injected fault on {where}")
+    if spec.action == "crash":
+        if _in_worker_process():
+            os._exit(3)  # simulate a worker death the pool cannot report
+        # In-parent execution refuses to kill the run: surface as a failure.
+        raise InjectedFault(f"injected crash on {where} (serial execution)")
+    # "hang": burn wall clock until hang_s elapses (or, cooperatively, until
+    # the active deadline interrupts us).
+    end = time.monotonic() + spec.hang_s
+    while time.monotonic() < end:
+        if spec.cooperative:
+            check_deadline(f"faults.hang:{task_id}")
+        time.sleep(0.005)

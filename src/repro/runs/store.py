@@ -5,23 +5,28 @@ A :class:`RunStore` is a directory holding:
 * ``manifest.json`` — the sweep declaration (written once, hash-checked on
   reopen so a journal can never be extended under a different manifest);
 * ``journal.jsonl`` — an append-only journal with one JSON record per
-  completed work unit.
+  completed work unit, plus ``quarantine`` records for poison units that
+  burned every execution attempt (resume skips them instead of re-running
+  them forever) and ``warning`` records for degraded-execution events
+  (serial fallback, pool rebuilds).
 
 Appends are single ``O_APPEND`` writes of one line, so disjoint shard
-processes can safely fill one journal concurrently.  On load, a corrupted or
-truncated trailing line (the signature of a crash mid-write) is dropped and
-counted in :attr:`RunStore.recovered_lines`; the unit it described simply
-re-runs.  ``RunStore.open()`` resolves the directory from the ``REPRO_RUN_DIR``
-environment variable when none is given; ``RunStore.ephemeral()`` keeps the
-journal purely in memory for library callers that do not want persistence.
+processes can safely fill one journal concurrently.  On load, a corrupted,
+truncated, or schema-invalid line (the signature of a crash mid-write) is
+dropped and counted in :attr:`RunStore.recovered_lines`; the unit it
+described simply re-runs.  ``RunStore.open()`` resolves the directory from
+the ``REPRO_RUN_DIR`` environment variable when none is given;
+``RunStore.ephemeral()`` keeps the journal purely in memory for library
+callers that do not want persistence.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from ..bench.jobs import CheckOutcome
 from .manifest import RunManifest, WorkUnit
@@ -35,6 +40,33 @@ JOURNAL_FILENAME = "journal.jsonl"
 
 class RunStoreError(RuntimeError):
     """Raised on store misuse (missing directory, manifest mismatch, ...)."""
+
+
+#: An outcome payload missing any of these cannot rebuild a CheckOutcome.
+_REQUIRED_OUTCOME_FIELDS = ("sample_index", "temperature", "syntax_ok")
+
+
+def _valid_record(record) -> bool:
+    """Schema gate for journal lines: parseable JSON is not enough.
+
+    A torn write can leave a line that *is* valid JSON (e.g. the tail of one
+    record completing the head of another) but describes nothing the
+    aggregators can use; admitting it would crash reporting much later, far
+    from the corruption.  Invalid lines are dropped at load like torn ones.
+    """
+    if not isinstance(record, dict) or not isinstance(record.get("key"), str):
+        return False
+    kind = record.get("kind", "unit")
+    if kind == "unit":
+        outcome = record.get("outcome")
+        return isinstance(outcome, dict) and all(
+            name in outcome for name in _REQUIRED_OUTCOME_FIELDS
+        )
+    if kind == "quarantine":
+        return isinstance(record.get("quarantine"), dict)
+    if kind == "warning":
+        return isinstance(record.get("warning"), dict)
+    return False
 
 
 class RunStore:
@@ -121,11 +153,12 @@ class RunStore:
                 continue
             try:
                 record = json.loads(line)
-                if not isinstance(record, dict) or "key" not in record:
+                if not _valid_record(record):
                     raise ValueError("not a journal record")
             except ValueError:
-                # A torn or corrupted line — expected for the trailing line
-                # after a crash mid-append; the unit it described re-runs.
+                # A torn, corrupted, or schema-invalid line — expected for the
+                # trailing line after a crash mid-append; the unit it
+                # described re-runs.
                 self.recovered_lines += 1
                 continue
             self._admit(record)
@@ -138,19 +171,7 @@ class RunStore:
         self._index[key] = record
         return True
 
-    def record(self, unit: WorkUnit, outcome: CheckOutcome) -> bool:
-        """Journal one completed unit (idempotent; returns False on repeat)."""
-        record = {
-            "kind": "unit",
-            "key": unit.key,
-            "manifest": unit.manifest_hash,
-            "profile": unit.profile_id,
-            "suite": unit.suite_id,
-            "task": unit.task_id,
-            "temperature": unit.temperature,
-            "sample": unit.sample_index,
-            "outcome": outcome.to_dict(),
-        }
+    def _append(self, record: dict) -> bool:
         if not self._admit(record):
             return False
         if self.directory is not None:
@@ -166,6 +187,68 @@ class RunStore:
                 os.close(fd)
         return True
 
+    def _unit_header(self, unit: WorkUnit) -> dict:
+        return {
+            "key": unit.key,
+            "manifest": unit.manifest_hash,
+            "profile": unit.profile_id,
+            "suite": unit.suite_id,
+            "task": unit.task_id,
+            "temperature": unit.temperature,
+            "sample": unit.sample_index,
+        }
+
+    def record(self, unit: WorkUnit, outcome: CheckOutcome) -> bool:
+        """Journal one completed unit (idempotent; returns False on repeat)."""
+        record = {"kind": "unit", "outcome": outcome.to_dict(), **self._unit_header(unit)}
+        return self._append(record)
+
+    def record_quarantine(
+        self,
+        unit: WorkUnit,
+        *,
+        attempts: int,
+        error: str,
+        degradation: Sequence[str] = (),
+    ) -> bool:
+        """Journal a poison unit: it burned every attempt and must not re-run.
+
+        The record claims the unit's key, so resume treats the unit as done
+        (skipping it) while the aggregators and ``status`` count it as
+        quarantined rather than scored.
+        """
+        record = {
+            "kind": "quarantine",
+            "quarantine": {
+                "attempts": int(attempts),
+                "error": str(error),
+                "degradation": list(degradation),
+            },
+            **self._unit_header(unit),
+        }
+        return self._append(record)
+
+    def record_warning(
+        self, category: str, message: str, detail: Mapping | None = None
+    ) -> bool:
+        """Journal a degraded-execution warning (serial fallback, pool churn).
+
+        Warnings are keyed by their content hash, so the same condition
+        reported by several shards (or re-invocations) lands once.
+        """
+        payload: dict = {"category": str(category), "message": str(message)}
+        if detail:
+            payload["detail"] = dict(detail)
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        record = {
+            "kind": "warning",
+            "key": f"warning:{digest[:16]}",
+            "warning": payload,
+        }
+        return self._append(record)
+
     # ------------------------------------------------------------------ queries
     def __contains__(self, key: str) -> bool:
         return key in self._index
@@ -180,9 +263,17 @@ class RunStore:
         """Journal records in append order."""
         return iter(list(self._records))
 
+    def quarantined_records(self) -> list[dict]:
+        """Quarantine records in append order."""
+        return [r for r in self._records if r.get("kind") == "quarantine"]
+
+    def warning_records(self) -> list[dict]:
+        """Warning records in append order."""
+        return [r for r in self._records if r.get("kind") == "warning"]
+
     def outcome_for(self, key: str) -> CheckOutcome | None:
         record = self._index.get(key)
-        if record is None:
+        if record is None or "outcome" not in record:
             return None
         return CheckOutcome.from_dict(record["outcome"])
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence, Union
 
+from ...deadline import check_deadline
 from .. import ast_nodes as ast
 from ..errors import SimulationError
 from .scheduler import BatchSignalStore, BatchStatementExecutor, ProcessKind
@@ -141,6 +142,7 @@ class BatchSimulator:
     # ------------------------------------------------------------------ execution
     def settle(self) -> None:
         """Re-evaluate combinational processes until no lane changes."""
+        check_deadline("BatchSimulator.settle")
         for _ in range(MAX_SETTLE_ITERATIONS):
             changed = False
             for process in self.design.processes:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...deadline import check_deadline
 from .. import ast_nodes as ast
 from ..errors import ElaborationError, SimulationError
 from .eval import EvalContext, ExpressionEvaluator
@@ -269,6 +270,7 @@ class ModuleSimulator:
     # ------------------------------------------------------------------ execution
     def settle(self) -> None:
         """Re-evaluate combinational processes until no signal changes."""
+        check_deadline("ModuleSimulator.settle")
         for _ in range(MAX_SETTLE_ITERATIONS):
             changed = False
             for process in self.design.processes:

@@ -131,9 +131,9 @@ class TestMemoisation:
         executed: list[int] = []
         real_run_checks = evaluator_module.run_checks
 
-        def counting(requests, max_workers=1):
+        def counting(requests, max_workers=1, **kwargs):
             executed.append(len(requests))
-            return real_run_checks(requests, max_workers=max_workers)
+            return real_run_checks(requests, max_workers=max_workers, **kwargs)
 
         monkeypatch.setattr(evaluator_module, "run_checks", counting)
         evaluator = BenchmarkEvaluator(config)
@@ -210,13 +210,13 @@ class TestRunChecks:
 
     def test_duplicate_keys_executed_once(self):
         requests = self._requests(copies=3)
-        results = run_checks(requests, max_workers=1)
+        results = run_checks(requests, max_workers=1).results()
         assert len(results) == len(_PICKLABLE_SPECS)
         assert all(result.passed for result in results.values())
 
     def test_parallel_matches_serial(self):
-        serial = run_checks(self._requests(), max_workers=1)
-        parallel = run_checks(self._requests(), max_workers=2)
+        serial = run_checks(self._requests(), max_workers=1).results()
+        parallel = run_checks(self._requests(), max_workers=2).results()
         assert set(serial) == set(parallel)
         for key in serial:
             assert serial[key].passed == parallel[key].passed

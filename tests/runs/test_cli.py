@@ -1,0 +1,73 @@
+"""``python -m repro.runs`` exit codes: the scriptable health probe.
+
+``status`` distinguishes the states automation cares about: 0 (complete and
+healthy), 2 (store/manifest error), 3 (incomplete), 4 (quarantined units
+present, even if the sweep otherwise finished).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runs.cli import main
+from repro.runs.engine import RunEngine
+from repro.runs.store import RunStore
+from test_manifest import tiny_manifest
+
+
+@pytest.fixture()
+def planned(tmp_path):
+    """A run directory holding a tiny manifest, nothing executed yet."""
+    store = RunStore(tmp_path)
+    manifest = tiny_manifest()
+    store.write_manifest(manifest)
+    return tmp_path, manifest, store
+
+
+class TestStatusExitCodes:
+    def test_missing_manifest_is_a_store_error(self, tmp_path):
+        assert main(["--run-dir", str(tmp_path), "status"]) == 2
+
+    def test_missing_run_dir_is_a_store_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_DIR", raising=False)
+        assert main(["status"]) == 2
+
+    def test_incomplete_run_exits_3(self, planned, capsys):
+        run_dir, _, _ = planned
+        assert main(["--run-dir", str(run_dir), "status"]) == 3
+        assert "0.0% complete" in capsys.readouterr().out
+
+    def test_partially_executed_run_still_exits_3(self, planned):
+        run_dir, _, _ = planned
+        assert main(["--run-dir", str(run_dir), "run", "--max-units", "1"]) == 0
+        assert main(["--run-dir", str(run_dir), "status"]) == 3
+
+    def test_complete_healthy_run_exits_0(self, planned, capsys):
+        run_dir, _, _ = planned
+        assert main(["--run-dir", str(run_dir), "run"]) == 0
+        assert main(["--run-dir", str(run_dir), "status"]) == 0
+        assert "100.0% complete" in capsys.readouterr().out
+
+    def test_quarantined_unit_exits_4_even_when_complete(self, planned, capsys):
+        run_dir, manifest, store = planned
+        # Poison one unit up front (as the engine would after burning every
+        # attempt), then let the sweep finish around it.
+        poison = RunEngine(manifest, store).units()[0]
+        store.record_quarantine(poison, attempts=3, error="worker died")
+        assert main(["--run-dir", str(run_dir), "run"]) == 0
+        assert main(["--run-dir", str(run_dir), "status"]) == 4
+        captured = capsys.readouterr()
+        assert (
+            f"quarantined: {poison.task_id} sample {poison.sample_index}"
+            f" after 3 attempt(s): worker died" in captured.out
+        )
+        assert "1 unit(s) quarantined" in captured.err
+
+    def test_warnings_are_reported(self, planned, capsys):
+        run_dir, _, store = planned
+        store.record_warning("serial-fallback", "2 of 6 requests do not pickle")
+        main(["--run-dir", str(run_dir), "status"])
+        assert (
+            "warning [serial-fallback]: 2 of 6 requests do not pickle"
+            in capsys.readouterr().out
+        )

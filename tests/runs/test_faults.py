@@ -1,0 +1,132 @@
+"""Deterministic fault injection (`repro.runs.faults`) — matching and firing.
+
+Real crash/hang behaviour under the executor lives in ``tests/chaos``; these
+are the fast contract tests for spec selection and activation channels.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.deadline import CheckTimeout, deadline_scope
+from repro.runs.faults import (
+    FAULTS_ENV,
+    FaultSpec,
+    InjectedFault,
+    active_faults,
+    clear_faults,
+    faults_env_value,
+    install_faults,
+    maybe_inject,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    clear_faults()
+    yield
+    clear_faults()
+
+
+class TestFaultSpec:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("explode")
+
+    def test_empty_selectors_match_anything(self):
+        spec = FaultSpec("raise")
+        assert spec.matches("any_task", "d" * 64, 1)
+        assert spec.matches("other", "", 99)
+
+    def test_task_id_is_exact_match(self):
+        spec = FaultSpec("raise", task_id="adder")
+        assert spec.matches("adder", "", 1)
+        assert not spec.matches("adder2", "", 1)
+
+    def test_design_key_is_prefix_match(self):
+        spec = FaultSpec("raise", design_key="abc1")
+        assert spec.matches("t", "abc123" + "0" * 58, 1)
+        assert not spec.matches("t", "abd" + "0" * 61, 1)
+
+    def test_max_attempt_models_transient_faults(self):
+        transient = FaultSpec("raise", max_attempt=1)
+        assert transient.matches("t", "", 1)
+        assert not transient.matches("t", "", 2)
+        persistent = FaultSpec("raise")  # max_attempt=0: every attempt
+        assert persistent.matches("t", "", 5)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            "hang", task_id="t", design_key="ab", max_attempt=2, hang_s=1.5, cooperative=True
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestActivation:
+    def test_no_plan_is_inert(self):
+        assert active_faults() == ()
+        maybe_inject("task", "d" * 64, 1)  # no-op
+
+    def test_installed_plan_fires_and_clears(self):
+        install_faults([FaultSpec("raise", task_id="t")])
+        with pytest.raises(InjectedFault):
+            maybe_inject("t", "", 1)
+        maybe_inject("other", "", 1)  # selector mismatch: no fire
+        clear_faults()
+        maybe_inject("t", "", 1)  # plan gone
+
+    def test_env_plan_round_trips(self, monkeypatch):
+        plan = [
+            FaultSpec("crash", task_id="a", max_attempt=1),
+            FaultSpec("hang", design_key="ff", hang_s=2.0, cooperative=True),
+        ]
+        monkeypatch.setenv(FAULTS_ENV, faults_env_value(plan))
+        assert list(active_faults()) == plan
+
+    def test_env_cache_tracks_variable_changes(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, faults_env_value([FaultSpec("raise")]))
+        assert [spec.action for spec in active_faults()] == ["raise"]
+        monkeypatch.setenv(
+            FAULTS_ENV, faults_env_value([FaultSpec("hang"), FaultSpec("raise")])
+        )
+        assert [spec.action for spec in active_faults()] == ["hang", "raise"]
+        monkeypatch.delenv(FAULTS_ENV)
+        assert active_faults() == ()
+
+    def test_installed_plan_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, faults_env_value([FaultSpec("raise")]))
+        install_faults([])
+        maybe_inject("t", "", 1)  # empty installed plan wins: nothing fires
+
+    def test_first_matching_spec_wins(self):
+        install_faults(
+            [FaultSpec("raise", task_id="other"), FaultSpec("raise", task_id="t")]
+        )
+        with pytest.raises(InjectedFault):
+            maybe_inject("t", "", 1)
+
+
+class TestFiring:
+    def test_crash_in_parent_degrades_to_injected_fault(self):
+        # os._exit is reserved for pool workers; in-process the plan must
+        # never be able to kill the run itself.
+        install_faults([FaultSpec("crash", task_id="t")])
+        with pytest.raises(InjectedFault, match="serial execution"):
+            maybe_inject("t", "", 1)
+
+    def test_cooperative_hang_honors_the_deadline(self):
+        install_faults([FaultSpec("hang", hang_s=30.0, cooperative=True)])
+        started = time.monotonic()
+        with deadline_scope(0.05):
+            with pytest.raises(CheckTimeout):
+                maybe_inject("t", "", 1)
+        assert time.monotonic() - started < 5.0
+
+    def test_short_hang_completes(self):
+        install_faults([FaultSpec("hang", hang_s=0.02)])
+        started = time.monotonic()
+        maybe_inject("t", "", 1)  # returns after the injected stall
+        assert time.monotonic() - started >= 0.02

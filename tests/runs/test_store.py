@@ -77,12 +77,106 @@ class TestJournal:
         assert recovered.recovered_lines == 1
         assert len(recovered) == 1
 
+    def test_torn_write_mid_multibyte_utf8_recovers(self, tmp_path):
+        """A crash can tear an append in the middle of a UTF-8 sequence."""
+        store = RunStore(tmp_path)
+        store.record(unit(0), outcome(0))
+        record = {
+            "kind": "unit",
+            "key": "x" * 64,
+            "manifest": "m" * 64,
+            "profile": "baseline:gpt-4",
+            "suite": "machine",
+            "task": "t1",
+            "temperature": 0.2,
+            "sample": 9,
+            "outcome": CheckOutcome(
+                sample_index=9,
+                temperature=0.2,
+                syntax_ok=False,
+                syntax_error="erreur de compilation — ligne 3 ✓",
+            ).to_dict(),
+        }
+        encoded = (json.dumps(record, ensure_ascii=False) + "\n").encode("utf-8")
+        marker = "✓".encode("utf-8")
+        cut = encoded.index(marker) + 1  # one byte into the 3-byte codepoint
+        with open(tmp_path / JOURNAL_FILENAME, "ab") as handle:
+            handle.write(encoded[:cut])
+
+        recovered = RunStore(tmp_path)
+        assert recovered.recovered_lines == 1
+        assert len(recovered) == 1
+        # The store stays appendable and the torn unit simply re-runs.
+        assert recovered.record(unit(1), outcome(1))
+        assert len(RunStore(tmp_path)) == 2
+
+    def test_crlf_separated_records_load(self, tmp_path):
+        """Journals that passed through CRLF translation still load cleanly."""
+        store = RunStore(tmp_path)
+        store.record(unit(0), outcome(0))
+        store.record(unit(1), outcome(1))
+        journal = tmp_path / JOURNAL_FILENAME
+        journal.write_bytes(journal.read_bytes().replace(b"\n", b"\r\n"))
+
+        recovered = RunStore(tmp_path)
+        assert recovered.recovered_lines == 0
+        assert len(recovered) == 2
+        assert recovered.outcome_for(unit(1).key) == outcome(1)
+
+    def test_schema_invalid_trailing_records_dropped(self, tmp_path):
+        """Valid JSON is not enough: records must carry a usable payload."""
+        store = RunStore(tmp_path)
+        store.record(unit(0), outcome(0))
+        with open(tmp_path / JOURNAL_FILENAME, "a") as handle:
+            # A unit record whose outcome lost its required fields (e.g. two
+            # torn appends fused into one parseable line) ...
+            handle.write(
+                json.dumps(
+                    {"kind": "unit", "key": "k" * 64, "outcome": {"sample_index": 1}}
+                )
+                + "\n"
+            )
+            # ... and a record of a kind this store does not know.
+            handle.write(json.dumps({"kind": "mystery", "key": "q" * 64}) + "\n")
+
+        recovered = RunStore(tmp_path)
+        assert recovered.recovered_lines == 2
+        assert len(recovered) == 1
+        assert "k" * 64 not in recovered
+
     def test_ephemeral_store_has_no_files(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         store = RunStore.ephemeral()
         store.record(unit(), outcome())
         assert unit().key in store
         assert not any(tmp_path.iterdir())
+
+
+class TestQuarantineAndWarnings:
+    def test_quarantine_claims_unit_key(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.record_quarantine(
+            unit(0), attempts=3, error="worker died", degradation=["batch->scalar"]
+        )
+        # Resume sees the unit as done, but it carries no scored outcome.
+        assert unit(0).key in store
+        assert store.outcome_for(unit(0).key) is None
+        # The poison claim wins: a later verdict for the same unit is refused.
+        assert not store.record(unit(0), outcome(0))
+
+        reopened = RunStore(tmp_path)
+        records = reopened.quarantined_records()
+        assert len(records) == 1
+        assert records[0]["quarantine"]["attempts"] == 3
+        assert records[0]["quarantine"]["error"] == "worker died"
+        assert records[0]["quarantine"]["degradation"] == ["batch->scalar"]
+
+    def test_warnings_dedup_by_content(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.record_warning("serial-fallback", "2 of 4 do not pickle")
+        assert not store.record_warning("serial-fallback", "2 of 4 do not pickle")
+        assert store.record_warning("serial-fallback", "3 of 4 do not pickle")
+        assert len(RunStore(tmp_path).warning_records()) == 2
 
 
 class TestManifestHandling:

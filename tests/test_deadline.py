@@ -1,0 +1,75 @@
+"""Cooperative wall-clock deadlines (`repro.deadline`)."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.deadline import (
+    CheckTimeout,
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class TestCheckDeadline:
+    def test_noop_without_scope(self):
+        assert current_deadline() is None
+        check_deadline("anywhere")  # never raises
+
+    def test_none_budget_is_a_noop_scope(self):
+        with deadline_scope(None) as deadline:
+            assert deadline is None
+            assert current_deadline() is None
+            check_deadline()
+
+    def test_exhausted_budget_raises_structured_timeout(self):
+        with deadline_scope(0.01):
+            time.sleep(0.02)
+            with pytest.raises(CheckTimeout) as excinfo:
+                check_deadline("unit.test")
+        error = excinfo.value
+        assert error.site == "unit.test"
+        assert error.budget_s == pytest.approx(0.01)
+        assert "wall-clock budget" in str(error)
+        assert "unit.test" in str(error)
+
+    def test_generous_budget_does_not_fire(self):
+        with deadline_scope(60.0) as deadline:
+            check_deadline("fine")
+            assert deadline.remaining() > 0
+            assert not deadline.expired()
+
+    def test_scopes_nest_and_restore(self):
+        with deadline_scope(60.0) as outer:
+            assert current_deadline() is outer
+            with deadline_scope(30.0) as inner:
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_existing_deadline_can_be_shared(self):
+        shared = Deadline(60.0)
+        with deadline_scope(shared) as deadline:
+            assert deadline is shared
+            assert current_deadline() is shared
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with deadline_scope(60.0):
+                raise ValueError("boom")
+        assert current_deadline() is None
+
+
+class TestCheckTimeoutPickling:
+    def test_round_trip_keeps_structured_fields(self):
+        original = CheckTimeout("budget gone", site="sat.solve", budget_s=1.5)
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, CheckTimeout)
+        assert str(restored) == "budget gone"
+        assert restored.site == "sat.solve"
+        assert restored.budget_s == 1.5
