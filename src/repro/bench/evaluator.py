@@ -167,13 +167,18 @@ class TaskResult:
     num_syntax_passes: int
     temperature: float
     failure_examples: list[str] = field(default_factory=list)
+    #: Samples whose checks were quarantined (burned every execution attempt).
+    #: They count as non-passes in this result, but their verdicts are infra
+    #: faults, not candidate failures — they are never memoized, so a later
+    #: ``evaluate`` call re-attempts them.
+    num_quarantined: int = 0
 
     @property
     def passed_at_least_once(self) -> bool:
         return self.num_functional_passes > 0
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "task_id": self.task_id,
             "category": self.category,
             "num_samples": self.num_samples,
@@ -182,6 +187,9 @@ class TaskResult:
             "temperature": self.temperature,
             "failure_examples": list(self.failure_examples),
         }
+        if self.num_quarantined:
+            payload["num_quarantined"] = self.num_quarantined
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "TaskResult":
@@ -193,6 +201,7 @@ class TaskResult:
             num_syntax_passes=int(payload["num_syntax_passes"]),
             temperature=float(payload["temperature"]),
             failure_examples=[str(entry) for entry in payload.get("failure_examples", [])],
+            num_quarantined=int(payload.get("num_quarantined", 0)),
         )
 
 
@@ -346,6 +355,9 @@ class BenchmarkEvaluator:
         self.checker = SyntaxChecker(database=database)
         #: Cross-run verdict memo: content-addressed, so repeated candidates
         #: (across temperatures, runs, pipelines) are scored exactly once.
+        #: Only *settled* verdicts enter it — quarantined checks (transient
+        #: infra faults that burned every attempt) are deliberately excluded,
+        #: so they are re-attempted instead of permanently scored as failures.
         self.memo: dict[ResultKey, TestbenchResult] = {}
         #: Structured execution warnings (serial fallback, pool degradation)
         #: accumulated across ``evaluate`` calls; callers may drain this.
@@ -370,15 +382,39 @@ class BenchmarkEvaluator:
                 plans.append(self._plan_temperature(pipeline, task, temperature, pending))
 
         # Phase 3: execute the deduplicated checks (worker pool when
-        # configured) under the configured fault-tolerance policy.
+        # configured) under the configured fault-tolerance policy.  Settled
+        # verdicts enter the cross-run memo; quarantined ones (transient infra
+        # faults, not candidate failures) stay local to this call, so the next
+        # evaluate() re-attempts them instead of replaying a synthetic failure.
+        quarantined: dict[ResultKey, TestbenchResult] = {}
         if pending:
             report = run_checks(
                 list(pending.values()),
                 max_workers=self.config.max_workers,
                 policy=ExecutionPolicy.from_config(self.config),
             )
-            self.memo.update(report.results())
+            for key, execution in report.executions.items():
+                if execution.quarantined:
+                    quarantined[key] = execution.result
+                else:
+                    self.memo[key] = execution.result
             self.warnings.extend(report.warnings)
+            for key, execution in report.quarantined().items():
+                self.warnings.append(
+                    {
+                        "category": "quarantined",
+                        "message": (
+                            f"check for task {pending[key].task_id!r} quarantined "
+                            f"after {execution.attempts} attempt(s): {execution.error}"
+                        ),
+                        "detail": {
+                            "task_id": pending[key].task_id,
+                            "design_key": key.design_key,
+                            "attempts": execution.attempts,
+                            "error": execution.error,
+                        },
+                    }
+                )
 
         # Phase 4: assemble per-task results, best temperature first.
         result = SuiteResult(suite_name=suite.name, model_name=pipeline.name, ks=self.config.ks)
@@ -386,7 +422,7 @@ class BenchmarkEvaluator:
         for task in tasks:
             best: TaskResult | None = None
             for _ in self.config.temperatures:
-                candidate = self._assemble(plans[index])
+                candidate = self._assemble(plans[index], quarantined)
                 index += 1
                 if best is None or candidate.num_functional_passes > best.num_functional_passes:
                     best = candidate
@@ -453,9 +489,14 @@ class BenchmarkEvaluator:
         return plan
 
     # ------------------------------------------------------------------ assembly
-    def _assemble(self, plan: _TemperaturePlan) -> TaskResult:
+    def _assemble(
+        self,
+        plan: _TemperaturePlan,
+        quarantined: Mapping[ResultKey, TestbenchResult],
+    ) -> TaskResult:
         functional_passes = 0
         syntax_passes = 0
+        num_quarantined = 0
         failures: list[str] = []
         for index in range(len(plan.codes)):
             if not plan.syntax_ok[index]:
@@ -465,7 +506,12 @@ class BenchmarkEvaluator:
             syntax_passes += 1
             key = plan.keys[index]
             assert key is not None
-            check = self.memo[key]
+            check = self.memo.get(key)
+            if check is None:
+                # Quarantined this call: counted as a non-pass, surfaced
+                # distinctly, and never memoized as a candidate failure.
+                check = quarantined[key]
+                num_quarantined += 1
             if check.passed:
                 functional_passes += 1
             elif len(failures) < 3:
@@ -478,6 +524,7 @@ class BenchmarkEvaluator:
             num_syntax_passes=syntax_passes,
             temperature=plan.temperature,
             failure_examples=failures,
+            num_quarantined=num_quarantined,
         )
 
 

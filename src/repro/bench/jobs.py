@@ -517,9 +517,23 @@ def _quarantine_unrunnable(
     return runnable
 
 
-def _kill_pool(pool) -> None:
-    """Terminate a pool's workers and discard it (hung workers never join)."""
-    for process in list((getattr(pool, "_processes", None) or {}).values()):
+def _kill_pool(pool, report: ExecutionReport | None = None) -> None:
+    """Terminate a pool's workers and discard it (hung workers never join).
+
+    Worker termination reaches through the executor's private ``_processes``
+    table (the stdlib offers no public kill-the-workers API).  If a future
+    Python release removes it, the degradation is *loud*: a
+    ``pool-terminate-degraded`` warning records that hung workers could only
+    be abandoned (``shutdown(wait=False)``), not terminated.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes is None and report is not None:
+        report.warn(
+            "pool-terminate-degraded",
+            "ProcessPoolExecutor._processes is unavailable on this Python; "
+            "hung workers are abandoned, not terminated",
+        )
+    for process in list((processes or {}).values()):
         try:
             process.terminate()
         except Exception:
@@ -571,10 +585,12 @@ def _execute_pool(
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
+    from ..runs.faults import mark_pool_worker
+
     workers = min(max_workers, len(items))
 
     try:
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = ProcessPoolExecutor(max_workers=workers, initializer=mark_pool_worker)
     except Exception as exc:
         report.warn("pool-unavailable", f"process pool could not start: {exc}")
         return _quarantine_unrunnable(items, report)
@@ -595,6 +611,14 @@ def _execute_pool(
         queue = []
         held: list[_WorkItem] = []
         for index, item in enumerate(pending):
+            if len(in_flight) >= workers:
+                # Never submit more futures than workers: the hard deadline
+                # starts ticking at submission, so a future queued behind a
+                # busy worker would burn its budget before it ever ran and be
+                # falsely swept as a hung worker.  Held items resubmit as
+                # slots free up.
+                held.extend(pending[index:])
+                break
             suspect_in_flight = any(
                 entry.suspect for entry in in_flight.values()
             )
@@ -669,7 +693,7 @@ def _execute_pool(
                 rebuilds=rebuilds,
             )
             leftovers = list(in_flight.values()) + queue
-            _kill_pool(pool)
+            _kill_pool(pool, report)
             return _quarantine_unrunnable(leftovers, report)
 
         broken = False
@@ -754,10 +778,12 @@ def _execute_pool(
                     broken = True
 
         if broken:
-            _kill_pool(pool)
+            _kill_pool(pool, report)
             rebuilds += 1
             try:
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=workers, initializer=mark_pool_worker
+                )
             except Exception as exc:
                 report.warn(
                     "pool-unavailable", f"process pool could not restart: {exc}"

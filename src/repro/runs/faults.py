@@ -16,8 +16,12 @@ Actions:
 
 * ``"raise"`` — raise :class:`InjectedFault` (an ordinary in-check failure);
 * ``"crash"`` — ``os._exit`` the process when running inside a pool worker
-  (the ``BrokenProcessPool`` scenario); in the parent process it degrades to
-  :class:`InjectedFault` so an injected plan can never kill the run itself;
+  (the ``BrokenProcessPool`` scenario); anywhere else it degrades to
+  :class:`InjectedFault` so an injected plan can never kill the run itself.
+  Pool workers are marked *explicitly* — the executor installs
+  :func:`mark_pool_worker` as the pool initializer — rather than inferred
+  from the process name, so a run that is itself hosted in a multiprocessing
+  child (a shard, a test harness) is never mistaken for a disposable worker;
 * ``"hang"`` — busy-wait ``hang_s`` seconds.  With ``cooperative=True`` the
   wait ticks :func:`~repro.deadline.check_deadline` (modelling a runaway but
   deadline-aware hot loop, which times out in-process); without it the hang is
@@ -28,7 +32,6 @@ Actions:
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass
@@ -131,8 +134,23 @@ def active_faults() -> Sequence[FaultSpec]:
 
 
 # --------------------------------------------------------------------------- firing
+#: True only in processes explicitly marked as disposable pool workers.
+_pool_worker = False
+
+
+def mark_pool_worker() -> None:
+    """Mark this process as a disposable pool worker (pool initializer hook).
+
+    Only marked processes may be ``os._exit``-ed by an injected ``"crash"``;
+    everything else — the main process, but also multiprocessing children
+    *hosting* a run — degrades to :class:`InjectedFault`.
+    """
+    global _pool_worker
+    _pool_worker = True
+
+
 def _in_worker_process() -> bool:
-    return multiprocessing.current_process().name != "MainProcess"
+    return _pool_worker
 
 
 def maybe_inject(task_id: str, design_key: str, attempt: int) -> None:

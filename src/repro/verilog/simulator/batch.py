@@ -142,8 +142,8 @@ class BatchSimulator:
     # ------------------------------------------------------------------ execution
     def settle(self) -> None:
         """Re-evaluate combinational processes until no lane changes."""
-        check_deadline("BatchSimulator.settle")
         for _ in range(MAX_SETTLE_ITERATIONS):
+            check_deadline("BatchSimulator.settle")
             changed = False
             for process in self.design.processes:
                 if process.kind is not ProcessKind.COMBINATIONAL:

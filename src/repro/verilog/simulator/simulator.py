@@ -270,8 +270,8 @@ class ModuleSimulator:
     # ------------------------------------------------------------------ execution
     def settle(self) -> None:
         """Re-evaluate combinational processes until no signal changes."""
-        check_deadline("ModuleSimulator.settle")
         for _ in range(MAX_SETTLE_ITERATIONS):
+            check_deadline("ModuleSimulator.settle")
             changed = False
             for process in self.design.processes:
                 if process.kind is not ProcessKind.COMBINATIONAL:

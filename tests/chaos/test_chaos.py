@@ -253,6 +253,30 @@ class TestPoolFaults:
         assert crashed.attempts >= 2
         assert crashed.degradation == ()
 
+    def test_backlog_deeper_than_workers_keeps_deadlines_honest(self, monkeypatch):
+        # Hard deadlines arm at submission time, so the executor must never
+        # submit more futures than it has workers: with 3 items on 2 workers,
+        # each stalled ~0.5s under a 0.75s budget (+0.15s grace), the item
+        # that waits for a free worker would otherwise burn its deadline in
+        # the backlog and be falsely swept as a hung worker.
+        monkeypatch.setenv(
+            FAULTS_ENV,
+            faults_env_value([FaultSpec("hang", hang_s=0.5, cooperative=False)]),
+        )
+        requests = _requests()
+        report = run_checks(
+            list(requests.values()),
+            max_workers=2,
+            policy=_fast_policy(timeout_s=0.75, max_attempts=3, hard_grace_s=0.15),
+        )
+        assert not report.quarantined()
+        assert not report.warnings
+        for request in requests.values():
+            execution = report.executions[request.key]
+            assert execution.result.passed
+            assert execution.attempts == 1
+            assert execution.degradation == ()
+
     def test_noncooperative_hang_is_killed_and_quarantined(self, monkeypatch):
         monkeypatch.setenv(
             FAULTS_ENV,
@@ -281,6 +305,43 @@ class TestPoolFaults:
         assert "worker unresponsive" in execution.error
         for task_id in ("chaos_xor", "chaos_or"):
             assert report.executions[requests[task_id].key].result.passed
+
+
+# --------------------------------------------------------------------------- evaluator chaos
+class TestEvaluatorQuarantine:
+    def test_quarantine_is_not_memoized_and_reattempts_next_call(self):
+        """A transient infra fault must not be permanently scored as a failure."""
+        from repro.bench.evaluator import BenchmarkEvaluator
+
+        install_faults([FaultSpec("raise", task_id="chaos_xor")])
+        config = EvaluationConfig(
+            num_samples=1,
+            ks=(1,),
+            temperatures=(0.2,),
+            max_attempts=1,
+            retry_backoff_s=0.001,
+        )
+        evaluator = BenchmarkEvaluator(config)
+        pipeline = HaVenPipeline(SaltedPerfectBackend(), use_sicot=False)
+        suite = _chaos_suite()
+
+        poisoned = evaluator.evaluate(pipeline, suite)
+        by_task = {result.task_id: result for result in poisoned.task_results}
+        assert by_task["chaos_xor"].num_quarantined == 1
+        assert by_task["chaos_xor"].num_functional_passes == 0
+        assert any(w["category"] == "quarantined" for w in evaluator.warnings)
+        # The synthetic failed verdict stays out of the cross-run memo...
+        xor_key = _sample_design_key("chaos_xor", 0)
+        assert all(key.design_key != xor_key for key in evaluator.memo)
+
+        # ...so once the fault clears, the same evaluator re-attempts the
+        # check and the candidate scores on its real behaviour.
+        clear_faults()
+        recovered = evaluator.evaluate(pipeline, suite)
+        by_task = {result.task_id: result for result in recovered.task_results}
+        assert by_task["chaos_xor"].num_quarantined == 0
+        assert by_task["chaos_xor"].num_functional_passes == 1
+        assert any(key.design_key == xor_key for key in evaluator.memo)
 
 
 # --------------------------------------------------------------------------- engine chaos
