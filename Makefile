@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench bench-update perf-tests formal chaos
+.PHONY: test test-fast coverage bench bench-update perf-tests formal chaos service-smoke
 
 # Functional suite only; the perf gate is machine-sensitive, run it via
 # `make bench` / `make perf-tests`.
@@ -20,6 +20,12 @@ formal:
 # enforcement and quarantine/resume semantics (also part of `make test` and CI).
 chaos:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q -m chaos tests/chaos
+
+# Evaluation-service smoke: real server + worker processes over HTTP, a
+# SIGKILLed worker mid-lease, exact requeue accounting and live /metrics
+# (also CI's `service-smoke` job).
+service-smoke:
+	PYTHONPATH=$(PYTHONPATH) python tools/service_smoke.py
 
 # Line-coverage report over src/repro (uses the `coverage` package when
 # installed, a stdlib settrace collector otherwise).

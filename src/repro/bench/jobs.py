@@ -39,6 +39,7 @@ execution order never affects scoring and degraded runs stay visible.
 from __future__ import annotations
 
 import hashlib
+import math
 import pickle
 import time
 from dataclasses import dataclass, field, replace
@@ -179,6 +180,11 @@ class CheckOutcome:
     #: (e.g. ``["formal->simulation", "batch->scalar"]``).  Empty for a clean
     #: run — and bit-for-bit identical journal payloads with old records.
     degradation: list[str] = field(default_factory=list)
+    #: Wall-clock seconds of the settling check attempt (0.0 when unmeasured,
+    #: e.g. a syntax-failed sample or a pre-duration journal record).  The
+    #: service's ``/metrics`` p50/p99 latency summaries aggregate this field
+    #: straight from the journal.
+    duration_s: float = 0.0
 
     def to_dict(self) -> dict:
         payload = {
@@ -195,6 +201,8 @@ class CheckOutcome:
             payload["attempts"] = self.attempts
         if self.degradation:
             payload["degradation"] = list(self.degradation)
+        if self.duration_s:
+            payload["duration_s"] = self.duration_s
         return payload
 
     @classmethod
@@ -210,6 +218,7 @@ class CheckOutcome:
             design_key=str(payload.get("design_key", "")),
             attempts=int(payload.get("attempts", 1)),
             degradation=[str(step) for step in payload.get("degradation", [])],
+            duration_s=float(payload.get("duration_s", 0.0)),
         )
 
 
@@ -258,6 +267,19 @@ def execute_check(request: CheckRequest) -> tuple[ResultKey, TestbenchResult]:
             request.code, golden, request.stimulus, check_outputs=request.check_outputs
         )
         return request.key, result
+
+
+def timed_execute_check(
+    request: CheckRequest,
+) -> tuple[ResultKey, TestbenchResult, float]:
+    """:func:`execute_check` plus the attempt's worker-side wall clock.
+
+    The duration is measured where the check actually ran, so pool results
+    report compute time rather than compute time plus queueing.
+    """
+    started = time.monotonic()
+    key, result = execute_check(request)
+    return key, result, time.monotonic() - started
 
 
 def _formal_check(request: CheckRequest, golden) -> TestbenchResult | None:
@@ -360,6 +382,20 @@ class CheckExecution:
     #: rather than scored.
     quarantined: bool = False
     error: str = ""
+    #: Wall-clock seconds each attempt took, in attempt order.  Worker-side
+    #: where the attempt ran to completion, parent-side (submit→settle) for
+    #: attempts that died in flight.
+    attempt_durations: tuple[float, ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        """Duration of the attempt that settled the verdict (0.0 if unknown)."""
+        return self.attempt_durations[-1] if self.attempt_durations else 0.0
+
+    @property
+    def total_duration_s(self) -> float:
+        """Wall clock spent across every attempt (excludes backoff waits)."""
+        return sum(self.attempt_durations)
 
 
 @dataclass
@@ -386,6 +422,31 @@ class ExecutionReport:
             entry["detail"] = detail
         self.warnings.append(entry)
 
+    def latency_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.99)
+    ) -> dict[float, float]:
+        """Settling-attempt latency percentiles over non-quarantined verdicts.
+
+        Nearest-rank on the sorted samples; empty when no execution carries a
+        measured duration (e.g. a report rebuilt from pre-duration journals).
+        """
+        samples = sorted(
+            execution.duration_s
+            for execution in self.executions.values()
+            if not execution.quarantined and execution.attempt_durations
+        )
+        if not samples:
+            return {}
+        return {q: percentile(samples, q) for q in quantiles}
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ascending ``sorted_samples`` (0 < q <= 1)."""
+    if not sorted_samples:
+        raise ValueError("no samples")
+    index = min(len(sorted_samples) - 1, max(0, math.ceil(q * len(sorted_samples)) - 1))
+    return sorted_samples[index]
+
 
 # --------------------------------------------------------------------------- scheduling
 @dataclass(eq=False)
@@ -396,6 +457,9 @@ class _WorkItem:
     attempt: int = 1
     degradation: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    #: Wall-clock seconds per attempt, in attempt order (see
+    #: :attr:`CheckExecution.attempt_durations`).
+    durations: list[float] = field(default_factory=list)
     #: Ever blew a *hard* (parent-enforced) deadline — i.e. hung a worker
     #: non-cooperatively.  Such an item must never run in the parent process.
     hard_timed_out: bool = False
@@ -469,6 +533,7 @@ def _register_failure(
             timed_out=kind == "timeout",
             quarantined=True,
             error=error,
+            attempt_durations=tuple(item.durations),
         )
         return True
     item.attempt += 1
@@ -483,7 +548,10 @@ def _record_success(
     item: _WorkItem, report: ExecutionReport, key: ResultKey, result: TestbenchResult
 ) -> None:
     report.executions[key] = CheckExecution(
-        result=result, attempts=item.attempt, degradation=tuple(item.degradation)
+        result=result,
+        attempts=item.attempt,
+        degradation=tuple(item.degradation),
+        attempt_durations=tuple(item.durations),
     )
 
 
@@ -513,6 +581,7 @@ def _quarantine_unrunnable(
             timed_out=True,
             quarantined=True,
             error=error,
+            attempt_durations=tuple(item.durations),
         )
     return runnable
 
@@ -552,17 +621,21 @@ def _execute_serial(
     for item in items:
         while True:
             item.request.attempt = item.attempt
+            started = time.monotonic()
             try:
-                key, result = execute_check(item.request)
+                key, result, duration = timed_execute_check(item.request)
             except CheckTimeout as exc:
+                item.durations.append(time.monotonic() - started)
                 if _register_failure(
                     item, policy, report, kind="timeout", error=str(exc)
                 ):
                     break
             except Exception as exc:
+                item.durations.append(time.monotonic() - started)
                 if _register_failure(item, policy, report, kind="error", error=str(exc)):
                     break
             else:
+                item.durations.append(duration)
                 _record_success(item, report, key, result)
                 break
             delay = item.not_before - time.monotonic()
@@ -598,6 +671,7 @@ def _execute_pool(
     queue: list[_WorkItem] = list(items)
     in_flight: dict = {}  # future -> _WorkItem
     hard_deadline: dict = {}  # future -> float | None
+    submitted: dict = {}  # future -> monotonic submit time (failure durations)
     rebuilds = 0
     rebuild_cap = max(1, policy.max_attempts) * len(items)
 
@@ -631,12 +705,13 @@ def _execute_pool(
                 continue
             item.request.attempt = item.attempt
             try:
-                future = pool.submit(execute_check, item.request)
+                future = pool.submit(timed_execute_check, item.request)
             except Exception:
                 held.extend(pending[index:])
                 queue = held
                 raise
             in_flight[future] = item
+            submitted[future] = now
             hard_deadline[future] = (
                 now + item.request.timeout_s + policy.hard_grace_s
                 if item.request.timeout_s is not None
@@ -662,9 +737,13 @@ def _execute_pool(
         Collateral items requeue free: losing an attempt to a neighbour's
         crash would let one poison unit quarantine innocent work.
         """
+        now = time.monotonic()
+        for future, item in in_flight.items():
+            item.durations.append(now - submitted.get(future, now))
         implicated = [first_item] + list(in_flight.values())
         in_flight.clear()
         hard_deadline.clear()
+        submitted.clear()
         suspects = [item for item in implicated if item.suspect]
         if suspects:
             blamed = suspects
@@ -721,24 +800,29 @@ def _execute_pool(
             for future in done:
                 item = in_flight.pop(future, None)
                 hard_deadline.pop(future, None)
+                elapsed = time.monotonic() - submitted.pop(future, time.monotonic())
                 if item is None:  # swept up by an earlier handle_break
                     continue
                 try:
-                    key, result = future.result()
+                    key, result, duration = future.result()
                 except CheckTimeout as exc:
+                    item.durations.append(elapsed)
                     if not _register_failure(
                         item, policy, report, kind="timeout", error=str(exc)
                     ):
                         queue.append(item)
                 except BrokenProcessPool:
+                    item.durations.append(elapsed)
                     handle_break(item)
                     broken = True
                 except Exception as exc:
+                    item.durations.append(elapsed)
                     if not _register_failure(
                         item, policy, report, kind="error", error=str(exc)
                     ):
                         queue.append(item)
                 else:
+                    item.durations.append(duration)
                     _record_success(item, report, key, result)
 
             if not broken and not done:
@@ -754,8 +838,10 @@ def _execute_pool(
                     for future in hung:
                         item = in_flight.pop(future, None)
                         hard_deadline.pop(future, None)
+                        elapsed = now - submitted.pop(future, now)
                         if item is None:
                             continue
+                        item.durations.append(elapsed)
                         item.hard_timed_out = True
                         item.suspect = True
                         budget = item.request.timeout_s
@@ -775,6 +861,7 @@ def _execute_pool(
                     queue.extend(in_flight.values())
                     in_flight.clear()
                     hard_deadline.clear()
+                    submitted.clear()
                     broken = True
 
         if broken:

@@ -25,7 +25,7 @@ manifest-builders on top of this machinery.
 """
 
 from .aggregate import RunProgress, StreamingAggregator
-from .engine import RunEngine, RunStats
+from .engine import QuarantineInfo, RunEngine, RunStats, UnitResult
 from .manifest import ProfileSpec, RunManifest, SuiteSpec, WorkUnit
 from .resolve import ManifestResolver
 from .store import RunStore
@@ -33,6 +33,7 @@ from .store import RunStore
 __all__ = [
     "ManifestResolver",
     "ProfileSpec",
+    "QuarantineInfo",
     "RunEngine",
     "RunManifest",
     "RunProgress",
@@ -40,5 +41,6 @@ __all__ = [
     "RunStore",
     "StreamingAggregator",
     "SuiteSpec",
+    "UnitResult",
     "WorkUnit",
 ]

@@ -22,12 +22,65 @@ Exit codes (``status`` is the scriptable health probe)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .aggregate import StreamingAggregator
 from .engine import RunEngine
 from .presets import EXPERIMENT_MANIFESTS
 from .store import RUN_DIR_ENV, RunStore, RunStoreError
+
+
+def status_summary(manifest, store, *, done: int, total: int) -> tuple[dict, int]:
+    """Machine-readable run status plus the CLI's exit-code semantics.
+
+    The payload is what ``python -m repro.runs status --json`` prints and what
+    the service's readiness probe consumes; the exit code follows the PR 6
+    contract (0 complete-healthy, 3 incomplete, 4 quarantined).
+    """
+    quarantined = [
+        record
+        for record in store.quarantined_records()
+        if record.get("manifest") == manifest.manifest_hash
+    ]
+    warnings = store.warning_records()
+    percent = 100.0 * done / total if total else 100.0
+    payload = {
+        "manifest_hash": manifest.manifest_hash,
+        "name": manifest.name,
+        "experiment": manifest.experiment,
+        "completed_units": done,
+        "total_units": total,
+        "percent_complete": round(percent, 1),
+        "complete": done >= total,
+        "healthy": done >= total and not quarantined,
+        "quarantined": [
+            {
+                "key": record.get("key"),
+                "task": record.get("task"),
+                "sample": record.get("sample"),
+                "attempts": record.get("quarantine", {}).get("attempts"),
+                "error": record.get("quarantine", {}).get("error"),
+            }
+            for record in quarantined
+        ],
+        "warnings": [
+            {
+                "category": record.get("warning", {}).get("category"),
+                "message": record.get("warning", {}).get("message"),
+            }
+            for record in warnings
+        ],
+        "recovered_lines": store.recovered_lines,
+    }
+    if quarantined:
+        exit_code = 4
+    elif done < total:
+        exit_code = 3
+    else:
+        exit_code = 0
+    payload["exit_code"] = exit_code
+    return payload, exit_code
 
 
 def _parse_shard(text: str) -> tuple[int, int]:
@@ -87,9 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard", type=_parse_shard, default=(0, 1), help="i/n disjoint shard")
     run.add_argument("--max-units", type=int, default=None, help="execute at most N units")
 
-    commands.add_parser(
+    status = commands.add_parser(
         "status",
         help="journal coverage + health (exit 0 ok, 3 incomplete, 4 quarantined)",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of text "
+        "(same exit codes; for readiness probes and external tooling)",
     )
     commands.add_parser("report", help="render the experiment from the journal so far")
     return parser
@@ -152,32 +211,27 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "status":
             engine = RunEngine(manifest, store)
             done, total = engine.progress()
-            quarantined = [
-                record
-                for record in store.quarantined_records()
-                if record.get("manifest") == manifest.manifest_hash
-            ]
-            warnings = store.warning_records()
-            percent = 100.0 * done / total if total else 100.0
+            payload, exit_code = status_summary(manifest, store, done=done, total=total)
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return exit_code
             print(f"manifest {manifest.manifest_hash[:12]} ({manifest.name})")
-            print(f"{done}/{total} units journaled ({percent:.1f}% complete)")
-            for record in quarantined:
-                info = record.get("quarantine", {})
+            print(
+                f"{done}/{total} units journaled"
+                f" ({payload['percent_complete']:.1f}% complete)"
+            )
+            for entry in payload["quarantined"]:
                 print(
-                    f"quarantined: {record.get('task')} sample {record.get('sample')}"
-                    f" after {info.get('attempts')} attempt(s): {info.get('error')}"
+                    f"quarantined: {entry['task']} sample {entry['sample']}"
+                    f" after {entry['attempts']} attempt(s): {entry['error']}"
                 )
-            for record in warnings:
-                info = record.get("warning", {})
-                print(f"warning [{info.get('category')}]: {info.get('message')}")
+            for entry in payload["warnings"]:
+                print(f"warning [{entry['category']}]: {entry['message']}")
             if store.recovered_lines:
                 print(f"{store.recovered_lines} corrupted journal line(s) dropped on load")
-            if quarantined:
-                print(f"{len(quarantined)} unit(s) quarantined", file=sys.stderr)
-                return 4
-            if done < total:
-                return 3
-            return 0
+            if payload["quarantined"]:
+                print(f"{len(payload['quarantined'])} unit(s) quarantined", file=sys.stderr)
+            return exit_code
         if args.command == "report":
             aggregator = StreamingAggregator(manifest).feed_store(store)
             progress = aggregator.progress()

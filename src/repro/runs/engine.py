@@ -22,6 +22,7 @@ same results as a serial run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from ..bench.evaluator import check_request_for, task_check_keys
 from ..bench.jobs import (
@@ -52,6 +53,32 @@ class RunStats:
     @property
     def complete(self) -> bool:
         return self.executed + self.skipped + self.quarantined >= self.total_units
+
+
+@dataclass(frozen=True)
+class QuarantineInfo:
+    """Why a unit was poisoned instead of scored."""
+
+    attempts: int
+    error: str
+    degradation: tuple[str, ...] = ()
+
+
+@dataclass
+class UnitResult:
+    """One executed unit: a scored outcome, or the quarantine that claimed it."""
+
+    unit: WorkUnit
+    outcome: CheckOutcome | None = None
+    quarantine: QuarantineInfo | None = None
+
+    @property
+    def quarantined(self) -> bool:
+        return self.quarantine is not None
+
+
+#: Callback signature for degraded-execution warnings raised mid-execution.
+WarningSink = Callable[[str, str, dict | None], object]
 
 
 @dataclass
@@ -119,6 +146,36 @@ class RunEngine:
         if not pending:
             return stats
 
+        results = self.execute_units(pending, warning_sink=self.store.record_warning)
+        for result in results:
+            if result.quarantine is not None:
+                # The check burned every attempt: journal the unit as poison
+                # so resume skips it instead of re-running it.
+                self.store.record_quarantine(
+                    result.unit,
+                    attempts=result.quarantine.attempts,
+                    error=result.quarantine.error,
+                    degradation=result.quarantine.degradation,
+                )
+                stats.quarantined += 1
+            else:
+                self.store.record(result.unit, result.outcome)
+                stats.executed += 1
+        return stats
+
+    def execute_units(
+        self,
+        pending: Sequence[WorkUnit],
+        warning_sink: WarningSink | None = None,
+    ) -> list[UnitResult]:
+        """Generate and check ``pending`` units without journaling them.
+
+        This is the execution core shared by :meth:`run` (which journals into
+        this engine's store) and the service worker fleet (which journals
+        through the broker's completion lock).  Results come back in plan
+        order; execution warnings from the fault-tolerant check layer go to
+        ``warning_sink`` as ``(category, message, detail)``.
+        """
         # Group pending units by (profile, suite) preserving expansion order,
         # then by (task, temperature) → missing sample indices.
         groups: dict[tuple[str, str], dict[tuple[str, float], list[WorkUnit]]] = {}
@@ -127,6 +184,7 @@ class RunEngine:
             group.setdefault((unit.task_id, unit.temperature), []).append(unit)
 
         config = self.manifest.config
+        results: list[UnitResult] = []
         for (profile_id, suite_id), task_units in groups.items():
             pipeline = self.resolver.pipeline(profile_id)
             suite_spec = next(s for s in self.manifest.suites if s.suite_id == suite_id)
@@ -189,26 +247,28 @@ class RunEngine:
                     policy=ExecutionPolicy.from_config(config),
                 )
                 memo = report.executions
-                for warning in report.warnings:
-                    self.store.record_warning(
-                        warning["category"],
-                        warning["message"],
-                        detail=warning.get("detail"),
-                    )
+                if warning_sink is not None:
+                    for warning in report.warnings:
+                        warning_sink(
+                            warning["category"],
+                            warning["message"],
+                            warning.get("detail"),
+                        )
 
             for plan in plans:
                 if plan.result_key is not None:
                     execution = memo[plan.result_key]
                     if execution.quarantined:
-                        # The check burned every attempt: journal the unit as
-                        # poison so resume skips it instead of re-running it.
-                        self.store.record_quarantine(
-                            plan.unit,
-                            attempts=execution.attempts,
-                            error=execution.error,
-                            degradation=execution.degradation,
+                        results.append(
+                            UnitResult(
+                                unit=plan.unit,
+                                quarantine=QuarantineInfo(
+                                    attempts=execution.attempts,
+                                    error=execution.error,
+                                    degradation=tuple(execution.degradation),
+                                ),
+                            )
                         )
-                        stats.quarantined += 1
                         continue
                     result = execution.result
                     plan.outcome.functional_passed = result.passed
@@ -216,9 +276,9 @@ class RunEngine:
                     plan.outcome.total_checks = result.total_checks
                     plan.outcome.attempts = execution.attempts
                     plan.outcome.degradation = list(execution.degradation)
-                self.store.record(plan.unit, plan.outcome)
-                stats.executed += 1
-        return stats
+                    plan.outcome.duration_s = execution.duration_s
+                results.append(UnitResult(unit=plan.unit, outcome=plan.outcome))
+        return results
 
     # ------------------------------------------------------------------ status
     def progress(self) -> tuple[int, int]:

@@ -131,6 +131,27 @@ class WorkUnit:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def to_dict(self) -> dict:
+        return {
+            "manifest_hash": self.manifest_hash,
+            "profile_id": self.profile_id,
+            "suite_id": self.suite_id,
+            "task_id": self.task_id,
+            "temperature": self.temperature,
+            "sample_index": self.sample_index,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "WorkUnit":
+        return cls(
+            manifest_hash=str(payload["manifest_hash"]),
+            profile_id=str(payload["profile_id"]),
+            suite_id=str(payload["suite_id"]),
+            task_id=str(payload["task_id"]),
+            temperature=float(payload["temperature"]),
+            sample_index=int(payload["sample_index"]),
+        )
+
 
 # --------------------------------------------------------------------------- manifest
 @dataclass

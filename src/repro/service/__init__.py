@@ -1,0 +1,62 @@
+"""Evaluation-as-a-service: run the benchmark as a long-lived fleet.
+
+The :mod:`repro.runs` layer made sweeps resumable and shardable for one
+operator at one terminal.  This package turns the same machinery into a
+service:
+
+- :mod:`~repro.service.broker` — a durable, file-backed work queue.
+  Submitted :class:`~repro.runs.manifest.RunManifest`\\ s expand into
+  content-addressed work units that workers *lease* with a TTL; a worker
+  that stops heartbeating loses its leases and the units requeue.  Completed
+  units land in the ordinary :class:`~repro.runs.store.RunStore` journal, so
+  resume, sharding and reporting semantics are unchanged.
+- :mod:`~repro.service.worker` — the fleet member: lease → execute through
+  the shared :class:`~repro.runs.engine.RunEngine` core (with the full
+  fault-tolerance policy) → journal exactly once per unit.
+- :mod:`~repro.service.api` — the stdlib HTTP face: submit manifests, poll
+  run status, stream reports, scrape Prometheus metrics, probe health.
+- :mod:`~repro.service.metrics` / :mod:`~repro.service.ratelimit` — the
+  operational trimmings: text-format exposition and per-client token buckets.
+
+``python -m repro.service --help`` for the command-line entry points.
+"""
+
+from .broker import (
+    BROKER_DIR_ENV,
+    AdmissionError,
+    BrokerError,
+    FileBroker,
+    Lease,
+    RunStatus,
+    SubmitReceipt,
+)
+from .metrics import HttpCounters, MetricFamily, ServiceMetrics
+from .ratelimit import RateLimiter, TokenBucket
+from .worker import STALL_ENV, ServiceWorker, WorkerStats
+
+__all__ = [
+    "BROKER_DIR_ENV",
+    "STALL_ENV",
+    "AdmissionError",
+    "BrokerError",
+    "FileBroker",
+    "HttpCounters",
+    "Lease",
+    "MetricFamily",
+    "RateLimiter",
+    "RunStatus",
+    "ServiceMetrics",
+    "ServiceWorker",
+    "SubmitReceipt",
+    "TokenBucket",
+    "WorkerStats",
+]
+
+
+def __getattr__(name: str):
+    # The HTTP server imports lazily so `import repro.service` stays light.
+    if name in ("ReproServiceServer", "ServiceConfig"):
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,186 @@
+"""``python -m repro.service`` — serve, work, submit, status.
+
+Subcommands::
+
+    serve    boot the HTTP API over a broker directory
+    worker   run one fleet member (lease → execute → journal)
+    submit   queue a manifest directly into the broker (no HTTP hop)
+    status   print every queued run's status (``--json`` for machines)
+
+All subcommands take ``--broker DIR`` or fall back to ``$REPRO_BROKER_DIR``.
+A complete local deployment is three terminals::
+
+    python -m repro.service serve  --broker /tmp/fleet --port 8080
+    python -m repro.service worker --broker /tmp/fleet
+    python -m repro.service submit --broker /tmp/fleet --experiment table4 --scale tiny
+
+``status`` exits with the worst run's ``repro.runs status`` code
+(0 complete+healthy, 3 incomplete, 4 quarantined) so scripts can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .broker import BROKER_DIR_ENV, FileBroker
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Evaluation-as-a-service: HTTP API, durable broker, worker fleet.",
+    )
+    parser.add_argument(
+        "--broker",
+        default=None,
+        help=f"broker directory (default: ${BROKER_DIR_ENV})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="boot the HTTP API over the broker")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--max-queued-units",
+        type=int,
+        default=10_000,
+        help="admission control: reject submissions past this backlog (503)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=10.0, help="per-client requests/second"
+    )
+    serve.add_argument(
+        "--burst", type=float, default=20.0, help="per-client burst capacity"
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=10.0, help="seconds before a silent lease expires"
+    )
+
+    worker = commands.add_parser("worker", help="run one fleet member")
+    worker.add_argument("--worker-id", default=None, help="stable id (default: generated)")
+    worker.add_argument(
+        "--lease-ttl", type=float, default=10.0, help="must match the fleet's TTL"
+    )
+    worker.add_argument(
+        "--lease-limit", type=int, default=4, help="units leased per batch"
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, help="idle sleep between queue polls"
+    )
+    worker.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit once every queued run is complete (for scripts and CI)",
+    )
+
+    submit = commands.add_parser("submit", help="queue a preset manifest (no HTTP)")
+    submit.add_argument("--experiment", required=True, help="preset name, e.g. table4")
+    submit.add_argument("--scale", default="tiny", choices=("tiny", "quick", "paper"))
+
+    status = commands.add_parser("status", help="status of every queued run")
+    status.add_argument("--json", action="store_true", help="machine-readable output")
+    status.add_argument("--lease-ttl", type=float, default=10.0)
+    return parser
+
+
+def _broker(args, *, lease_ttl_s: float = 10.0) -> FileBroker:
+    return FileBroker(args.broker, lease_ttl_s=lease_ttl_s)
+
+
+def _cmd_serve(args) -> int:
+    from .api import ReproServiceServer, ServiceConfig
+
+    broker = _broker(args, lease_ttl_s=args.lease_ttl)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_queued_units=args.max_queued_units,
+        rate_per_s=args.rate,
+        burst=args.burst,
+    )
+    server = ReproServiceServer(config, broker)
+    print(f"listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .worker import ServiceWorker
+
+    broker = _broker(args, lease_ttl_s=args.lease_ttl)
+    worker = ServiceWorker(
+        broker,
+        args.worker_id,
+        lease_limit=args.lease_limit,
+        poll_s=args.poll,
+        exit_when_idle=args.exit_when_idle,
+    )
+    print(f"worker {worker.worker_id} polling {broker.directory}", flush=True)
+    try:
+        stats = worker.run_forever()
+    except KeyboardInterrupt:
+        stats = worker.stats
+    print(
+        f"worker {worker.worker_id}: leased={stats.leased} completed={stats.completed}"
+        f" duplicates={stats.duplicates} quarantined={stats.quarantined}",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from ..runs.cli import _scale_for
+    from ..runs.presets import EXPERIMENT_MANIFESTS
+
+    builder = EXPERIMENT_MANIFESTS.get(args.experiment)
+    if builder is None:
+        known = ", ".join(sorted(EXPERIMENT_MANIFESTS))
+        print(f"unknown experiment {args.experiment!r} (known: {known})")
+        return 2
+    manifest = builder(_scale_for(args.scale))
+    receipt = _broker(args).submit(manifest)
+    verb = "queued" if receipt.created else "already queued"
+    print(f"{verb} run {receipt.run_id} ({receipt.total_units} units)")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    broker = _broker(args, lease_ttl_s=args.lease_ttl)
+    statuses = [broker.run_status(run_id) for run_id in broker.run_ids()]
+    if args.json:
+        print(json.dumps({"runs": [status.to_dict() for status in statuses]}, indent=2))
+    elif not statuses:
+        print("no runs queued")
+    else:
+        for status in statuses:
+            health = "healthy" if status.healthy else (
+                "quarantined" if status.quarantined else "incomplete"
+            )
+            print(
+                f"{status.run_id[:12]}  {status.name}: "
+                f"{status.accounted}/{status.total} units"
+                f" ({status.percent:.1f}%), {status.leased} leased,"
+                f" {status.requeues} requeues — {health}"
+            )
+    return max((status.exit_code for status in statuses), default=0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "serve": _cmd_serve,
+        "worker": _cmd_worker,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

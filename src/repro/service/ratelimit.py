@@ -1,0 +1,102 @@
+"""Per-client token-bucket rate limiting for the submission API.
+
+Classic token bucket: each client key (the ``X-Client-Id`` header when given,
+the peer address otherwise) gets a bucket of ``burst`` tokens refilled at
+``rate_per_s``.  A request spends one token; an empty bucket means HTTP 429
+with a ``Retry-After`` derived from the refill rate.  The clock is injectable
+so tests are deterministic, and stale buckets are pruned so one server can
+meet an unbounded client population without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity refilled at ``rate_per_s``."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self.tokens = self.burst
+        self.updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self.updated)
+        self.updated = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate_per_s)
+
+    def allow(self, cost: float = 1.0) -> bool:
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def retry_after_s(self, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have refilled (0 when ready)."""
+        self._refill()
+        missing = cost - self.tokens
+        if missing <= 0:
+            return 0.0
+        if self.rate_per_s <= 0:
+            return float("inf")
+        return missing / self.rate_per_s
+
+
+class RateLimiter:
+    """Thread-safe bucket table keyed by client id."""
+
+    #: Buckets idle longer than this are pruned on the next acquire.
+    PRUNE_IDLE_S = 300.0
+    #: Table size that triggers a prune pass.
+    PRUNE_THRESHOLD = 1024
+
+    def __init__(
+        self,
+        rate_per_s: float = 10.0,
+        burst: float = 20.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, key: str) -> TokenBucket:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            if len(self._buckets) >= self.PRUNE_THRESHOLD:
+                self._prune()
+            bucket = TokenBucket(self.rate_per_s, self.burst, self._clock)
+            self._buckets[key] = bucket
+        return bucket
+
+    def _prune(self) -> None:
+        now = self._clock()
+        stale = [
+            key
+            for key, bucket in self._buckets.items()
+            if now - bucket.updated > self.PRUNE_IDLE_S
+        ]
+        for key in stale:
+            del self._buckets[key]
+
+    def allow(self, key: str, cost: float = 1.0) -> bool:
+        with self._lock:
+            return self._bucket(key).allow(cost)
+
+    def retry_after_s(self, key: str, cost: float = 1.0) -> float:
+        with self._lock:
+            return self._bucket(key).retry_after_s(cost)

@@ -174,39 +174,43 @@ class TestMemoisation:
 
 
 # --------------------------------------------------------------------------- run_checks
+def _check_requests(copies: int = 1) -> list[CheckRequest]:
+    requests = []
+    suite = _picklable_suite()
+    for task in suite:
+        stimulus = task.stimulus(7)
+        key = ResultKey(
+            design_key=design_key(task.reference_source),
+            stimulus_key=stimulus_key(
+                task.task_id,
+                stimulus,
+                task.check_outputs,
+                task.clock,
+                task.reset,
+                reference_source=task.reference_source,
+            ),
+            mode=mode_key("simulation", True, False, None),
+        )
+        for _ in range(copies):
+            requests.append(
+                CheckRequest(
+                    key=key,
+                    code=task.reference_source,
+                    task_id=task.task_id,
+                    golden_factory=task.golden_factory,
+                    stimulus=stimulus,
+                    reference_source=task.reference_source,
+                    check_outputs=task.check_outputs,
+                    clock=task.clock,
+                    reset=task.reset,
+                )
+            )
+    return requests
+
+
 class TestRunChecks:
     def _requests(self, copies: int = 1) -> list[CheckRequest]:
-        requests = []
-        suite = _picklable_suite()
-        for task in suite:
-            stimulus = task.stimulus(7)
-            key = ResultKey(
-                design_key=design_key(task.reference_source),
-                stimulus_key=stimulus_key(
-                    task.task_id,
-                    stimulus,
-                    task.check_outputs,
-                    task.clock,
-                    task.reset,
-                    reference_source=task.reference_source,
-                ),
-                mode=mode_key("simulation", True, False, None),
-            )
-            for _ in range(copies):
-                requests.append(
-                    CheckRequest(
-                        key=key,
-                        code=task.reference_source,
-                        task_id=task.task_id,
-                        golden_factory=task.golden_factory,
-                        stimulus=stimulus,
-                        reference_source=task.reference_source,
-                        check_outputs=task.check_outputs,
-                        clock=task.clock,
-                        reset=task.reset,
-                    )
-                )
-        return requests
+        return _check_requests(copies)
 
     def test_duplicate_keys_executed_once(self):
         requests = self._requests(copies=3)
@@ -221,6 +225,33 @@ class TestRunChecks:
         for key in serial:
             assert serial[key].passed == parallel[key].passed
             assert serial[key].total_checks == parallel[key].total_checks
+
+
+# --------------------------------------------------------------------------- latency accounting
+class TestLatencyAccounting:
+    """Every settled attempt carries a wall-clock duration; the report
+    summarises them as nearest-rank percentiles."""
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_every_execution_times_its_attempts(self, max_workers):
+        report = run_checks(_check_requests(), max_workers=max_workers)
+        assert report.executions
+        for execution in report.executions.values():
+            assert len(execution.attempt_durations) == execution.attempts
+            assert execution.duration_s > 0
+            assert execution.total_duration_s >= execution.duration_s
+
+    def test_percentiles_are_ordered_and_bounded(self):
+        report = run_checks(_check_requests(copies=2), max_workers=1)
+        percentiles = report.latency_percentiles()
+        assert set(percentiles) == {0.5, 0.99}
+        assert 0 < percentiles[0.5] <= percentiles[0.99]
+        slowest = max(e.duration_s for e in report.executions.values())
+        assert percentiles[0.99] <= slowest
+
+    def test_empty_report_has_no_percentiles(self):
+        report = run_checks([], max_workers=1)
+        assert report.latency_percentiles() == {}
 
 
 # --------------------------------------------------------------------------- parallel evaluation

@@ -480,6 +480,7 @@ class TestEngineChaos:
                 outcome = dict(record["outcome"])
                 outcome.pop("attempts", None)  # retries may differ, verdicts may not
                 outcome.pop("degradation", None)
+                outcome.pop("duration_s", None)  # wall clock is a measurement
                 table[record["key"]] = outcome
             return table
 

@@ -7,6 +7,8 @@ present, even if the sweep otherwise finished).
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.runs.cli import main
@@ -71,3 +73,60 @@ class TestStatusExitCodes:
             "warning [serial-fallback]: 2 of 6 requests do not pickle"
             in capsys.readouterr().out
         )
+
+
+class TestStatusJson:
+    """``status --json``: one machine-readable object, same exit codes."""
+
+    def _payload(self, capsys) -> dict:
+        return json.loads(capsys.readouterr().out)
+
+    def test_incomplete_run(self, planned, capsys):
+        run_dir, manifest, _ = planned
+        assert main(["--run-dir", str(run_dir), "status", "--json"]) == 3
+        payload = self._payload(capsys)
+        assert payload["manifest_hash"] == manifest.manifest_hash
+        assert payload["exit_code"] == 3
+        assert payload["completed_units"] == 0
+        assert payload["total_units"] > 0
+        assert payload["percent_complete"] == 0.0
+        assert not payload["complete"]
+
+    def test_complete_healthy_run(self, planned, capsys):
+        run_dir, _, _ = planned
+        assert main(["--run-dir", str(run_dir), "run"]) == 0
+        capsys.readouterr()
+        assert main(["--run-dir", str(run_dir), "status", "--json"]) == 0
+        payload = self._payload(capsys)
+        assert payload["complete"] and payload["healthy"]
+        assert payload["exit_code"] == 0
+        assert payload["percent_complete"] == 100.0
+        assert payload["completed_units"] == payload["total_units"]
+        assert payload["quarantined"] == []
+
+    def test_quarantined_run_carries_details(self, planned, capsys):
+        run_dir, manifest, store = planned
+        poison = RunEngine(manifest, store).units()[0]
+        store.record_quarantine(poison, attempts=3, error="worker died")
+        store.record_warning("serial-fallback", "1 of 6 requests do not pickle")
+        assert main(["--run-dir", str(run_dir), "run"]) == 0
+        capsys.readouterr()
+        assert main(["--run-dir", str(run_dir), "status", "--json"]) == 4
+        payload = self._payload(capsys)
+        assert payload["exit_code"] == 4
+        assert payload["complete"] and not payload["healthy"]
+        assert payload["quarantined"] == [
+            {
+                "key": poison.key,
+                "task": poison.task_id,
+                "sample": poison.sample_index,
+                "attempts": 3,
+                "error": "worker died",
+            }
+        ]
+        assert payload["warnings"] == [
+            {
+                "category": "serial-fallback",
+                "message": "1 of 6 requests do not pickle",
+            }
+        ]

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import time
+from pathlib import Path
 
 import pytest
 
@@ -198,6 +201,93 @@ class TestManifestHandling:
     def test_same_manifest_accepted(self, tmp_path):
         RunStore(tmp_path).write_manifest(tiny_manifest())
         RunStore(tmp_path).write_manifest(tiny_manifest())  # no raise
+
+
+def _race_complete(broker_dir, run_id, lease_payload, barrier, results):
+    """Child process: execute the leased unit for real, then race to journal it."""
+    from repro.runs.engine import RunEngine
+    from repro.service.broker import FileBroker, Lease
+
+    broker = FileBroker(broker_dir)
+    lease = Lease(
+        run_id=run_id,
+        unit=WorkUnit.from_dict(lease_payload["unit"]),
+        worker_id=lease_payload["worker_id"],
+        expires_at=lease_payload["expires_at"],
+        path=Path(lease_payload["path"]),
+    )
+    engine = RunEngine(broker.manifest(run_id), broker.store(run_id))
+    [result] = engine.execute_units([lease.unit])
+    barrier.wait()  # both racers have a verdict in hand: now race the lock
+    recorded = broker.complete(lease, result.outcome)
+    results.put((lease.worker_id, recorded, result.outcome.to_dict()))
+
+
+class TestConcurrentCompletion:
+    def test_two_processes_racing_one_unit_journal_exactly_once(self, tmp_path):
+        """The at-least-once lease overlap after a requeue collapses to one record.
+
+        Worker A leases a unit and goes silent; the lease expires and worker B
+        re-leases the same unit.  Both then hold a (stale, fresh) lease pair for
+        identical work.  Each racer executes the unit independently and both
+        call ``complete`` at the same instant from separate processes: the
+        journal must end up with exactly one record, and — because verdicts are
+        deterministic — both racers must have computed the same outcome.
+        """
+        from repro.service.broker import FileBroker
+
+        broker = FileBroker(tmp_path / "broker", lease_ttl_s=0.2)
+        receipt = broker.submit(tiny_manifest())
+        run_id = receipt.run_id
+        stale = broker.lease(run_id, "racer-a", limit=1)[0]
+        time.sleep(0.3)  # the TTL passes with no heartbeat
+        fresh = broker.lease(run_id, "racer-b", limit=1)[0]
+        assert fresh.unit == stale.unit
+
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(2)
+        results = context.Queue()
+        racers = [
+            context.Process(
+                target=_race_complete,
+                args=(
+                    str(tmp_path / "broker"),
+                    run_id,
+                    {
+                        "unit": lease.unit.to_dict(),
+                        "worker_id": lease.worker_id,
+                        "expires_at": lease.expires_at,
+                        "path": str(lease.path),
+                    },
+                    barrier,
+                    results,
+                ),
+            )
+            for lease in (stale, fresh)
+        ]
+        for racer in racers:
+            racer.start()
+        outcomes = [results.get(timeout=120) for _ in racers]
+        for racer in racers:
+            racer.join(timeout=30)
+            assert racer.exitcode == 0
+
+        # Exactly one racer journaled; the other saw a duplicate.
+        assert sorted(recorded for _, recorded, _ in outcomes) == [False, True]
+        # Deterministic execution: both racers computed the same verdict
+        # (wall-clock duration is a measurement, not part of the verdict).
+        verdicts = []
+        for _, _, payload in outcomes:
+            payload.pop("duration_s", None)
+            verdicts.append(payload)
+        assert verdicts[0] == verdicts[1]
+
+        journal = broker.store_dir(run_id) / JOURNAL_FILENAME
+        records = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert [record["key"] for record in records] == [fresh.unit.key]
+        journaled = records[0]["outcome"]
+        journaled.pop("duration_s", None)
+        assert journaled == verdicts[0]
 
 
 class TestOpen:

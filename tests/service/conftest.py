@@ -1,0 +1,45 @@
+"""Shared helpers for the service-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.evaluator import EvaluationConfig
+from repro.experiments import ExperimentScale
+from repro.runs.manifest import ProfileSpec, RunManifest, SuiteSpec
+
+
+def small_manifest(num_samples: int = 2, max_tasks: int | None = 3) -> RunManifest:
+    """One profile × one suite, a handful of units — fast to really execute."""
+    return RunManifest(
+        name="service-test",
+        experiment="custom",
+        scale=ExperimentScale.tiny().to_dict(),
+        config=EvaluationConfig(
+            num_samples=num_samples, ks=(1,), temperatures=(0.2,), max_tasks=max_tasks
+        ),
+        profiles=[
+            ProfileSpec(
+                profile_id="baseline:gpt-4", kind="baseline", key="gpt-4", display="GPT-4"
+            )
+        ],
+        suites=[SuiteSpec("machine")],
+    )
+
+
+class FakeClock:
+    """A hand-cranked clock for deterministic lease-expiry tests."""
+
+    def __init__(self, now: float = 1_000.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,153 @@
+"""The service acceptance bar, end to end with real processes.
+
+Submit a manifest over HTTP; run a two-member worker fleet as real
+subprocesses; SIGKILL one member while it provably holds leases (the
+``REPRO_SERVICE_STALL_S`` fault hook freezes it between leasing and
+heartbeating); the survivor finishes the run.  Afterwards:
+
+* every expired lease was requeued — the requeue count is exact;
+* the journal holds exactly one record per unit — none lost, none doubled;
+* the report served over HTTP is bit-for-bit the serial ``repro.runs run``
+  report of the same manifest;
+* ``/metrics`` parses and carries the requeue count and nonzero units/s.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.runs.aggregate import StreamingAggregator
+from repro.runs.engine import RunEngine
+from repro.runs.store import JOURNAL_FILENAME, RunStore
+from repro.service import FileBroker
+from repro.service.api import ReproServiceServer, ServiceConfig
+from conftest import small_manifest
+
+LEASE_TTL_S = 1.5
+STALLED_LEASES = 2
+
+
+def _spawn_worker(broker_dir, *, stall_s=None, extra=()):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    if stall_s is not None:
+        env["REPRO_SERVICE_STALL_S"] = str(stall_s)
+    else:
+        env.pop("REPRO_SERVICE_STALL_S", None)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--broker",
+            str(broker_dir),
+            "worker",
+            "--lease-ttl",
+            str(LEASE_TTL_S),
+            "--lease-limit",
+            str(STALLED_LEASES),
+            "--poll",
+            "0.1",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+@pytest.mark.chaos
+def test_worker_kill_requeues_and_run_matches_serial(tmp_path):
+    broker_dir = tmp_path / "broker"
+    broker = FileBroker(broker_dir, lease_ttl_s=LEASE_TTL_S)
+    server = ReproServiceServer(ServiceConfig(), broker)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    victim = survivor = None
+    try:
+        manifest = small_manifest()
+        body = json.dumps(manifest.to_dict()).encode()
+        req = urllib.request.Request(server.url + "/runs", data=body)
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            receipt = json.load(resp)
+        run_id = receipt["run_id"]
+        total = receipt["total_units"]
+        assert total > STALLED_LEASES
+
+        # A worker that leases units, then plays dead before heartbeating.
+        victim = _spawn_worker(broker_dir, stall_s=120)
+        leases_dir = broker_dir / "runs" / run_id / "leases"
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if leases_dir.is_dir() and len(list(leases_dir.iterdir())) >= STALLED_LEASES:
+                break
+            time.sleep(0.05)
+        held = list(leases_dir.iterdir())
+        assert len(held) == STALLED_LEASES, "victim never acquired its leases"
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        # The survivor sweeps the dead worker's leases and drains the run.
+        survivor = _spawn_worker(broker_dir, extra=("--exit-when-idle",))
+        stdout, stderr = survivor.communicate(timeout=180)
+        assert survivor.returncode == 0, stderr.decode()
+
+        status = broker.run_status(run_id)
+        assert status.complete and status.healthy
+        assert status.requeues == STALLED_LEASES
+
+        requeues = [e for e in broker.events(run_id) if e["event"] == "requeue"]
+        assert len(requeues) == STALLED_LEASES
+        requeued_keys = {e["key"] for e in requeues}
+        assert requeued_keys == {path.name for path in held}
+
+        # Exactly one journal record per unit: none lost, none doubled.
+        journal = broker.store_dir(run_id) / JOURNAL_FILENAME
+        keys = [
+            json.loads(line)["key"]
+            for line in journal.read_text().splitlines()
+            if json.loads(line).get("kind", "unit") == "unit"
+        ]
+        assert len(keys) == total
+        assert len(set(keys)) == total
+
+        # Bit-for-bit parity with a serial run of the same manifest.
+        serial_store = RunStore(tmp_path / "serial")
+        serial_store.write_manifest(manifest)
+        RunEngine(manifest, serial_store).run()
+        serial_report = (
+            StreamingAggregator(manifest).feed_store(serial_store).report()
+        )
+        service_report = (
+            StreamingAggregator(manifest).feed_store(broker.store(run_id)).report()
+        )
+        assert service_report == serial_report
+
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as resp:
+            metrics = resp.read().decode()
+        assert (
+            f'repro_lease_requeues_total{{run="{run_id[:12]}"}} {STALLED_LEASES}'
+            in metrics
+        )
+        units_per_second = [
+            float(line.split()[-1])
+            for line in metrics.splitlines()
+            if line.startswith("repro_units_per_second")
+        ]
+        assert units_per_second and units_per_second[0] > 0
+    finally:
+        for proc in (victim, survivor):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+        server.shutdown()
+        server.server_close()
