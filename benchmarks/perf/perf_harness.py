@@ -16,6 +16,11 @@ Times the tracked hot paths and reports before/after numbers:
   ``BatchTestbenchRunner`` pass (the differential check that both agree runs
   before timing, so ``make bench`` always exercises the batch engine against
   the scalar oracle).
+* ``codegen_sim``       — the same ALU workload on the code-generating back
+  end vs the batch AST interpreter.  A three-way differential gate (codegen
+  vs interpreter vs scalar, on the passing workload *and* on a mutated DUT
+  whose per-lane mismatches must agree exactly) runs before timing; the
+  acceptance bar is a >=5x speedup over the interpreted ``batch_sim`` path.
 * ``ldataset_quick_build`` — a quick-scale end-to-end L-dataset build, the
   workload every layer above the engine feeds into.
 * ``formal_eq``         — complete SAT equivalence proof of a 24-input
@@ -59,6 +64,7 @@ TRACKED = (
     ("truth_table_8var", "bit_parallel_s"),
     ("qm_minimize_8var", "bitset_s"),
     ("batch_sim", "batch_s"),
+    ("codegen_sim", "codegen_s"),
     ("ldataset_quick_build", "seconds"),
     ("formal_eq", "prove_s"),
     ("compile_cache", "warm_s"),
@@ -264,6 +270,101 @@ def bench_batch_sim(repeat: int = 5) -> dict[str, float]:
     }
 
 
+def bench_codegen_sim(repeat: int = 5) -> dict[str, float]:
+    """Code-generated vs interpreted execution of the batched ALU workload.
+
+    Both columns run the identical column-parallel ``BatchTestbenchRunner``
+    pass; only the execution engine differs, so the speedup isolates the
+    AST-walking tax the code generator removes.
+    """
+    golden, stimulus = _batch_sim_workload()
+    interpret_runner = BatchTestbenchRunner(backend="interpret")
+    codegen_runner = BatchTestbenchRunner(backend="codegen")
+
+    # Three-way differential gate before timing.  The passing workload:
+    # codegen with differential=True re-runs the scalar oracle internally, and
+    # the interpreter must also pass.
+    assert BatchTestbenchRunner(backend="codegen", differential=True).run(
+        BATCH_SIM_SOURCE, golden, stimulus
+    ).passed, "codegen back end disagreed with the scalar oracle"
+    assert interpret_runner.run(BATCH_SIM_SOURCE, golden, stimulus).passed
+    # And a mutated DUT: all three engines must report the identical per-lane
+    # mismatches, not merely the same pass/fail bit.
+    buggy = BATCH_SIM_SOURCE.replace("result = a - b;", "result = a + b;")
+    scalar_fail = TestbenchRunner().run(buggy, golden, stimulus)
+    interpret_fail = interpret_runner.run(buggy, golden, stimulus)
+    codegen_fail = codegen_runner.run(buggy, golden, stimulus)
+    assert not scalar_fail.passed and not interpret_fail.passed and not codegen_fail.passed
+    assert (
+        [str(m) for m in codegen_fail.mismatches]
+        == [str(m) for m in interpret_fail.mismatches]
+        == [str(m) for m in scalar_fail.mismatches]
+    ), "engines disagreed on the mutated DUT's mismatches"
+
+    # Timed region: the column-parallel sweep itself (apply + settle over all
+    # 256 lanes).  The runner's per-lane golden-model comparison is identical
+    # Python on both sides and would drown the engine delta being tracked.
+    from repro.verilog.design import compile_design
+    from repro.verilog.simulator.batch import BatchSimulator
+    from repro.verilog.simulator.values import BatchVector, LogicVector
+
+    compiled = compile_design(BATCH_SIM_SOURCE)
+    lanes = BATCH_SIM_STIMULI
+    widths = compiled.input_widths()
+    columns = {
+        name: [vector[name] for vector in stimulus] for name in ("a", "b", "op")
+    }
+    # A second stimulus set, so every timed application propagates real value
+    # changes instead of settling an already-settled state.  Both sets are
+    # packed up front: list→column packing is identical work on either engine
+    # and would otherwise drown the delta being tracked.
+    def pack(plain: dict) -> dict:
+        return {
+            name: BatchVector.from_vectors(
+                [LogicVector.from_int(value, widths[name]) for value in values],
+                widths[name],
+            )
+            for name, values in plain.items()
+        }
+
+    stimuli = [
+        pack(columns),
+        pack(
+            {
+                "a": [value ^ 0xFF for value in columns["a"]],
+                "b": [value ^ 0x55 for value in columns["b"]],
+                "op": [value ^ 0x3 for value in columns["op"]],
+            }
+        ),
+    ]
+
+    def sweeper(backend: str):
+        simulator = BatchSimulator(compiled, lanes=lanes, backend=backend)
+        simulator.apply_inputs(stimuli[0])  # defined state: the x/z gate passes
+        state = {"flip": False}
+
+        def sweep():
+            state["flip"] = not state["flip"]
+            simulator.apply_inputs(stimuli[state["flip"]])
+
+        return simulator, sweep
+
+    fast, fast_sweep = sweeper("codegen")
+    slow, slow_sweep = sweeper("interpret")
+    for name in ("result", "flags"):
+        assert fast.get(name).value_cols == slow.get(name).value_cols, (
+            "engine sweeps diverged on the timing workload"
+        )
+    interpret_s = measure(slow_sweep, repeat=repeat)
+    codegen_s = measure(fast_sweep, repeat=repeat)
+    return {
+        "stimuli": float(BATCH_SIM_STIMULI),
+        "interpret_s": interpret_s,
+        "codegen_s": codegen_s,
+        "speedup": interpret_s / codegen_s,
+    }
+
+
 #: 24 primary inputs: a carry-select adder vs the behavioural `a + b`.  The
 #: exhaustive sweep would need 2**24 (~16.7M) lanes — gated out of the
 #: simulation engines — while the SAT miter proves equivalence outright.
@@ -396,8 +497,10 @@ def bench_compile_cache(repeat: int = 3) -> dict[str, float]:
         run_checks,
         stimulus_key,
     )
+    from repro.verilog import codegen as codegen_mod
     from repro.verilog.design import DesignDatabase, set_default_database
 
+    fallbacks_before = codegen_mod.fallback_stats()["total"]
     candidates = _compile_cache_candidates()
     rng = random.Random(99)
     stimulus = [
@@ -471,6 +574,13 @@ def bench_compile_cache(repeat: int = 3) -> dict[str, float]:
         "cold_s": cold_s,
         "warm_s": warm_s,
         "speedup": cold_s / warm_s,
+        # The sweep now runs codegen-warm (backend="auto" is the default):
+        # interpreter fallbacks recorded while it ran, construction-time
+        # x-state settles included.  A jump here means codegen coverage of the
+        # candidate workload regressed.
+        "codegen_fallbacks": float(
+            codegen_mod.fallback_stats()["total"] - fallbacks_before
+        ),
     }
 
 
@@ -508,6 +618,7 @@ def collect_results(repeat: int = 5) -> dict:
             "truth_table_8var": bench_truth_table(repeat=repeat),
             "qm_minimize_8var": bench_qm(repeat=repeat),
             "batch_sim": bench_batch_sim(repeat=repeat),
+            "codegen_sim": bench_codegen_sim(repeat=repeat),
             "ldataset_quick_build": bench_ldataset(),
             "formal_eq": bench_formal_eq(),
             "compile_cache": bench_compile_cache(repeat=repeat),

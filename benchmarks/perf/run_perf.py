@@ -48,6 +48,12 @@ def _render(results: dict) -> str:
             f"({int(fe['input_bits'])}-input miter: sampled {int(fe['sweep_lanes'])}-lane "
             f"sweep vs complete SAT proof)"
         )
+    cs = benches.get("codegen_sim")
+    if cs is not None:
+        lines.append(
+            f"codegen_sim               {cs['interpret_s']:<13.6f} {cs['codegen_s']:<13.6f} {cs['speedup']:.1f}x"
+            f"  ({int(cs['stimuli'])} stimuli)"
+        )
     cc = benches.get("compile_cache")
     if cc is not None:
         lines.append(

@@ -7,7 +7,8 @@ assertion:
 * machine-independent: the bit-parallel engine must keep its speedup over the
   legacy per-assignment path measured on the *same* machine in the same run
   (>=10x on 8-variable truth-table extraction, >=3x on QM minimisation, >=4x on
-  batched functional-equivalence checking at 64+ stimuli);
+  batched functional-equivalence checking at 64+ stimuli, >=5x for generated
+  straight-line code over the AST-walking batch interpreter at 256 stimuli);
 * baseline-relative: no tracked timing may regress more than 2x versus the
   committed ``BENCH_perf.json``.
 
@@ -25,6 +26,7 @@ import pytest
 
 from perf_harness import (
     bench_batch_sim,
+    bench_codegen_sim,
     bench_compile_cache,
     bench_formal_eq,
     bench_qm,
@@ -42,6 +44,7 @@ def current():
             "truth_table_8var": bench_truth_table(repeat=3),
             "qm_minimize_8var": bench_qm(repeat=3),
             "batch_sim": bench_batch_sim(repeat=3),
+            "codegen_sim": bench_codegen_sim(repeat=3),
             "formal_eq": bench_formal_eq(repeat=3),
             "compile_cache": bench_compile_cache(repeat=3),
         }
@@ -79,6 +82,17 @@ def test_batch_sim_speedup_holds(current):
     assert result["speedup"] >= 4.0, (
         f"batched equivalence checking only {result['speedup']:.1f}x faster than "
         f"the scalar per-vector loop at {int(result['stimuli'])} stimuli (need >=4x)"
+    )
+
+
+@pytest.mark.perf
+def test_codegen_sim_speedup_holds(current):
+    result = current["benchmarks"]["codegen_sim"]
+    assert result["stimuli"] >= 256, "codegen_sim must measure at 256+ stimuli"
+    assert result["speedup"] >= 5.0, (
+        f"generated straight-line code only {result['speedup']:.1f}x faster than "
+        f"the AST-walking batch interpreter at {int(result['stimuli'])} stimuli "
+        f"(need >=5x)"
     )
 
 

@@ -61,6 +61,10 @@ class EvaluationConfig:
     use_batch_simulator: bool = True
     #: Re-check every batched run against the scalar oracle (slow; CI use).
     differential_oracle: bool = False
+    #: Batched-runner execution engine: ``auto`` compiles designs to
+    #: straight-line Python and falls back to the AST interpreter per design,
+    #: ``codegen`` requires generated code, ``interpret`` pins the interpreter.
+    simulator_backend: str = "auto"
     #: ``"simulation"`` scores with stimulus sweeps; ``"formal"`` upgrades
     #: combinational tasks to complete SAT equivalence proofs against the
     #: reference design (sequential tasks and unprovable constructs fall back
@@ -99,6 +103,7 @@ class EvaluationConfig:
             max_tasks=self.max_tasks,
             use_batch_simulator=self.use_batch_simulator,
             differential_oracle=self.differential_oracle,
+            simulator_backend=self.simulator_backend,
             mode=self.mode,
             formal_conflict_limit=self.formal_conflict_limit,
             max_workers=self.max_workers,
@@ -120,6 +125,7 @@ class EvaluationConfig:
             "max_tasks": self.max_tasks,
             "use_batch_simulator": self.use_batch_simulator,
             "differential_oracle": self.differential_oracle,
+            "simulator_backend": self.simulator_backend,
             "mode": self.mode,
             "formal_conflict_limit": self.formal_conflict_limit,
             "max_workers": self.max_workers,
@@ -141,6 +147,7 @@ class EvaluationConfig:
             max_tasks=payload.get("max_tasks"),
             use_batch_simulator=bool(payload.get("use_batch_simulator", True)),
             differential_oracle=bool(payload.get("differential_oracle", False)),
+            simulator_backend=str(payload.get("simulator_backend", "auto")),
             mode=str(payload.get("mode", "simulation")),
             formal_conflict_limit=payload.get("formal_conflict_limit"),
             max_workers=int(payload.get("max_workers", 1)),
@@ -293,6 +300,7 @@ def task_check_keys(
         config.use_batch_simulator,
         config.differential_oracle,
         config.formal_conflict_limit,
+        backend=config.simulator_backend,
     )
     return stimulus, task_stimulus_key, task_mode_key
 
@@ -319,6 +327,7 @@ def check_request_for(
         mode=config.mode,
         use_batch=config.use_batch_simulator,
         differential=config.differential_oracle,
+        backend=config.simulator_backend,
         formal_conflict_limit=config.formal_conflict_limit,
         database=database,
         timeout_s=config.check_timeout_s,
@@ -362,6 +371,16 @@ class BenchmarkEvaluator:
         #: Structured execution warnings (serial fallback, pool degradation)
         #: accumulated across ``evaluate`` calls; callers may drain this.
         self.warnings: list[dict] = []
+
+    def codegen_coverage(self) -> dict:
+        """Process-wide codegen adoption: fallback totals and per-design reasons.
+
+        Mirrors what ``GET /metrics`` exports — an empty ``designs`` map means
+        every design this process simulated ran on generated code.
+        """
+        from ..verilog import codegen
+
+        return codegen.fallback_stats()
 
     # ------------------------------------------------------------------ public API
     def evaluate(self, pipeline: HaVenPipeline, suite: BenchmarkSuite) -> SuiteResult:
@@ -552,6 +571,7 @@ def check_reference_designs(
     max_tasks: int | None = None,
     use_batch: bool = True,
     differential: bool = False,
+    backend: str = "auto",
 ) -> dict[str, str]:
     """Check every task's golden Verilog reference against its Python golden model.
 
@@ -576,7 +596,7 @@ def check_reference_designs(
     for task in tasks:
         if use_batch:
             runner: TestbenchRunner = BatchTestbenchRunner(
-                clock=task.clock, reset=task.reset, differential=differential
+                clock=task.clock, reset=task.reset, differential=differential, backend=backend
             )
         else:
             runner = TestbenchRunner(clock=task.clock, reset=task.reset)

@@ -351,11 +351,57 @@ class VerilogGolden:
         self._compiled = compile_design(self.source, self.module_name)
         self._simulator = ModuleSimulator(self._compiled)
         self.is_sequential = self._compiled.has_sequential_processes
+        self._tables: dict[str, list[BitTable]] | None = None
+        self._table_ports: tuple[tuple[str, int], ...] = ()
+        self._pending_inputs: dict[str, int] | None = None
+        if not self.is_sequential:
+            self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Small pure-combinational references collapse to BitTable lookups.
+
+        The exhaustive export only succeeds when every output is fully defined
+        over the whole input space, so a table hit can never disagree with the
+        simulator (which stays as the fallback for partial/oversized inputs).
+        """
+        from ..verilog.codegen import export_bittables
+
+        tables = export_bittables(self._compiled)
+        if tables is None:
+            return
+        names = (
+            self.outputs
+            if self.outputs is not None
+            else tuple(self._simulator.output_names())
+        )
+        if any(name not in tables for name in names):
+            return
+        self._tables = {name: tables[name] for name in names}
+        self._table_ports = tuple(
+            (port.name, port.width) for port in self._compiled.template.input_ports()
+        )
 
     def reset(self) -> None:
         from ..verilog.simulator import ModuleSimulator
 
         self._simulator = ModuleSimulator(self._compiled)
+        self._pending_inputs = None
+
+    def _table_eval(self, inputs: Mapping[str, int]) -> dict[str, int] | None:
+        """Minterm lookup when the stimulus covers exactly the input ports."""
+        if self._tables is None or set(inputs) != {name for name, _ in self._table_ports}:
+            return None
+        index = 0
+        for name, width in self._table_ports:
+            value = int(inputs[name])
+            if not 0 <= value < (1 << width):
+                return None  # out of range: let the simulator path raise
+            index = (index << width) | value
+        self._pending_inputs = {name: int(inputs[name]) for name, _ in self._table_ports}
+        return {
+            name: sum(((table.bits >> index) & 1) << bit for bit, table in enumerate(columns))
+            for name, columns in self._tables.items()
+        }
 
     def _observed(self) -> dict[str, int]:
         names = self.outputs if self.outputs is not None else self._simulator.output_names()
@@ -366,11 +412,24 @@ class VerilogGolden:
                 observed[name] = value.to_int()
         return observed
 
+    def _sync_pending(self) -> None:
+        # A table hit skips the simulator entirely; replay the last looked-up
+        # assignment before mixing in a simulator-path call so both paths see
+        # the same signal history.
+        if self._pending_inputs is not None:
+            pending, self._pending_inputs = self._pending_inputs, None
+            self._simulator.apply_inputs(pending)
+
     def eval(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        looked_up = self._table_eval(inputs)
+        if looked_up is not None:
+            return looked_up
+        self._sync_pending()
         self._simulator.apply_inputs(dict(inputs))
         return self._observed()
 
     def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        self._sync_pending()
         self._simulator.clock_cycle(self.clock, dict(inputs))
         return self._observed()
 
@@ -483,6 +542,7 @@ def batch_equivalence_mismatches(
     outputs: Sequence[str] | None = None,
     module_name: str | None = None,
     reference_module_name: str | None = None,
+    backend: str = "auto",
 ) -> list[LaneMismatch]:
     """Batched combinational equivalence sweep with structured counterexamples.
 
@@ -491,6 +551,8 @@ def batch_equivalence_mismatches(
     mismatching vector, ordered by lane (empty list == equivalent on the
     sweep).  An output that is ``x``/``z`` in the *reference* constrains
     nothing; an ``x``/``z`` DUT output mismatches any defined reference value.
+    ``backend`` selects the :class:`BatchSimulator` execution engine for both
+    sides (SAT counterexample replay rides the default ``auto``).
     """
     from ..verilog.simulator.batch import BatchSimulator
 
@@ -500,9 +562,11 @@ def batch_equivalence_mismatches(
     if any(set(vector) != names for vector in input_vectors):
         raise ValueError("equivalence sweeps require a consistent input-name set")
     lanes = len(input_vectors)
-    dut = BatchSimulator.from_source(dut_source, lanes=lanes, module_name=module_name)
+    dut = BatchSimulator.from_source(
+        dut_source, lanes=lanes, module_name=module_name, backend=backend
+    )
     reference = BatchSimulator.from_source(
-        reference_source, lanes=lanes, module_name=reference_module_name
+        reference_source, lanes=lanes, module_name=reference_module_name, backend=backend
     )
     inputs = {name: [vector[name] for vector in input_vectors] for name in names}
     dut.apply_inputs(inputs)
@@ -548,6 +612,7 @@ def batch_equivalence_check(
     outputs: Sequence[str] | None = None,
     module_name: str | None = None,
     reference_module_name: str | None = None,
+    backend: str = "auto",
 ) -> list[int]:
     """Index-list view of :func:`batch_equivalence_mismatches` (legacy API).
 
@@ -564,6 +629,7 @@ def batch_equivalence_check(
             outputs=outputs,
             module_name=module_name,
             reference_module_name=reference_module_name,
+            backend=backend,
         )
     ]
 

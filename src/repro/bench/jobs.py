@@ -114,11 +114,18 @@ def mode_key(
     use_batch: bool,
     differential: bool,
     formal_conflict_limit: int | None,
+    backend: str = "auto",
 ) -> str:
-    """Scoring-mode component of a :class:`ResultKey`."""
+    """Scoring-mode component of a :class:`ResultKey`.
+
+    A pinned simulator backend is part of the key (a verdict scored under
+    ``interpret`` must not satisfy a ``codegen`` request); the default ``auto``
+    is left out so existing durable result stores keep their keys.
+    """
+    engine = "" if backend == "auto" else f"|engine={backend}"
     if mode == "formal":
-        return f"formal:{formal_conflict_limit}|batch={use_batch}|diff={differential}"
-    return f"simulation|batch={use_batch}|diff={differential}"
+        return f"formal:{formal_conflict_limit}|batch={use_batch}|diff={differential}{engine}"
+    return f"simulation|batch={use_batch}|diff={differential}{engine}"
 
 
 # --------------------------------------------------------------------------- requests
@@ -138,6 +145,9 @@ class CheckRequest:
     mode: str = "simulation"
     use_batch: bool = True
     differential: bool = False
+    #: Execution engine for the batched runner: ``auto`` (generated code with
+    #: interpreter fallback), ``codegen`` or ``interpret``.
+    backend: str = "auto"
     formal_conflict_limit: int | None = 50_000
     #: Optional :class:`~repro.verilog.design.DesignDatabase` for the runners
     #: (None → process-wide default).  A database does not pickle, so setting
@@ -258,6 +268,7 @@ def execute_check(request: CheckRequest) -> tuple[ResultKey, TestbenchResult]:
                 reset=request.reset,
                 differential=request.differential,
                 database=request.database,
+                backend=request.backend,
             )
         else:
             runner = TestbenchRunner(

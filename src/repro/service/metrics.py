@@ -132,6 +132,7 @@ class ServiceMetrics:
         families = [self._service_info()]
         families.extend(self._broker_families())
         families.extend(self._cache_families())
+        families.extend(self._codegen_families())
         families.extend(self._http_families())
         return render_families(families)
 
@@ -245,6 +246,30 @@ class ServiceMetrics:
         if lookups:
             ratio.add(warm / lookups)
         return [hits, ratio]
+
+    def _codegen_families(self) -> list[MetricFamily]:
+        from ..verilog import codegen
+
+        stats = codegen.fallback_stats()
+        total = MetricFamily(
+            "repro_codegen_fallback_total",
+            "counter",
+            "Simulations that fell back to the AST interpreter, by reason.",
+        )
+        if stats["total"]:
+            for reason, count in sorted(stats["reasons"].items()):
+                total.add(int(count), {"reason": reason})
+        else:
+            total.add(0)
+        designs = MetricFamily(
+            "repro_codegen_design_fallback_total",
+            "counter",
+            "Interpreter fallbacks per design label and reason (codegen coverage).",
+        )
+        for design, reasons in sorted(stats["designs"].items()):
+            for reason, count in sorted(reasons.items()):
+                designs.add(int(count), {"design": design, "reason": reason})
+        return [total, designs]
 
     def _http_families(self) -> list[MetricFamily]:
         requests, rate_limited, admission = self.http.snapshot()

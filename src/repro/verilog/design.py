@@ -57,11 +57,16 @@ from . import ast_nodes as ast
 from . import errors as _errors
 from .errors import ParseError, VerilogError
 from .parser import parse_source
+from .codegen import CodegenArtifact
+from .codegen import generate as _generate_codegen
 from .simulator.scheduler import ProcessKind, SignalStore
 from .simulator.simulator import ElaboratedModule, PortInfo, elaborate_module
 
 #: Bump when the pickled on-disk layout changes; stale entries are recompiled.
-DISK_FORMAT_VERSION = 1
+#: The version is embedded in the on-disk *file name* (see ``_disk_path``), so
+#: a layout change — like v2's codegen artifact — invalidates old entries by
+#: key rather than surfacing as unpickle errors or silently missing fields.
+DISK_FORMAT_VERSION = 2
 
 #: Conventional clock/reset input names used by the inference analyses (the
 #: same conventions :mod:`repro.verilog.analyzer` and the bench families use).
@@ -110,11 +115,20 @@ class CompiledDesign:
     clock: str | None
     reset: str | None
     reset_active_low: bool
+    #: Straight-line lowering of the design (source text + signal lists), or
+    #: a rejection reason.  Generated eagerly so the disk tier carries it;
+    #: the compiled functions themselves are cached process-wide by source.
+    codegen: CodegenArtifact | None = None
 
     # ------------------------------------------------------------------ views
     @property
     def name(self) -> str:
         return self.template.name
+
+    @property
+    def codegen_label(self) -> str:
+        """Stable human-readable label for codegen coverage reporting."""
+        return f"{self.template.name}:{self.key.digest()[:12]}"
 
     @property
     def ports(self) -> list[PortInfo]:
@@ -347,7 +361,9 @@ class DesignDatabase:
     def _disk_path(self, key: DesignKey) -> Path | None:
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"{key.digest()}.pkl"
+        # The schema version is part of the content address: bumping
+        # DISK_FORMAT_VERSION makes every stale entry a clean cache miss.
+        return self.cache_dir / f"{key.digest()}-v{DISK_FORMAT_VERSION}.pkl"
 
     def _load_from_disk(self, key: DesignKey) -> CompiledDesign | None:
         path = self._disk_path(key)
@@ -391,17 +407,23 @@ def _compile_from_module(
         process.kind is ProcessKind.SEQUENTIAL for process in template.processes
     )
     reset, reset_active_low = _infer_reset(template)
+    latch_risk = _latch_risk(template)
+    undef = _undef_sources(template)
+    codegen = _generate_codegen(
+        template, has_latch_risk=latch_risk, undef_sources=tuple(sorted(undef))
+    )
     return CompiledDesign(
         key=key,
         module=module,
         parameter_overrides=overrides,
         template=template,
         has_sequential_processes=has_sequential,
-        has_latch_risk=_latch_risk(template),
-        undef_sources=_undef_sources(template),
+        has_latch_risk=latch_risk,
+        undef_sources=undef,
         clock=_infer_clock(template),
         reset=reset,
         reset_active_low=reset_active_low,
+        codegen=codegen,
     )
 
 

@@ -48,13 +48,18 @@ class BatchSimulator:
         module,
         lanes: int,
         parameter_overrides: dict[str, int] | None = None,
+        backend: str = "auto",
     ):
         from ..design import CompiledDesign
 
         if lanes < 1:
             raise SimulationError("BatchSimulator needs at least one stimulus lane")
+        if backend not in ("auto", "codegen", "interpret"):
+            raise SimulationError(f"unknown BatchSimulator backend {backend!r}")
         self.lanes = lanes
+        self.backend = backend
         self.parameter_overrides = dict(parameter_overrides or {})
+        design_from_compiled = False
         if isinstance(module, CompiledDesign):
             self.compiled: CompiledDesign | None = module
             self.module = module.module
@@ -63,6 +68,7 @@ class BatchSimulator:
             else:
                 self.parameter_overrides = dict(module.parameter_overrides)
                 self.design = module.elaborate()
+                design_from_compiled = True
         else:
             self.compiled = None
             self.module = module
@@ -72,8 +78,41 @@ class BatchSimulator:
             self.store, self.design.parameters, self.design.functions
         )
         self._full_mask = (1 << lanes) - 1
+        self._codegen = self._build_codegen(design_from_compiled)
         self._run_initial_blocks()
         self.settle()
+
+    def _build_codegen(self, design_from_compiled: bool):
+        """Codegen runtime for this design, or ``None`` (interpreter only)."""
+        if self.backend == "interpret":
+            return None
+        from .. import codegen as codegen_mod
+
+        if design_from_compiled and self.compiled is not None:
+            label = self.compiled.codegen_label
+            artifact = self.compiled.codegen
+        else:
+            label = self.design.name
+            artifact = None
+        if artifact is None:
+            # Raw-module path (or a CompiledDesign re-elaborated with fresh
+            # parameter overrides): generate directly, uncached.
+            from ..design import _latch_risk, _undef_sources
+
+            artifact = codegen_mod.generate(
+                self.design,
+                has_latch_risk=_latch_risk(self.design),
+                undef_sources=tuple(sorted(_undef_sources(self.design))),
+            )
+        if artifact.supported:
+            return codegen_mod.CodegenRuntime(artifact, self.lanes, label)
+        if self.backend == "codegen":
+            raise SimulationError(
+                f"backend='codegen' but design {label!r} was rejected by the "
+                f"lowering: {artifact.reject_reason}"
+            )
+        codegen_mod.record_fallback(label, artifact.reject_reason)
+        return None
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -84,12 +123,13 @@ class BatchSimulator:
         module_name: str | None = None,
         parameter_overrides: dict[str, int] | None = None,
         database=None,
+        backend: str = "auto",
     ) -> "BatchSimulator":
         """Build a batch simulator from source via the (default) design database."""
         from ..design import get_default_database
 
         db = database if database is not None else get_default_database()
-        return cls(db.compile(source, module_name, parameter_overrides), lanes)
+        return cls(db.compile(source, module_name, parameter_overrides), lanes, backend=backend)
 
     def _run_initial_blocks(self) -> None:
         for process in self.design.processes:
@@ -142,6 +182,8 @@ class BatchSimulator:
     # ------------------------------------------------------------------ execution
     def settle(self) -> None:
         """Re-evaluate combinational processes until no lane changes."""
+        if self._codegen is not None and self._codegen.try_settle(self.store, self._full_mask):
+            return
         for _ in range(MAX_SETTLE_ITERATIONS):
             check_deadline("BatchSimulator.settle")
             changed = False
@@ -196,12 +238,22 @@ class BatchSimulator:
         return edges
 
     def _run_sequential(self, edge_masks: dict[tuple[ast.EdgeKind, str], int]) -> None:
-        for process in self.design.processes:
-            if process.kind is not ProcessKind.SEQUENTIAL:
-                continue
+        processes = [
+            process
+            for process in self.design.processes
+            if process.kind is ProcessKind.SEQUENTIAL
+        ]
+        masks: list[int] = []
+        for process in processes:
             mask = 0
             for edge, signal in process.edge_signals():
                 mask |= edge_masks.get((edge, signal), 0)
+            masks.append(mask)
+        if self._codegen is not None and self._codegen.try_sequential(
+            self.store, masks, self._full_mask
+        ):
+            return
+        for process, mask in zip(processes, masks):
             if mask:
                 self.executor.execute(process.body, mask, allow_nonblocking=True)
         self.executor.commit_nonblocking()

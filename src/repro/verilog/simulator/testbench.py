@@ -273,9 +273,13 @@ class BatchTestbenchRunner(TestbenchRunner):
         max_mismatches: int = 32,
         differential: bool = False,
         database=None,
+        backend: str = "auto",
     ):
         super().__init__(clock=clock, reset=reset, max_mismatches=max_mismatches, database=database)
         self.differential = differential
+        #: Forwarded to :class:`BatchSimulator`: ``auto`` rides generated code
+        #: when the design supports it, ``interpret`` pins the AST walker.
+        self.backend = backend
 
     def run(
         self,
@@ -325,7 +329,7 @@ class BatchTestbenchRunner(TestbenchRunner):
         from .batch import BatchSimulator
 
         try:
-            simulator = BatchSimulator(compiled, lanes=len(stimulus))
+            simulator = BatchSimulator(compiled, lanes=len(stimulus), backend=self.backend)
         except VerilogError as exc:
             return TestbenchResult(passed=False, error=str(exc))
 

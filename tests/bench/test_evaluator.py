@@ -148,6 +148,35 @@ class TestEvaluator:
         result = evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
         assert result.functional_pass_at_k()[1] == pytest.approx(1.0)
 
+    def test_codegen_and_interpreter_backends_agree(self, tiny_human_suite):
+        """Identical verdicts — task by task — under both execution engines."""
+        backend = SimulatedCodeGenLLM(BASELINE_PROFILES["origen-deepseek"])
+
+        def sweep(simulator_backend):
+            config = EvaluationConfig(
+                num_samples=2,
+                ks=(1,),
+                temperatures=(0.2,),
+                simulator_backend=simulator_backend,
+            )
+            return BenchmarkEvaluator(config).evaluate(
+                HaVenPipeline(backend, use_sicot=False), tiny_human_suite
+            )
+
+        fast, slow = sweep("auto"), sweep("interpret")
+        assert fast.functional_pass_at_k() == slow.functional_pass_at_k()
+        for fast_task, slow_task in zip(fast.task_results, slow.task_results):
+            assert fast_task.task_id == slow_task.task_id
+            assert fast_task.num_functional_passes == slow_task.num_functional_passes
+            assert fast_task.num_syntax_passes == slow_task.num_syntax_passes
+
+    def test_codegen_coverage_snapshot(self, tiny_human_suite, config):
+        evaluator = BenchmarkEvaluator(config)
+        evaluator.evaluate(HaVenPipeline(PerfectBackend(), use_sicot=False), tiny_human_suite)
+        coverage = evaluator.codegen_coverage()
+        assert set(coverage) == {"total", "reasons", "designs"}
+        assert coverage["total"] == sum(coverage["reasons"].values())
+
 
 class TestAggregationEdgeCases:
     """SuiteResult aggregation over degenerate per-task shapes."""

@@ -206,6 +206,39 @@ class TestSerialFaults:
         assert execution.quarantined and execution.timed_out
         assert "wall-clock budget" in execution.error
 
+    def test_hung_codegen_backed_check_is_quarantined(self):
+        """A hang in a codegen-pinned check is cut exactly like an interpreted one.
+
+        The generated settle loops tick ``check_deadline`` per pass (pinned by
+        the codegen unit tests); this proves the integration: a cooperative
+        hang inside a ``backend="codegen"`` check burns its attempts against
+        the same deadline budget and quarantines only the poison unit.
+        """
+        from dataclasses import replace
+
+        install_faults(
+            [FaultSpec("hang", task_id="chaos_and", hang_s=30.0, cooperative=True)]
+        )
+        requests = {
+            task_id: replace(request, backend="codegen")
+            for task_id, request in _requests().items()
+        }
+        started = time.monotonic()
+        report = run_checks(
+            list(requests.values()),
+            max_workers=1,
+            policy=_fast_policy(timeout_s=0.2, max_attempts=2),
+        )
+        elapsed = time.monotonic() - started
+
+        assert elapsed < 5.0
+        execution = report.executions[requests["chaos_and"].key]
+        assert execution.quarantined and execution.timed_out
+        assert "wall-clock budget" in execution.error
+        # The healthy codegen-backed checks still settle their real verdicts.
+        for task_id in ("chaos_xor", "chaos_or"):
+            assert report.executions[requests[task_id].key].result.passed
+
     def test_deadline_degrades_formal_to_simulation(self):
         # The hang only hits attempt 1: the retry must have dropped the proof.
         install_faults(

@@ -234,3 +234,23 @@ class TestEndToEnd:
         assert 'repro_check_latency_seconds{quantile="0.5"}' in text
         assert 'repro_check_latency_seconds{quantile="0.99"}' in text
         assert "repro_queue_depth 0" in text
+        assert "repro_codegen_fallback_total" in text
+
+    def test_codegen_fallbacks_surface_in_metrics(self, server):
+        from repro.verilog import codegen
+        from repro.verilog.simulator import BatchSimulator
+
+        codegen.reset_fallback_stats()
+        try:
+            BatchSimulator.from_source(
+                "module slow(input [3:0] a, input [3:0] b, output [3:0] y);"
+                " assign y = a % b; endmodule",
+                lanes=4,
+                backend="auto",
+            )
+            text = request(server, "/metrics")[2].decode()
+            assert 'repro_codegen_fallback_total{reason="mul-div-mod"} 1' in text
+            assert 'reason="mul-div-mod"' in text
+            assert "repro_codegen_design_fallback_total{" in text
+        finally:
+            codegen.reset_fallback_stats()

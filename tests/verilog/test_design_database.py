@@ -168,6 +168,59 @@ class TestDiskTier:
         assert fresh.stats.misses == 1
         assert compiled.name == "inv"
 
+    def test_disk_filename_embeds_schema_version(self, tmp_path):
+        from repro.verilog.design import DISK_FORMAT_VERSION
+
+        db = DesignDatabase(cache_dir=tmp_path)
+        db.compile(INV)
+        entries = list(tmp_path.iterdir())
+        assert len(entries) == 1
+        assert entries[0].name.endswith(f"-v{DISK_FORMAT_VERSION}.pkl")
+
+    def test_stale_schema_version_is_a_clean_miss(self, tmp_path):
+        """Old-format pickles are never loaded: the version lives in the key.
+
+        A schema bump (e.g. adding the codegen artifact) must surface as a
+        recompile, not as an unpickle error or an artifact with silently
+        missing attributes.
+        """
+        from repro.verilog.design import DISK_FORMAT_VERSION
+
+        db = DesignDatabase(cache_dir=tmp_path)
+        db.compile(INV)
+        for entry in list(tmp_path.iterdir()):
+            stale = entry.name.replace(
+                f"-v{DISK_FORMAT_VERSION}.pkl", f"-v{DISK_FORMAT_VERSION - 1}.pkl"
+            )
+            entry.rename(tmp_path / stale)
+        fresh = DesignDatabase(cache_dir=tmp_path)
+        compiled = fresh.compile(INV)
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.misses == 1
+        simulator = ModuleSimulator(compiled)
+        simulator.apply_inputs({"a": 1})
+        assert simulator.get_int("y") == 0
+        # The recompile rewrote the entry under the current version.
+        names = {entry.name for entry in tmp_path.iterdir()}
+        assert any(name.endswith(f"-v{DISK_FORMAT_VERSION}.pkl") for name in names)
+
+    def test_codegen_artifact_survives_disk_round_trip(self, tmp_path):
+        writer_db = DesignDatabase(cache_dir=tmp_path)
+        compiled = writer_db.compile(INV)
+        assert compiled.codegen is not None and compiled.codegen.supported
+
+        reader_db = DesignDatabase(cache_dir=tmp_path)
+        loaded = reader_db.compile(INV)
+        assert reader_db.stats.disk_hits == 1
+        assert loaded.codegen is not None
+        assert loaded.codegen.supported
+        assert loaded.codegen.settle_source == compiled.codegen.settle_source
+        # The reloaded artifact must drive the generated back end.
+        simulator = BatchSimulator(loaded, lanes=2, backend="codegen")
+        simulator.apply_inputs({"a": [0, 1]})
+        assert simulator.get("y").lane(0).to_int() == 1
+        assert simulator.get("y").lane(1).to_int() == 0
+
 
 class TestCompiledDesign:
     def test_store_isolation_between_simulators(self):
