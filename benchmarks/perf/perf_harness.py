@@ -23,6 +23,11 @@ Times the tracked hot paths and reports before/after numbers:
   acceptance bar is a >=5x speedup over the interpreted ``batch_sim`` path.
 * ``ldataset_quick_build`` — a quick-scale end-to-end L-dataset build, the
   workload every layer above the engine feeds into.
+* ``formal_incremental`` — a 50-candidate pass@k sweep (10 unique codes, two
+  of them buggy) proven on one persistent :class:`EquivalenceSession` vs a
+  fresh solver per candidate.  A verdict-parity gate (bit-identical verdicts,
+  counterexamples on every refutation) runs before timing; the acceptance bar
+  is a >=5x speedup over the fresh-solver baseline.
 * ``formal_eq``         — complete SAT equivalence proof of a 24-input
   combinational miter (carry-select adder vs behavioural ``a + b``), where the
   exhaustive ``2**24``-lane sweep is infeasible for the simulation engines; the
@@ -67,6 +72,7 @@ TRACKED = (
     ("codegen_sim", "codegen_s"),
     ("ldataset_quick_build", "seconds"),
     ("formal_eq", "prove_s"),
+    ("formal_incremental", "incremental_s"),
     ("compile_cache", "warm_s"),
 )
 
@@ -430,7 +436,81 @@ def bench_formal_eq(repeat: int = 3) -> dict[str, float]:
         "sweep_lanes": float(FORMAL_EQ_SWEEP_LANES),
         "sampled_sweep_s": sweep_s,
         "prove_s": prove_s,
+        # Complete proof vs the (incomplete!) 1024-lane sampled sweep — how
+        # much faster the proof is than even a 1/16384th-coverage simulation.
+        "speedup": sweep_s / prove_s,
         "conflicts": float(proof.stats.conflicts),
+    }
+
+
+# --------------------------------------------------------------------------- incremental formal
+#: Candidate count for the incremental-session sweep benchmark: 50 candidates
+#: with 10 unique codes (8 correct variants + 2 buggy), the shape a pass@k
+#: temperature sweep produces.
+FORMAL_INC_CANDIDATES = 50
+FORMAL_INC_UNIQUE = 10
+
+
+def _formal_inc_candidates() -> list[str]:
+    """10 unique candidate codes (last two buggy), cycled to 50 submissions."""
+    unique = []
+    for index in range(FORMAL_INC_UNIQUE):
+        code = FORMAL_EQ_DUT + f"\n// candidate variant {index}\n"
+        if index >= FORMAL_INC_UNIQUE - 2:
+            code = code.replace("+ 6'd1", "+ 6'd2")  # broken carry select
+        unique.append(code)
+    return [unique[i % FORMAL_INC_UNIQUE] for i in range(FORMAL_INC_CANDIDATES)]
+
+
+def bench_formal_incremental(repeat: int = 3) -> dict[str, float]:
+    """Incremental equivalence session vs a fresh solver per candidate.
+
+    The workload is a 50-candidate pass@k sweep against one reference: the
+    baseline rebuilds the reference cone, the Tseitin CNF and a cold CDCL
+    instance for every candidate; the session encodes the reference once and
+    proves each candidate under an activation literal on one persistent solver
+    (learned clauses, VSIDS activity and saved phases survive the sweep).
+
+    A verdict-parity gate runs before timing: both engines must agree on every
+    candidate, bit for bit, and every refutation must carry a counterexample.
+    """
+    from repro.formal import EquivalenceSession, prove_combinational_equivalence
+
+    candidates = _formal_inc_candidates()
+
+    def fresh_sweep() -> list[bool]:
+        return [
+            prove_combinational_equivalence(code, FORMAL_EQ_REFERENCE).equivalent
+            for code in candidates
+        ]
+
+    def incremental_sweep() -> list[bool]:
+        session = EquivalenceSession(FORMAL_EQ_REFERENCE)
+        return [session.prove(code).equivalent for code in candidates]
+
+    # Verdict-parity gate: the incremental engine must be bit-identical to the
+    # fresh-solver baseline on the whole sweep (and actually refute the buggy
+    # candidates) before its timing means anything.
+    fresh_verdicts = fresh_sweep()
+    incremental_verdicts = incremental_sweep()
+    assert fresh_verdicts == incremental_verdicts, (
+        "incremental session diverged from the fresh-solver prover"
+    )
+    assert not all(fresh_verdicts), "sweep no longer exercises refutations"
+    session = EquivalenceSession(FORMAL_EQ_REFERENCE)
+    for code, expected in zip(candidates, fresh_verdicts):
+        result = session.prove(code)
+        assert result.equivalent == expected
+        assert result.equivalent or result.counterexample is not None
+
+    fresh_s = measure(fresh_sweep, repeat=repeat)
+    incremental_s = measure(incremental_sweep, repeat=repeat)
+    return {
+        "candidates": float(FORMAL_INC_CANDIDATES),
+        "unique_codes": float(FORMAL_INC_UNIQUE),
+        "fresh_s": fresh_s,
+        "incremental_s": incremental_s,
+        "speedup": fresh_s / incremental_s,
     }
 
 
@@ -621,6 +701,7 @@ def collect_results(repeat: int = 5) -> dict:
             "codegen_sim": bench_codegen_sim(repeat=repeat),
             "ldataset_quick_build": bench_ldataset(),
             "formal_eq": bench_formal_eq(),
+            "formal_incremental": bench_formal_incremental(),
             "compile_cache": bench_compile_cache(repeat=repeat),
         },
     }

@@ -43,10 +43,18 @@ def _render(results: dict) -> str:
     lines.append(f"ldataset_quick_build      {'-':<13} {ld['seconds']:<13.6f}")
     fe = benches.get("formal_eq")
     if fe is not None:
+        speedup = f"{fe['speedup']:.1f}x  " if "speedup" in fe else ""
         lines.append(
             f"formal_eq                 {fe['sampled_sweep_s']:<13.6f} {fe['prove_s']:<13.6f} "
-            f"({int(fe['input_bits'])}-input miter: sampled {int(fe['sweep_lanes'])}-lane "
+            f"{speedup}({int(fe['input_bits'])}-input miter: sampled {int(fe['sweep_lanes'])}-lane "
             f"sweep vs complete SAT proof)"
+        )
+    fi = benches.get("formal_incremental")
+    if fi is not None:
+        lines.append(
+            f"formal_incremental        {fi['fresh_s']:<13.6f} {fi['incremental_s']:<13.6f} {fi['speedup']:.1f}x"
+            f"  ({int(fi['candidates'])}-candidate sweep, {int(fi['unique_codes'])} unique, "
+            f"shared solver vs fresh per candidate)"
         )
     cs = benches.get("codegen_sim")
     if cs is not None:

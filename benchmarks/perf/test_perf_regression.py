@@ -29,6 +29,7 @@ from perf_harness import (
     bench_codegen_sim,
     bench_compile_cache,
     bench_formal_eq,
+    bench_formal_incremental,
     bench_qm,
     bench_truth_table,
     regressions,
@@ -46,6 +47,7 @@ def current():
             "batch_sim": bench_batch_sim(repeat=3),
             "codegen_sim": bench_codegen_sim(repeat=3),
             "formal_eq": bench_formal_eq(repeat=3),
+            "formal_incremental": bench_formal_incremental(repeat=3),
             "compile_cache": bench_compile_cache(repeat=3),
         }
     }
@@ -105,6 +107,17 @@ def test_formal_eq_proves_wide_miter(current):
     assert result["prove_s"] < 5.0, (
         f"SAT proof of the {int(result['input_bits'])}-input miter took "
         f"{result['prove_s']:.2f}s"
+    )
+
+
+@pytest.mark.perf
+def test_formal_incremental_speedup_holds(current):
+    result = current["benchmarks"]["formal_incremental"]
+    assert result["candidates"] >= 50, "must measure a 50+ candidate sweep"
+    assert result["speedup"] >= 5.0, (
+        f"incremental equivalence session only {result['speedup']:.1f}x faster "
+        f"than a fresh solver per candidate on the "
+        f"{int(result['candidates'])}-candidate sweep (need >=5x)"
     )
 
 

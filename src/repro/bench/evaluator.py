@@ -72,7 +72,18 @@ class EvaluationConfig:
     mode: str = "simulation"
     #: Conflict budget per SAT proof in formal mode (None = unbounded); an
     #: exhausted budget falls back to the simulation path for that sample.
+    #: The budget is charged *per proof* even on the shared incremental
+    #: session — every candidate of a sweep gets the full limit.
     formal_conflict_limit: int | None = 50_000
+    #: Prove combinational formal checks on a persistent per-worker
+    #: :class:`~repro.formal.incremental.EquivalenceSession` (one solver per
+    #: reference design across the sweep).  Verdict-identical to the
+    #: fresh-solver prover, just faster.
+    formal_incremental: bool = True
+    #: k-induction depth for sequential tasks in formal mode — unbounded
+    #: equivalence proofs instead of a silent simulation fallback.  ``0``
+    #: disables induction (every sequential task simulates, as before).
+    induction_depth: int = 4
     #: Worker processes for functional checks (1 = serial in-process).  Checks
     #: whose golden factories cannot be pickled, and any pool failure, fall
     #: back to serial execution automatically.
@@ -106,6 +117,8 @@ class EvaluationConfig:
             simulator_backend=self.simulator_backend,
             mode=self.mode,
             formal_conflict_limit=self.formal_conflict_limit,
+            formal_incremental=self.formal_incremental,
+            induction_depth=self.induction_depth,
             max_workers=self.max_workers,
             memoize_results=self.memoize_results,
             check_timeout_s=self.check_timeout_s,
@@ -128,6 +141,8 @@ class EvaluationConfig:
             "simulator_backend": self.simulator_backend,
             "mode": self.mode,
             "formal_conflict_limit": self.formal_conflict_limit,
+            "formal_incremental": self.formal_incremental,
+            "induction_depth": self.induction_depth,
             "max_workers": self.max_workers,
             "memoize_results": self.memoize_results,
             "check_timeout_s": self.check_timeout_s,
@@ -150,6 +165,8 @@ class EvaluationConfig:
             simulator_backend=str(payload.get("simulator_backend", "auto")),
             mode=str(payload.get("mode", "simulation")),
             formal_conflict_limit=payload.get("formal_conflict_limit"),
+            formal_incremental=bool(payload.get("formal_incremental", True)),
+            induction_depth=int(payload.get("induction_depth", 4)),
             max_workers=int(payload.get("max_workers", 1)),
             memoize_results=bool(payload.get("memoize_results", True)),
             check_timeout_s=(
@@ -301,6 +318,8 @@ def task_check_keys(
         config.differential_oracle,
         config.formal_conflict_limit,
         backend=config.simulator_backend,
+        formal_incremental=config.formal_incremental,
+        induction_depth=config.induction_depth,
     )
     return stimulus, task_stimulus_key, task_mode_key
 
@@ -329,6 +348,8 @@ def check_request_for(
         differential=config.differential_oracle,
         backend=config.simulator_backend,
         formal_conflict_limit=config.formal_conflict_limit,
+        formal_incremental=config.formal_incremental,
+        induction_depth=config.induction_depth,
         database=database,
         timeout_s=config.check_timeout_s,
     )

@@ -354,6 +354,7 @@ class VerilogGolden:
         self._tables: dict[str, list[BitTable]] | None = None
         self._table_ports: tuple[tuple[str, int], ...] = ()
         self._pending_inputs: dict[str, int] | None = None
+        self._equiv_session = None
         if not self.is_sequential:
             self._build_tables()
 
@@ -433,6 +434,25 @@ class VerilogGolden:
         self._simulator.clock_cycle(self.clock, dict(inputs))
         return self._observed()
 
+    def equivalence_session(self):
+        """The lazily built incremental prover for this (combinational) reference.
+
+        One :class:`repro.formal.EquivalenceSession` per golden instance: the
+        reference cone is encoded once and every candidate of the sweep is
+        proven on the same solver.  Raises ``FormalEncodingError`` when the
+        reference falls outside the provable subset (same contract as the
+        one-shot prover).
+        """
+        from ..formal import EquivalenceSession
+
+        if self._equiv_session is None:
+            self._equiv_session = EquivalenceSession(
+                self.source,
+                outputs=list(self.outputs) if self.outputs is not None else None,
+                reference_module_name=self.module_name,
+            )
+        return self._equiv_session
+
     def prove_equivalent(
         self,
         dut_source: str,
@@ -441,18 +461,30 @@ class VerilogGolden:
         reset: str | None = None,
         reset_active_low: bool = False,
         conflict_limit: int | None = None,
+        incremental: bool = True,
+        induction_depth: int | None = None,
     ):
         """SAT-prove a DUT equivalent to this golden reference design.
 
-        Combinational references get a complete proof; sequential references
-        need ``sequential_steps`` (bounded equivalence from reset).  SAT
+        Combinational references get a complete proof — incremental by default,
+        on this instance's persistent :meth:`equivalence_session`.  Sequential
+        references need ``sequential_steps`` (bounded equivalence from reset)
+        or ``induction_depth`` (unbounded proof by k-induction; give both and
+        an inconclusive induction falls back to the bounded proof).  SAT
         counterexamples are replayed on the simulators before being returned
         (see :func:`formal_equivalence_check`).
         """
-        if sequential_steps is None and self.is_sequential:
+        if (
+            sequential_steps is None
+            and induction_depth is None
+            and self.is_sequential
+        ):
             raise ValueError(
                 "sequential reference: pass sequential_steps for a bounded proof"
             )
+        session = None
+        if incremental and not self.is_sequential:
+            session = self.equivalence_session()
         return formal_equivalence_check(
             dut_source,
             self.source,
@@ -464,6 +496,8 @@ class VerilogGolden:
             reset=reset,
             reset_active_low=reset_active_low,
             conflict_limit=conflict_limit,
+            session=session,
+            induction_depth=induction_depth if self.is_sequential else None,
         )
 
 
@@ -647,17 +681,24 @@ def formal_equivalence_check(
     reset_active_low: bool = False,
     conflict_limit: int | None = None,
     replay: bool = True,
+    session=None,
+    induction_depth: int | None = None,
 ):
     """SAT equivalence proof of DUT vs reference, with simulation replay.
 
     The combinational form is a *complete* proof (every input assignment, not a
     sampled sweep); pass ``sequential_steps=k`` for k-step bounded sequential
-    equivalence from the reset state.  When the proof fails, the SAT
-    counterexample is replayed on the simulation engines
-    (:func:`batch_equivalence_mismatches` for combinational designs, the scalar
-    simulator cycle-by-cycle for sequential ones) as a differential oracle: a
-    counterexample that does not reproduce as a real mismatch raises
-    ``FormalError`` instead of being reported.
+    equivalence from the reset state, or ``induction_depth=k`` for an
+    **unbounded** sequential proof by k-induction (falling back to the bounded
+    proof when the induction is inconclusive and ``sequential_steps`` is also
+    given).  ``session`` — a :class:`repro.formal.EquivalenceSession` built for
+    this reference — makes the combinational proof incremental: same verdicts
+    and counterexample contract, one persistent solver across a candidate
+    sweep.  When the proof fails, the SAT counterexample is replayed on the
+    simulation engines (:func:`batch_equivalence_mismatches` for combinational
+    designs, the scalar simulator cycle-by-cycle for sequential ones) as a
+    differential oracle: a counterexample that does not reproduce as a real
+    mismatch raises ``FormalError`` instead of being reported.
 
     Returns:
         A :class:`repro.formal.EquivalenceResult`.
@@ -665,22 +706,62 @@ def formal_equivalence_check(
     Raises:
         repro.formal.FormalEncodingError: when a design falls outside the
             provable subset — callers should fall back to simulation sweeps.
+            (:class:`repro.formal.InductionInconclusive` is a subtype raised
+            when only ``induction_depth`` was given and the inductive step
+            failed at that depth.)
     """
     from ..formal import (
         FormalError,
+        InductionInconclusive,
         prove_combinational_equivalence,
+        prove_sequential_by_induction,
         prove_sequential_equivalence,
     )
 
-    if sequential_steps is None:
-        result = prove_combinational_equivalence(
-            dut_source,
-            reference_source,
-            outputs=outputs,
-            module_name=module_name,
-            reference_module_name=reference_module_name,
-            conflict_limit=conflict_limit,
-        )
+    sequential = sequential_steps is not None or induction_depth is not None
+    if induction_depth is not None:
+        try:
+            result = prove_sequential_by_induction(
+                dut_source,
+                reference_source,
+                depth=induction_depth,
+                clock=clock,
+                reset=reset,
+                reset_active_low=reset_active_low,
+                outputs=outputs,
+                module_name=module_name,
+                reference_module_name=reference_module_name,
+                conflict_limit=conflict_limit,
+            )
+        except InductionInconclusive:
+            if sequential_steps is None:
+                raise
+            result = prove_sequential_equivalence(
+                dut_source,
+                reference_source,
+                steps=sequential_steps,
+                clock=clock,
+                reset=reset,
+                reset_active_low=reset_active_low,
+                outputs=outputs,
+                module_name=module_name,
+                reference_module_name=reference_module_name,
+                conflict_limit=conflict_limit,
+            )
+    elif sequential_steps is None:
+        if session is not None:
+            result = session.prove(
+                dut_source, module_name, conflict_limit=conflict_limit
+            )
+        else:
+            result = prove_combinational_equivalence(
+                dut_source,
+                reference_source,
+                outputs=outputs,
+                module_name=module_name,
+                reference_module_name=reference_module_name,
+                conflict_limit=conflict_limit,
+            )
     else:
         result = prove_sequential_equivalence(
             dut_source,
@@ -699,7 +780,7 @@ def formal_equivalence_check(
         return result
     if counterexample.missing_outputs:
         return result  # nothing to replay: the DUT lacks the output entirely
-    if sequential_steps is None:
+    if not sequential:
         replayed = batch_equivalence_mismatches(
             dut_source,
             reference_source,

@@ -115,16 +115,29 @@ def mode_key(
     differential: bool,
     formal_conflict_limit: int | None,
     backend: str = "auto",
+    formal_incremental: bool = True,
+    induction_depth: int = 4,
 ) -> str:
     """Scoring-mode component of a :class:`ResultKey`.
 
     A pinned simulator backend is part of the key (a verdict scored under
     ``interpret`` must not satisfy a ``codegen`` request); the default ``auto``
-    is left out so existing durable result stores keep their keys.
+    is left out so existing durable result stores keep their keys.  The same
+    rule covers the formal-engine knobs: the incremental session is verdict-
+    identical to the one-shot prover so ``formal_incremental`` only enters the
+    key when disabled, and ``induction_depth`` only at non-default values
+    (k-induction at the default depth replaced a simulation fallback, which
+    never produced a *formal-mode pass* for those tasks before — stored passes
+    stay valid).
     """
     engine = "" if backend == "auto" else f"|engine={backend}"
     if mode == "formal":
-        return f"formal:{formal_conflict_limit}|batch={use_batch}|diff={differential}{engine}"
+        incremental = "" if formal_incremental else "|inc=False"
+        induction = "" if induction_depth == 4 else f"|induction={induction_depth}"
+        return (
+            f"formal:{formal_conflict_limit}|batch={use_batch}"
+            f"|diff={differential}{engine}{incremental}{induction}"
+        )
     return f"simulation|batch={use_batch}|diff={differential}{engine}"
 
 
@@ -149,6 +162,15 @@ class CheckRequest:
     #: interpreter fallback), ``codegen`` or ``interpret``.
     backend: str = "auto"
     formal_conflict_limit: int | None = 50_000
+    #: Formal mode proves candidates on a per-worker persistent
+    #: :class:`~repro.formal.incremental.EquivalenceSession` (one solver per
+    #: reference design, shared across the sweep).  ``False`` restores the
+    #: fresh-solver-per-candidate prover; verdicts are identical either way.
+    formal_incremental: bool = True
+    #: k-induction depth for sequential tasks under formal mode (unbounded
+    #: proofs; inconclusive inductions fall back to simulation).  ``0``
+    #: restores the old behaviour of simulating every sequential task.
+    induction_depth: int = 4
     #: Optional :class:`~repro.verilog.design.DesignDatabase` for the runners
     #: (None → process-wide default).  A database does not pickle, so setting
     #: one pins the request to in-parent execution — exactly where the
@@ -195,6 +217,11 @@ class CheckOutcome:
     #: service's ``/metrics`` p50/p99 latency summaries aggregate this field
     #: straight from the journal.
     duration_s: float = 0.0
+    #: SAT-search accounting when the verdict came from a formal proof
+    #: (conflicts, decisions, propagations, learned clauses, fraig merges,
+    #: proof method).  Empty — and absent from the journal payload — for
+    #: simulation verdicts, so old journals replay bit-for-bit.
+    proof_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         payload = {
@@ -213,6 +240,8 @@ class CheckOutcome:
             payload["degradation"] = list(self.degradation)
         if self.duration_s:
             payload["duration_s"] = self.duration_s
+        if self.proof_stats:
+            payload["proof_stats"] = dict(self.proof_stats)
         return payload
 
     @classmethod
@@ -229,12 +258,49 @@ class CheckOutcome:
             attempts=int(payload.get("attempts", 1)),
             degradation=[str(step) for step in payload.get("degradation", [])],
             duration_s=float(payload.get("duration_s", 0.0)),
+            proof_stats=dict(payload.get("proof_stats", {}) or {}),
         )
 
 
 #: Per-process golden cache for check execution (each pool worker process gets
 #: its own copy via fork/spawn, so models never cross process boundaries).
 _worker_goldens = GoldenCache()
+
+#: Per-process incremental equivalence sessions, keyed by (reference design
+#: key, checked-output tuple): every candidate of a sweep that lands on this
+#: worker proves against the same persistent solver.  Like the golden cache,
+#: sessions never cross process boundaries.
+_worker_sessions: dict[tuple[str, tuple[str, ...] | None], object] = {}
+#: Insertion-ordered eviction cap — a worker serving many distinct references
+#: (e.g. a whole suite) keeps the most recent sessions, each of which owns a
+#: solver with a growing clause database.
+_WORKER_SESSION_CAP = 32
+
+
+def _session_for(request: CheckRequest):
+    """The worker's :class:`EquivalenceSession` for this request's reference.
+
+    Raises ``FormalEncodingError`` when the reference is outside the provable
+    subset (callers fall back to simulation, same as the one-shot prover).
+    """
+    from ..formal import EquivalenceSession
+
+    key = (
+        design_key(request.reference_source),
+        tuple(request.check_outputs) if request.check_outputs is not None else None,
+    )
+    session = _worker_sessions.get(key)
+    if session is None:
+        session = EquivalenceSession(
+            request.reference_source,
+            outputs=request.check_outputs,
+            conflict_limit=request.formal_conflict_limit,
+            database=request.database,
+        )
+        while len(_worker_sessions) >= _WORKER_SESSION_CAP:
+            _worker_sessions.pop(next(iter(_worker_sessions)))
+        _worker_sessions[key] = session
+    return session
 
 
 def execute_check(request: CheckRequest) -> tuple[ResultKey, TestbenchResult]:
@@ -293,31 +359,72 @@ def timed_execute_check(
     return key, result, time.monotonic() - started
 
 
+def _proof_stats_dict(proof) -> dict:
+    """Journal-ready SAT accounting for one :class:`EquivalenceResult`."""
+    stats = proof.stats
+    payload = {
+        "method": proof.method,
+        "conflicts": stats.conflicts,
+        "decisions": stats.decisions,
+        "propagations": stats.propagations,
+        "learned_clauses": stats.learned_clauses,
+    }
+    if proof.fraig_merges:
+        payload["fraig_merges"] = proof.fraig_merges
+    if proof.sequential_steps:
+        payload["sequential_steps"] = proof.sequential_steps
+    return payload
+
+
 def _formal_check(request: CheckRequest, golden) -> TestbenchResult | None:
     """Complete SAT equivalence proof against the task's reference design.
 
-    Returns ``None`` (→ simulation fallback) for sequential tasks, designs
-    outside the provable subset, or an exhausted SAT conflict budget.
+    Combinational tasks are proven on the worker's persistent
+    :class:`EquivalenceSession` (unless ``request.formal_incremental`` is off);
+    sequential tasks get an **unbounded** k-induction proof at
+    ``request.induction_depth``.  Returns ``None`` (→ simulation fallback) for
+    designs outside the provable subset, inconclusive inductions, or an
+    exhausted SAT conflict budget.
     """
     from ..formal import ConflictLimitExceeded, FormalEncodingError, FormalError
     from ..verilog.errors import VerilogError
     from .golden import formal_equivalence_check
 
-    if getattr(golden, "is_sequential", False):
+    sequential = bool(getattr(golden, "is_sequential", False))
+    if sequential and request.induction_depth < 1:
         return None
     try:
-        proof = formal_equivalence_check(
-            request.code,
-            request.reference_source,
-            outputs=request.check_outputs,
-            conflict_limit=request.formal_conflict_limit,
-        )
+        if sequential:
+            reset = request.reset
+            proof = formal_equivalence_check(
+                request.code,
+                request.reference_source,
+                outputs=request.check_outputs,
+                clock=request.clock,
+                reset=reset.signal if reset is not None else None,
+                reset_active_low=bool(reset.active_low) if reset is not None else False,
+                conflict_limit=request.formal_conflict_limit,
+                induction_depth=request.induction_depth,
+            )
+        else:
+            session = _session_for(request) if request.formal_incremental else None
+            proof = formal_equivalence_check(
+                request.code,
+                request.reference_source,
+                outputs=request.check_outputs,
+                conflict_limit=request.formal_conflict_limit,
+                session=session,
+            )
     except (FormalEncodingError, ConflictLimitExceeded):
         return None  # outside the provable subset / budget: simulate instead
     except (FormalError, VerilogError) as exc:
         return TestbenchResult(passed=False, error=str(exc))
     if proof.equivalent:
-        return TestbenchResult(passed=True, total_checks=len(proof.checked_outputs))
+        return TestbenchResult(
+            passed=True,
+            total_checks=len(proof.checked_outputs),
+            proof_stats=_proof_stats_dict(proof),
+        )
     counterexample = proof.counterexample
     mismatches = []
     if counterexample is not None:
@@ -347,6 +454,7 @@ def _formal_check(request: CheckRequest, golden) -> TestbenchResult | None:
         passed=False,
         total_checks=len(proof.checked_outputs),
         mismatches=mismatches,
+        proof_stats=_proof_stats_dict(proof),
     )
 
 

@@ -13,7 +13,16 @@ that gap with a classical formal pipeline, all in pure Python:
 * :mod:`~repro.formal.sat` — a CDCL solver (two-watched literals, first-UIP
   learning, VSIDS activity, Luby restarts);
 * :mod:`~repro.formal.miter` — miter construction, equivalence proofs and
-  counterexample extraction.
+  counterexample extraction;
+* :mod:`~repro.formal.fraig` — simulation-guided fraiging (AIG preprocessing
+  that merges proven-equal nodes before CNF encoding);
+* :mod:`~repro.formal.incremental` — :class:`EquivalenceSession`: one
+  persistent solver proving a whole candidate sweep against one reference
+  under per-candidate activation literals;
+* :mod:`~repro.formal.induction` — unbounded sequential proofs by
+  k-induction (base + inductive step over the unrolled transition relation);
+* :mod:`~repro.formal.stats` — process-wide proof counters exported at the
+  service's ``GET /metrics``.
 
 Counterexamples are *actionable*: ``bench.golden`` replays them on the batched
 simulator as a differential oracle, and the hallucination detector consumes
@@ -24,6 +33,9 @@ from .aig import AIG, FALSE, TRUE, FormalEncodingError, FormalError, SymVector
 from .cnf import CNF, tseitin
 from .cone import ConeResult, SequentialUnroller, build_combinational_cone
 from .encode import bittable_to_aig, expr_to_aig
+from .fraig import FraigStats, fraig_reduce
+from .incremental import EquivalenceSession, IncrementalEncoder
+from .induction import InductionInconclusive, prove_sequential_by_induction
 from .miter import (
     Counterexample,
     EquivalenceResult,
@@ -32,6 +44,7 @@ from .miter import (
     prove_sequential_equivalence,
 )
 from .sat import ConflictLimitExceeded, SatResult, SatSolver, SatStats, solve_cnf
+from .stats import proof_stats, record_proof, reset_proof_stats
 
 __all__ = [
     "AIG",
@@ -42,8 +55,12 @@ __all__ = [
     "ConflictLimitExceeded",
     "Counterexample",
     "EquivalenceResult",
+    "EquivalenceSession",
     "FormalEncodingError",
     "FormalError",
+    "FraigStats",
+    "IncrementalEncoder",
+    "InductionInconclusive",
     "SatResult",
     "SatSolver",
     "SatStats",
@@ -52,9 +69,14 @@ __all__ = [
     "bittable_to_aig",
     "build_combinational_cone",
     "expr_to_aig",
+    "fraig_reduce",
+    "proof_stats",
     "prove_combinational_equivalence",
     "prove_expr_equivalence",
+    "prove_sequential_by_induction",
     "prove_sequential_equivalence",
+    "record_proof",
+    "reset_proof_stats",
     "solve_cnf",
     "tseitin",
 ]

@@ -1,0 +1,218 @@
+"""Simulation-guided fraiging: AIG preprocessing ahead of CNF encoding.
+
+FRAIG (functionally reduced AIG) rewriting shrinks a miter cone before the
+Tseitin encoder ever sees it:
+
+1. **Random simulation** evaluates the whole cone on ``rows`` random input
+   assignments at once, using the same packed-int column idiom as
+   :class:`repro.logic.bittable.BitTable` (one Python int per node, one bit
+   per row).  Nodes with equal — or complementary — signatures form
+   *candidate-equivalence classes*.
+2. **Structural rewriting** rebuilds the cone bottom-up through the AIG's
+   hash-consing ``AND``, so fanin merges cascade into constant folds and
+   re-shared gates for free.
+3. **SAT confirmation** proves candidate pairs genuinely equal with a small
+   conflict-limited miter; proven nodes are merged onto their class
+   representative.  A disproof yields a distinguishing assignment that is fed
+   back as one more simulation row, refining every remaining class (the
+   classic counterexample-guided loop), so the same spurious pair is never
+   retried.
+
+Merging is sound context-free: two nodes are merged only when their functions
+over the primary inputs are proven equal, so the rewrite preserves the value
+of every root under every assignment — the property the differential tests
+check by replaying random vectors through both the original and reduced cones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .aig import AIG, FALSE, TRUE
+from .cnf import tseitin
+from .sat import ConflictLimitExceeded, SatSolver
+
+__all__ = ["FraigStats", "fraig_reduce"]
+
+
+@dataclass
+class FraigStats:
+    """What one :func:`fraig_reduce` pass did to a cone."""
+
+    #: AIG nodes in the original cone (constant node excluded).
+    cone_nodes: int = 0
+    #: Candidate-equivalence classes with at least two members.
+    classes: int = 0
+    #: Nodes merged onto a representative after a SAT equality proof.
+    sat_merges: int = 0
+    #: Nodes that vanished through hash-consed rebuilding / constant folding.
+    structural_merges: int = 0
+    #: Conflict-limited SAT equality queries attempted.
+    sat_checks: int = 0
+    #: SAT disproofs that refined the simulation signatures.
+    refinements: int = 0
+
+    @property
+    def merges(self) -> int:
+        """Total nodes removed from the cone (structural + SAT-proven)."""
+        return self.sat_merges + self.structural_merges
+
+
+def _simulate(
+    aig: AIG, order: Sequence[int], input_rows: dict[str, int], mask: int
+) -> dict[int, int]:
+    """Packed-row evaluation: node → int with one result bit per row."""
+    values: dict[int, int] = {0: 0}
+    for node in order:
+        if aig.is_input(node):
+            values[node] = input_rows.get(aig.input_name(node), 0)
+        else:
+            left, right = aig.fanin(node)
+            left_value = values[left >> 1] ^ (mask if left & 1 else 0)
+            right_value = values[right >> 1] ^ (mask if right & 1 else 0)
+            values[node] = left_value & right_value
+    return values
+
+
+def _prove_equal(
+    aig: AIG, a: int, b: int, conflict_limit: int
+) -> tuple[bool, dict[str, int] | None]:
+    """SAT-check ``a == b``; returns (equal, distinguishing assignment).
+
+    The query runs on a tiny throwaway solver — the point of fraiging is to
+    keep these miters small, not to share learned clauses with the main
+    session.  Raises :class:`ConflictLimitExceeded` when the budget runs out
+    (the caller simply skips the merge).
+    """
+    root = aig.XOR(a, b)
+    if root == FALSE:
+        return True, None
+    if root == TRUE:
+        return False, {}
+    cnf, (root_literal,) = tseitin(aig, [root])
+    solver = SatSolver.from_cnf(cnf)
+    solver.add_clause([root_literal])
+    result = solver.solve(conflict_limit=conflict_limit)
+    if not result.satisfiable:
+        return True, None
+    return False, cnf.decode_inputs(result.model)
+
+
+def fraig_reduce(
+    aig: AIG,
+    roots: Sequence[int],
+    rows: int = 64,
+    seed: int = 0x5EED,
+    conflict_limit: int = 500,
+    max_sat_checks: int = 128,
+    prove_equal=None,
+) -> tuple[list[int], FraigStats]:
+    """Rewrite the cone of ``roots`` with proven-equal nodes merged.
+
+    Returns ``(new_roots, stats)`` where every new root is functionally equal
+    to its original.  New nodes are appended to ``aig`` (hash-consing reuses
+    existing structure wherever possible); the original nodes stay valid.
+
+    ``prove_equal(a, b)`` — when given — replaces the throwaway-solver
+    equality oracle: it must return ``(equal, witness_or_None)`` and may raise
+    :class:`ConflictLimitExceeded`.  :class:`~repro.formal.incremental.
+    EquivalenceSession` passes its own incremental prover here so merge
+    confirmations share the session solver's learned clauses instead of
+    re-encoding a fresh miter per pair.
+    """
+    stats = FraigStats()
+    if prove_equal is None:
+        prove_equal = lambda a, b: _prove_equal(aig, a, b, conflict_limit)  # noqa: E731
+    order = aig.cone(roots)
+    stats.cone_nodes = len(order)
+    rng = random.Random(seed)
+
+    input_names = [aig.input_name(node) for node in order if aig.is_input(node)]
+    base_rows = {name: rng.getrandbits(rows) for name in input_names}
+    refinement_rows: list[dict[str, int]] = []
+
+    def signatures() -> tuple[dict[int, int], int]:
+        total_rows = rows + len(refinement_rows)
+        mask = (1 << total_rows) - 1
+        packed: dict[str, int] = {}
+        for name in input_names:
+            value = base_rows[name]
+            for index, assignment in enumerate(refinement_rows):
+                value |= (assignment.get(name, 0) & 1) << (rows + index)
+            packed[name] = value
+        return _simulate(aig, order, packed, mask), mask
+
+    values, mask = signatures()
+
+    # node → rewritten positive-phase literal.  Inputs map to themselves.
+    mapping: dict[int, int] = {}
+    # normalised signature → (representative node, phase of rep vs signature).
+    reps: dict[int, tuple[int, int]] = {}
+    class_keys: set[int] = set()
+
+    def mapped(literal: int) -> int:
+        if literal in (TRUE, FALSE):
+            return literal
+        return mapping[literal >> 1] ^ (literal & 1)
+
+    def rebuild_classes(upto: int) -> None:
+        """Recompute representatives for processed nodes after a refinement."""
+        nonlocal values, mask
+        values, mask = signatures()
+        reps.clear()
+        for done in order[:upto]:
+            sig = values[done]
+            key = min(sig, sig ^ mask)
+            reps.setdefault(key, (done, 0 if sig == key else 1))
+
+    for index, node in enumerate(order):
+        literal = node << 1
+        if aig.is_input(node):
+            mapping[node] = literal
+            sig = values[node]
+            key = min(sig, sig ^ mask)
+            # Inputs may *represent* a class but are never merged away (a free
+            # input cannot equal any function of other nodes).
+            reps.setdefault(key, (node, 0 if sig == key else 1))
+            continue
+
+        left, right = aig.fanin(node)
+        new_literal = aig.AND(mapped(left), mapped(right))
+        if new_literal != literal:
+            stats.structural_merges += 1
+        mapping[node] = new_literal
+
+        sig = values[node]
+        key = min(sig, sig ^ mask)
+        phase = 0 if sig == key else 1
+        entry = reps.get(key)
+        if entry is None:
+            reps[key] = (node, phase)
+            continue
+        if key not in class_keys:
+            class_keys.add(key)
+            stats.classes += 1
+        rep_node, rep_phase = entry
+        target = mapped(rep_node << 1) ^ (phase ^ rep_phase)
+        if new_literal == target:
+            continue  # hash-consing already unified them
+        if stats.sat_checks >= max_sat_checks:
+            continue
+        stats.sat_checks += 1
+        try:
+            equal, witness = prove_equal(new_literal, target)
+        except ConflictLimitExceeded:
+            continue
+        if equal:
+            mapping[node] = target
+            stats.sat_merges += 1
+        elif witness is not None:
+            # Feed the distinguishing assignment back as one more row; every
+            # class splits along it, so this pair is never proposed again.
+            refinement_rows.append(witness)
+            stats.refinements += 1
+            rebuild_classes(index + 1)
+
+    return [mapped(root) for root in roots], stats

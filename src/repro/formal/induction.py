@@ -1,0 +1,247 @@
+"""k-induction: unbounded sequential equivalence proofs.
+
+Bounded unrolling (:func:`~repro.formal.miter.prove_sequential_equivalence`)
+only certifies the first ``k`` cycles after reset.  k-induction upgrades that
+to an **unbounded** proof with two UNSAT queries over the same transition
+relation:
+
+* **Base case** — the existing bounded proof: no input sequence of length
+  ``k`` distinguishes the designs starting from their concrete reset states.
+  A SAT verdict here is a *real*, replayable counterexample.
+* **Inductive step** — both designs are unrolled ``k + 1`` cycles from a
+  **fully symbolic** state pair (every register bit a fresh AIG input, so the
+  query ranges over *all* states, reachable or not), sharing fresh data
+  inputs per cycle.  The query asks for a run whose outputs agree for the
+  first ``k`` cycles and differ on cycle ``k + 1``; UNSAT means agreement is
+  ``k``-inductive.
+
+Base ∧ step ⟹ the outputs agree on every cycle of every input sequence, by
+strong induction on the trace length.  The inductive step over-approximates
+reachability, so a SAT verdict there proves nothing — the query may have
+started from an unreachable state pair.  That outcome raises
+:class:`InductionInconclusive` (a :class:`FormalEncodingError`, so existing
+callers fall back to simulation exactly as they do for designs outside the
+provable subset), never a wrong verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .aig import AIG, FormalEncodingError, SymVector, negate
+from .cone import SequentialUnroller, SymbolicExecutor
+from .miter import (
+    EquivalenceResult,
+    _compare_output,
+    _solve_miter,
+    prove_sequential_equivalence,
+)
+from .sat import ConflictLimitExceeded, SatStats
+from .stats import record_proof
+
+__all__ = ["InductionInconclusive", "prove_sequential_by_induction"]
+
+
+class InductionInconclusive(FormalEncodingError):
+    """The inductive step failed at this depth; no verdict either way.
+
+    Not an equivalence refutation: the distinguishing run may start from an
+    unreachable state pair.  Callers should fall back to bounded proofs or
+    simulation (the type is a ``FormalEncodingError`` so every existing
+    fallback path already does).
+    """
+
+
+def _merge_stats(base: SatStats, step: SatStats) -> SatStats:
+    return SatStats(
+        decisions=base.decisions + step.decisions,
+        conflicts=base.conflicts + step.conflicts,
+        propagations=base.propagations + step.propagations,
+        restarts=base.restarts + step.restarts,
+        learned_clauses=base.learned_clauses + step.learned_clauses,
+    )
+
+
+def _unroll_from_symbolic_state(
+    unroller: SequentialUnroller,
+    step_inputs: Sequence[dict[str, SymVector]],
+    state_prefix: str,
+) -> list[dict[str, SymVector]]:
+    """Unroll like :meth:`SequentialUnroller.unroll`, from an arbitrary state.
+
+    Every non-port signal is seeded with fresh ``{state_prefix}{name}[{bit}]``
+    inputs instead of the concrete post-reset values, so the unrolling ranges
+    over every conceivable register state; combinational signals are settled
+    from that state before the first clock edge.
+    """
+    aig = unroller.aig
+    input_names = {port.name for port in unroller.design.input_ports()}
+    literals: dict[str, SymVector] = {}
+    for name, width in unroller.design.store.widths.items():
+        if name in input_names:
+            # Pinned below / overwritten per step — a constant avoids the
+            # constructor declaring dead AIG inputs for the ports.
+            literals[name] = SymVector.constant(0, width)
+        else:
+            literals[name] = SymVector(
+                tuple(
+                    aig.add_input(f"{state_prefix}{name}[{bit}]")
+                    for bit in range(width)
+                )
+            )
+    executor = SymbolicExecutor(
+        unroller.design,
+        aig,
+        input_literals=literals,
+        undef_prefix=unroller.undef_prefix,
+    )
+    executor.set_concrete(unroller.clock, 0)
+    if unroller.reset is not None:
+        executor.set_concrete(
+            unroller.reset, 1 if unroller.reset_active_low else 0
+        )
+    output_names = [port.name for port in unroller.design.output_ports()]
+    outputs_per_step: list[dict[str, SymVector]] = []
+    for step, inputs in enumerate(step_inputs):
+        for name in unroller.data_inputs:
+            vector = inputs.get(name)
+            if vector is None:
+                raise FormalEncodingError(
+                    f"step {step} is missing a literal vector for input {name!r}"
+                )
+            executor.values[name] = vector.resized(executor.widths[name])
+            executor.input_vectors[name] = executor.values[name]
+        executor.settle()
+        executor.clock_step()
+        executor.settle()
+        outputs_per_step.append(
+            {name: executor.values[name] for name in output_names}
+        )
+    return outputs_per_step
+
+
+def prove_sequential_by_induction(
+    dut_source: str,
+    reference_source: str,
+    depth: int,
+    clock: str = "clk",
+    reset: str | None = None,
+    reset_active_low: bool = False,
+    outputs: Sequence[str] | None = None,
+    module_name: str | None = None,
+    reference_module_name: str | None = None,
+    conflict_limit: int | None = None,
+) -> EquivalenceResult:
+    """Unbounded sequential equivalence by k-induction at ``depth``.
+
+    Returns an equivalent result with ``method="induction"`` when both the
+    base case and the inductive step are UNSAT — a proof over *every* cycle,
+    not just the first ``depth``.  A base-case counterexample is returned as
+    the (real, replayable) refutation.
+
+    Raises:
+        InductionInconclusive: the inductive step found a distinguishing run
+            from some (possibly unreachable) state — retry with a larger
+            ``depth`` or fall back to bounded/simulation checking.
+        FormalEncodingError: either design is outside the provable subset.
+        ConflictLimitExceeded: a solver call exhausted ``conflict_limit``.
+    """
+    if depth < 1:
+        raise ValueError("k-induction needs depth >= 1")
+    base = prove_sequential_equivalence(
+        dut_source,
+        reference_source,
+        steps=depth,
+        clock=clock,
+        reset=reset,
+        reset_active_low=reset_active_low,
+        outputs=outputs,
+        module_name=module_name,
+        reference_module_name=reference_module_name,
+        conflict_limit=conflict_limit,
+        _record=False,
+    )
+    if not base.equivalent:
+        record_proof("counterexample", base.stats.conflicts)
+        return base
+
+    aig = AIG()
+    dut_unroller = SequentialUnroller(
+        dut_source,
+        aig,
+        clock=clock,
+        reset=reset,
+        reset_active_low=reset_active_low,
+        module_name=module_name,
+        undef_prefix="dut:",
+    )
+    reference_unroller = SequentialUnroller(
+        reference_source,
+        aig,
+        clock=clock,
+        reset=reset,
+        reset_active_low=reset_active_low,
+        module_name=reference_module_name,
+        undef_prefix="ref:",
+    )
+    widths: dict[str, int] = {}
+    for unroller in (reference_unroller, dut_unroller):
+        for name in unroller.data_inputs:
+            width = unroller.design.store.widths[name]
+            if widths.setdefault(name, width) != width:
+                raise FormalEncodingError(
+                    f"input {name!r} has mismatched widths across the designs"
+                )
+    step_inputs: list[dict[str, SymVector]] = []
+    for step in range(depth + 1):
+        step_inputs.append(
+            {
+                name: SymVector(
+                    tuple(
+                        aig.add_input(f"{name}@{step}[{bit}]")
+                        for bit in range(width)
+                    )
+                )
+                for name, width in widths.items()
+            }
+        )
+    dut_steps = _unroll_from_symbolic_state(dut_unroller, step_inputs, "dut_state:")
+    reference_steps = _unroll_from_symbolic_state(
+        reference_unroller, step_inputs, "ref_state:"
+    )
+
+    checked = list(base.checked_outputs)
+    # Miter per cycle: agree on cycles 0..depth-1, differ on cycle `depth`.
+    constraints: list[int] = []
+    for step in range(depth + 1):
+        difference = aig.or_all(
+            _compare_output(
+                aig, dut_steps[step][name], reference_steps[step][name]
+            )
+            for name in checked
+        )
+        constraints.append(
+            difference if step == depth else negate(difference)
+        )
+    root = aig.and_all(constraints)
+    try:
+        satisfiable, _, _, step_stats = _solve_miter(aig, root, conflict_limit)
+    except ConflictLimitExceeded:
+        record_proof("unknown", (conflict_limit or 0) + base.stats.conflicts)
+        raise
+    stats = _merge_stats(base.stats, step_stats)
+    if satisfiable:
+        record_proof("unknown", stats.conflicts)
+        raise InductionInconclusive(
+            f"k-induction at depth {depth} is inconclusive: outputs can "
+            f"disagree {depth} cycles after an arbitrary (possibly "
+            "unreachable) state — increase the depth or fall back"
+        )
+    record_proof("equivalent", stats.conflicts)
+    return EquivalenceResult(
+        equivalent=True,
+        stats=stats,
+        checked_outputs=checked,
+        method="induction",
+        sequential_steps=depth,
+    )

@@ -27,7 +27,8 @@ from .aig import AIG, FALSE, TRUE, FormalEncodingError, FormalError, SymVector
 from .cnf import CNF, tseitin
 from .cone import SequentialUnroller, build_combinational_cone
 from .encode import expr_to_aig
-from .sat import SatSolver, SatStats
+from .sat import ConflictLimitExceeded, SatSolver, SatStats
+from .stats import record_proof
 
 
 @dataclass
@@ -77,10 +78,15 @@ class EquivalenceResult:
     stats: SatStats = field(default_factory=SatStats)
     checked_outputs: list[str] = field(default_factory=list)
     #: "structural" when the miter folded to constant 0 during construction,
-    #: "sat" for a genuine solver verdict, "missing-output" for interface gaps.
+    #: "sat" for a genuine solver verdict, "missing-output" for interface
+    #: gaps, "induction" for an unbounded k-induction proof.
     method: str = "sat"
-    #: 0 for combinational proofs, k for k-step bounded sequential equivalence.
+    #: 0 for combinational proofs, k for k-step bounded sequential equivalence
+    #: (and the induction depth for ``method == "induction"``).
     sequential_steps: int = 0
+    #: AIG nodes removed by fraig preprocessing before CNF encoding (0 when
+    #: the proof ran without fraiging, e.g. the one-shot provers).
+    fraig_merges: int = 0
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -204,6 +210,7 @@ def prove_combinational_equivalence(
     module_name: str | None = None,
     reference_module_name: str | None = None,
     conflict_limit: int | None = None,
+    _record: bool = True,
 ) -> EquivalenceResult:
     """Complete SAT equivalence proof of two combinational Verilog modules.
 
@@ -245,6 +252,8 @@ def prove_combinational_equivalence(
     if missing:
         zero_inputs = {name: 0 for name in reference_cone.inputs}
         counterexample = Counterexample(steps=[zero_inputs], missing_outputs=missing)
+        if _record:
+            record_proof("counterexample", 0)
         return EquivalenceResult(
             equivalent=False,
             counterexample=counterexample,
@@ -258,8 +267,15 @@ def prove_combinational_equivalence(
         _compare_output(aig, dut_cone.outputs[name], reference_cone.outputs[name])
         for name in checked
     )
-    satisfiable, cnf, model, stats = _solve_miter(aig, root, conflict_limit)
+    try:
+        satisfiable, cnf, model, stats = _solve_miter(aig, root, conflict_limit)
+    except ConflictLimitExceeded:
+        if _record:
+            record_proof("unknown", conflict_limit or 0)
+        raise
     if not satisfiable:
+        if _record:
+            record_proof("equivalent", stats.conflicts)
         return EquivalenceResult(
             equivalent=True,
             stats=stats,
@@ -276,6 +292,8 @@ def prove_combinational_equivalence(
     counterexample = _replay_on_aig(
         aig, all_inputs, assignment, dut_cone.outputs, reference_cone.outputs, checked
     )
+    if _record:
+        record_proof("counterexample", stats.conflicts)
     return EquivalenceResult(
         equivalent=False,
         counterexample=counterexample,
@@ -329,6 +347,7 @@ def prove_sequential_equivalence(
     module_name: str | None = None,
     reference_module_name: str | None = None,
     conflict_limit: int | None = None,
+    _record: bool = True,
 ) -> EquivalenceResult:
     """Bounded (k-step) sequential equivalence from the reset state.
 
@@ -391,6 +410,8 @@ def prove_sequential_equivalence(
     missing = [name for name in checked if name not in dut_steps[0]]
     if missing:
         zero_steps = [{name: 0 for name in widths} for _ in range(steps)]
+        if _record:
+            record_proof("counterexample", 0)
         return EquivalenceResult(
             equivalent=False,
             counterexample=Counterexample(steps=zero_steps, missing_outputs=missing),
@@ -412,8 +433,15 @@ def prove_sequential_equivalence(
             "sequential miter depends on undefined reset state: "
             + ", ".join(sorted(tainted)[:4])
         )
-    satisfiable, cnf, model, stats = _solve_miter(aig, root, conflict_limit)
+    try:
+        satisfiable, cnf, model, stats = _solve_miter(aig, root, conflict_limit)
+    except ConflictLimitExceeded:
+        if _record:
+            record_proof("unknown", conflict_limit or 0)
+        raise
     if not satisfiable:
+        if _record:
+            record_proof("equivalent", stats.conflicts)
         return EquivalenceResult(
             equivalent=True,
             stats=stats,
@@ -453,6 +481,8 @@ def prove_sequential_equivalence(
         reference_values.append(reference_row)
     if not mismatching:
         raise FormalError("SAT counterexample failed to reproduce on the AIG")
+    if _record:
+        record_proof("counterexample", stats.conflicts)
     return EquivalenceResult(
         equivalent=False,
         counterexample=Counterexample(

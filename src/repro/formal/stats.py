@@ -1,0 +1,55 @@
+"""Process-wide formal proof counters (mirrors the codegen fallback registry).
+
+Every completed formal equivalence query — incremental-session proofs,
+fresh-solver miters, and k-induction — records its verdict and conflict count
+here.  The service layer exports the snapshot at ``GET /metrics`` as
+``repro_formal_proofs_total{result=...}`` and ``repro_formal_conflicts_total``,
+next to the codegen fallback counters, so an operator can see at a glance how
+much of the fleet's verdict traffic is proof-backed and how hard the SAT
+search is working.
+
+The registry is intentionally tiny and lock-guarded (worker threads in the
+service share one process); pool worker *processes* each keep their own copy,
+exactly like the codegen registry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["record_proof", "proof_stats", "reset_proof_stats"]
+
+_REGISTRY_LOCK = threading.Lock()
+_PROOF_RESULTS: dict[str, int] = {}
+_TOTAL_CONFLICTS = 0
+
+
+def record_proof(result: str, conflicts: int = 0) -> None:
+    """Count one formal proof outcome.
+
+    ``result`` is a small label vocabulary: ``"equivalent"``,
+    ``"counterexample"``, ``"unknown"`` (conflict budget exhausted) or
+    ``"error"`` (encoding/replay failure).
+    """
+    global _TOTAL_CONFLICTS
+    with _REGISTRY_LOCK:
+        _PROOF_RESULTS[result] = _PROOF_RESULTS.get(result, 0) + 1
+        _TOTAL_CONFLICTS += int(conflicts)
+
+
+def proof_stats() -> dict:
+    """Snapshot: ``{"total": int, "conflicts": int, "results": {label: count}}``."""
+    with _REGISTRY_LOCK:
+        return {
+            "total": sum(_PROOF_RESULTS.values()),
+            "conflicts": _TOTAL_CONFLICTS,
+            "results": dict(_PROOF_RESULTS),
+        }
+
+
+def reset_proof_stats() -> None:
+    """Zero the counters (tests and service restarts)."""
+    global _TOTAL_CONFLICTS
+    with _REGISTRY_LOCK:
+        _PROOF_RESULTS.clear()
+        _TOTAL_CONFLICTS = 0

@@ -277,6 +277,8 @@ class RunEngine:
                     plan.outcome.attempts = execution.attempts
                     plan.outcome.degradation = list(execution.degradation)
                     plan.outcome.duration_s = execution.duration_s
+                    if getattr(result, "proof_stats", None):
+                        plan.outcome.proof_stats = dict(result.proof_stats)
                 results.append(UnitResult(unit=plan.unit, outcome=plan.outcome))
         return results
 

@@ -133,6 +133,7 @@ class ServiceMetrics:
         families.extend(self._broker_families())
         families.extend(self._cache_families())
         families.extend(self._codegen_families())
+        families.extend(self._formal_families())
         families.extend(self._http_families())
         return render_families(families)
 
@@ -270,6 +271,28 @@ class ServiceMetrics:
             for reason, count in sorted(reasons.items()):
                 designs.add(int(count), {"design": design, "reason": reason})
         return [total, designs]
+
+    def _formal_families(self) -> list[MetricFamily]:
+        from ..formal import proof_stats
+
+        stats = proof_stats()
+        proofs = MetricFamily(
+            "repro_formal_proofs_total",
+            "counter",
+            "Formal equivalence proofs attempted in this process, by verdict.",
+        )
+        if stats["total"]:
+            for result, count in sorted(stats["results"].items()):
+                proofs.add(int(count), {"result": result})
+        else:
+            proofs.add(0)
+        conflicts = MetricFamily(
+            "repro_formal_conflicts_total",
+            "counter",
+            "SAT conflicts burned across every formal proof in this process.",
+        )
+        conflicts.add(int(stats["conflicts"]))
+        return [proofs, conflicts]
 
     def _http_families(self) -> list[MetricFamily]:
         requests, rate_limited, admission = self.http.snapshot()

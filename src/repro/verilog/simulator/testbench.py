@@ -87,6 +87,10 @@ class TestbenchResult:
     total_checks: int = 0
     mismatches: list[Mismatch] = field(default_factory=list)
     error: str | None = None
+    #: SAT-search accounting when the verdict came from a formal proof
+    #: (conflicts, decisions, propagations, learned clauses, fraig merges,
+    #: proof method); ``None`` for simulation verdicts.
+    proof_stats: dict | None = None
 
     @property
     def failure_summary(self) -> str:

@@ -254,3 +254,28 @@ class TestEndToEnd:
             assert "repro_codegen_design_fallback_total{" in text
         finally:
             codegen.reset_fallback_stats()
+
+    def test_formal_proofs_surface_in_metrics(self, server):
+        from repro.formal import record_proof, reset_proof_stats
+
+        reset_proof_stats()
+        try:
+            record_proof("equivalent", 17)
+            record_proof("counterexample", 4)
+            text = request(server, "/metrics")[2].decode()
+            assert 'repro_formal_proofs_total{result="equivalent"} 1' in text
+            assert 'repro_formal_proofs_total{result="counterexample"} 1' in text
+            assert "repro_formal_conflicts_total 21" in text
+        finally:
+            reset_proof_stats()
+
+    def test_formal_counters_present_when_idle(self, server):
+        from repro.formal import reset_proof_stats
+
+        reset_proof_stats()
+        try:
+            text = request(server, "/metrics")[2].decode()
+            assert "repro_formal_proofs_total 0" in text
+            assert "repro_formal_conflicts_total 0" in text
+        finally:
+            reset_proof_stats()
